@@ -1,0 +1,59 @@
+package imtrans
+
+import (
+	"fmt"
+
+	"imtrans/internal/baseline"
+	"imtrans/internal/power"
+)
+
+// AddressBusReport measures the instruction-*address* bus of one program
+// run under the related-work codings the paper discusses (Section 2):
+// plain binary, Gray code, and the T0 scheme with its redundant INC line.
+// Address streams are dominated by sequentiality, so generic codes excel
+// there; the data bus — the paper's target — has no such structure, which
+// is why it needs the application-specific transformations instead.
+type AddressBusReport struct {
+	Fetches uint64
+	Binary  uint64 // plain binary address-bus transitions
+	Gray    uint64 // Gray-coded (word-index) transitions
+	T0      uint64 // T0 transitions including the INC line
+
+	GrayPercent float64 // reduction vs binary
+	T0Percent   float64
+}
+
+// MeasureAddressBus simulates the program once and measures its fetch
+// address stream under all three address codings.
+func MeasureAddressBus(p *Program, setup func(Memory) error) (*AddressBusReport, error) {
+	m, err := newMachine(p, setup)
+	if err != nil {
+		return nil, err
+	}
+	bus := baseline.NewAddrBus(32, 4)
+	m.OnFetch = func(pc, word uint32) { bus.Transfer(pc) }
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("imtrans: address-bus run: %w", err)
+	}
+	return &AddressBusReport{
+		Fetches:     bus.Words(),
+		Binary:      bus.Binary(),
+		Gray:        bus.Gray(),
+		T0:          bus.T0(),
+		GrayPercent: power.Reduction(bus.Binary(), bus.Gray()),
+		T0Percent:   power.Reduction(bus.Binary(), bus.T0()),
+	}, nil
+}
+
+// MeasureAddressBus runs the address-bus study on the benchmark.
+func (b Benchmark) MeasureAddressBus() (*AddressBusReport, error) {
+	p, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	r, err := MeasureAddressBus(p, b.setup)
+	if err != nil {
+		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
+	}
+	return r, nil
+}

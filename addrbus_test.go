@@ -1,0 +1,42 @@
+package imtrans
+
+import "testing"
+
+func TestMeasureAddressBus(t *testing.T) {
+	p, err := Assemble(testLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MeasureAddressBus(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Fetches == 0 || r.Binary == 0 {
+		t.Fatalf("empty report: %+v", r)
+	}
+	// A tight loop is almost entirely sequential fetch plus one backward
+	// branch per iteration: T0 must dominate.
+	if r.T0 >= r.Binary {
+		t.Errorf("T0 %d vs binary %d", r.T0, r.Binary)
+	}
+	if r.T0Percent < 50 {
+		t.Errorf("T0 reduction %.1f%% too low for a loop", r.T0Percent)
+	}
+	if r.Gray >= r.Binary {
+		t.Errorf("Gray %d vs binary %d", r.Gray, r.Binary)
+	}
+}
+
+func TestBenchmarkMeasureAddressBus(t *testing.T) {
+	b, err := BenchmarkByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := b.WithScale(16, 0).MeasureAddressBus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.T0Percent <= 0 || r.GrayPercent <= 0 {
+		t.Errorf("report = %+v", r)
+	}
+}

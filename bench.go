@@ -1,0 +1,154 @@
+package imtrans
+
+import (
+	"fmt"
+
+	"imtrans/internal/workloads"
+)
+
+// Benchmark is one of the paper's six evaluation kernels, optionally
+// rescaled. The zero parameters run the paper's problem sizes.
+type Benchmark struct {
+	Name        string
+	Description string
+	N           int // problem size (0 = paper default)
+	Iters       int // sweeps/repetitions where applicable (0 = default)
+
+	w *workloads.Workload
+}
+
+// Benchmarks returns the six paper benchmarks in the paper's column order:
+// mmul, sor, ej, fft, tri, lu.
+func Benchmarks() []Benchmark {
+	ws := workloads.All()
+	out := make([]Benchmark, len(ws))
+	for i, w := range ws {
+		out[i] = Benchmark{
+			Name:        w.Name,
+			Description: w.Description,
+			N:           w.Defaults.N,
+			Iters:       w.Defaults.Iters,
+			w:           w,
+		}
+	}
+	return out
+}
+
+// ExtraBenchmarks returns kernels beyond the paper's suite — a
+// table-driven CRC-32 (integer-only), a biquad IIR cascade and a 3x3
+// convolution with an unrolled tap body — used to check the technique
+// generalises across opcode mixes and basic-block shapes.
+func ExtraBenchmarks() []Benchmark {
+	ws := workloads.Extras()
+	out := make([]Benchmark, len(ws))
+	for i, w := range ws {
+		out[i] = Benchmark{
+			Name:        w.Name,
+			Description: w.Description,
+			N:           w.Defaults.N,
+			Iters:       w.Defaults.Iters,
+			w:           w,
+		}
+	}
+	return out
+}
+
+// BenchmarkByName returns one benchmark (paper suite or extra) by name.
+func BenchmarkByName(name string) (Benchmark, error) {
+	w, err := workloads.ByName(name)
+	if err != nil {
+		return Benchmark{}, err
+	}
+	return Benchmark{
+		Name:        w.Name,
+		Description: w.Description,
+		N:           w.Defaults.N,
+		Iters:       w.Defaults.Iters,
+		w:           w,
+	}, nil
+}
+
+// WithScale returns a copy of the benchmark at a different problem size
+// and repetition count (zero keeps the current value).
+func (b Benchmark) WithScale(n, iters int) Benchmark {
+	if n != 0 {
+		b.N = n
+	}
+	if iters != 0 {
+		b.Iters = iters
+	}
+	return b
+}
+
+func (b Benchmark) params() workloads.Params {
+	return b.w.Fill(workloads.Params{N: b.N, Iters: b.Iters})
+}
+
+// Program renders and assembles the benchmark kernel.
+func (b Benchmark) Program() (*Program, error) {
+	if b.w == nil {
+		return nil, fmt.Errorf("imtrans: use Benchmarks or BenchmarkByName to obtain benchmarks")
+	}
+	return Assemble(b.w.Source(b.params()))
+}
+
+// setup initialises data memory for the kernel.
+func (b Benchmark) setup(m Memory) error {
+	return b.w.Setup(m.m, b.params())
+}
+
+// Run executes the benchmark at its configured scale, validates the
+// numerical result against the golden reference, and returns the baseline
+// bus statistics.
+func (b Benchmark) Run() (*RunResult, error) {
+	p, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	mc, err := NewMachine(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := b.setup(mc.Memory()); err != nil {
+		return nil, err
+	}
+	res, err := mc.Run()
+	if err != nil {
+		return nil, err
+	}
+	if err := b.w.Check(mc.Memory().m, b.params()); err != nil {
+		return nil, fmt.Errorf("imtrans: %s: golden check: %w", b.Name, err)
+	}
+	return res, nil
+}
+
+// MeasureWithCache runs the cached-system pipeline (see MeasureWithCache)
+// on the benchmark.
+func (b Benchmark) MeasureWithCache(cache CacheConfig, enc Config) (*CacheMeasurement, error) {
+	p, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	cm, err := MeasureWithCache(p, b.setup, cache, enc)
+	if err != nil {
+		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
+	}
+	return cm, nil
+}
+
+// Measure runs the full pipeline (profile, encode, decoder-in-the-loop
+// measurement) for each configuration — the machinery behind the paper's
+// Figure 6. Every restored instruction word is verified against the
+// original during the measurement run; use Run to additionally validate
+// the kernel's numerical output against its golden reference.
+func (b Benchmark) Measure(cfgs ...Config) ([]Measurement, error) {
+	p, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	ms, err := MeasureProgram(p, b.setup, cfgs...)
+	if err != nil {
+		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
+	}
+	return ms, nil
+}

@@ -1,0 +1,67 @@
+package imtrans
+
+import "testing"
+
+func TestMeasureWithCache(t *testing.T) {
+	p, err := Assemble(testLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := MeasureWithCache(p, nil, CacheConfig{}, Config{BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The tight loop fits the cache: nearly perfect hit rate.
+	if cm.HitRatePercent < 95 {
+		t.Errorf("hit rate %.1f%%", cm.HitRatePercent)
+	}
+	if cm.CoreEncoded >= cm.CoreBaseline {
+		t.Errorf("core bus: %d >= %d", cm.CoreEncoded, cm.CoreBaseline)
+	}
+	if cm.RefillEncoded > cm.RefillBaseline {
+		t.Errorf("refill bus regressed: %d > %d", cm.RefillEncoded, cm.RefillBaseline)
+	}
+	if cm.RefillWords == 0 {
+		t.Error("no refill traffic recorded")
+	}
+
+	// Storage-independence claim: the core-side reduction with a cache
+	// equals the uncached measurement (same encoded words on the bus).
+	ms, err := MeasureProgram(p, nil, Config{BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.CoreBaseline != ms[0].Baseline || cm.CoreEncoded != ms[0].Encoded {
+		t.Errorf("cached core bus (%d->%d) differs from uncached (%d->%d)",
+			cm.CoreBaseline, cm.CoreEncoded, ms[0].Baseline, ms[0].Encoded)
+	}
+}
+
+func TestMeasureWithCacheCustomGeometry(t *testing.T) {
+	p, err := Assemble(testLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := MeasureWithCache(p, nil, CacheConfig{LineWords: 2, Sets: 2, Ways: 1}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 16-byte direct-mapped cache cannot hold the 5-instruction loop
+	// body: plenty of misses, so real refill traffic on both images.
+	if cm.HitRatePercent > 90 {
+		t.Errorf("tiny cache hit rate %.1f%% suspiciously high", cm.HitRatePercent)
+	}
+	if cm.RefillBaseline == 0 {
+		t.Error("no baseline refill transitions")
+	}
+}
+
+func TestMeasureWithCacheBadConfigs(t *testing.T) {
+	p, _ := Assemble(testLoop)
+	if _, err := MeasureWithCache(p, nil, CacheConfig{LineWords: 3, Sets: 2, Ways: 1}, Config{}); err == nil {
+		t.Error("bad cache geometry accepted")
+	}
+	if _, err := MeasureWithCache(p, nil, CacheConfig{}, Config{BlockSize: 1}); err == nil {
+		t.Error("bad encoding config accepted")
+	}
+}

@@ -1,0 +1,455 @@
+// Command imtrans is the command-line front end to the instruction-memory
+// power-encoding toolkit: it assembles MR32 programs, runs them on the
+// functional simulator, plans power encodings, and measures the bus
+// transitions saved.
+//
+// Usage:
+//
+//	imtrans asm  prog.s             # assemble, print a listing
+//	imtrans run  prog.s             # simulate, print bus statistics
+//	imtrans plan prog.s [-k 5]      # profile + encoding plan (TT/BBIT view)
+//	imtrans measure prog.s [-k 5]   # full pipeline: reduction numbers
+//	imtrans bench mmul [-k 5] [-n 100]  # same for a built-in benchmark
+//
+// The program is an MR32 assembly file; it must terminate via the exit
+// syscall (li $v0, 10; syscall).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"imtrans"
+	"imtrans/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "asm":
+		err = cmdAsm(args)
+	case "run":
+		err = cmdRun(args)
+	case "plan":
+		err = cmdPlan(args)
+	case "measure":
+		err = cmdMeasure(args)
+	case "bench":
+		err = cmdBench(args)
+	case "encode":
+		err = cmdEncode(args)
+	case "verify":
+		err = cmdVerify(args)
+	case "rtl":
+		err = cmdRTL(args)
+	case "trace":
+		err = cmdTrace(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		usage()
+		err = fmt.Errorf("unknown command %q", cmd)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "imtrans:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: imtrans <command> [flags]
+
+commands:
+  asm <file.s>        assemble and print a listing
+  run <file.s>        simulate and print bus statistics
+  plan <file.s>       profile and print the encoding plan
+  measure <file.s>    measure encoded vs baseline transitions
+  bench <name>        run the pipeline on a built-in benchmark
+                      (mmul, sor, ej, fft, tri, lu)
+  encode <file.s>     profile, encode and write a deployment artifact
+                      (-o out.imtd: encoded image + TT/BBIT contents)
+  verify <file.s> <out.imtd>
+                      re-run the program against a deployment artifact,
+                      checking every restored instruction
+  rtl <file.s>        emit synthesizable Verilog for the decoder
+                      (-o decoder.v -tb decoder_tb.v -vectors N)
+  trace <file.s>      print an annotated fetch-stream trace with the
+                      decoder in the loop (-n fetches)`)
+}
+
+func loadProgram(path string) (*imtrans.Program, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return imtrans.Assemble(string(src))
+}
+
+func cmdAsm(args []string) error {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("asm wants one source file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, line := range p.Disassemble() {
+		fmt.Println(line)
+	}
+	fmt.Printf("\n%d instructions, %d data bytes\n", p.Instructions(), len(p.Data))
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	maxInstr := fs.Uint64("max", 0, "instruction cap (0 = default)")
+	showStats := fs.Bool("stats", false, "print the dynamic instruction mix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("run wants one source file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m, err := imtrans.NewMachine(p)
+	if err != nil {
+		return err
+	}
+	if *maxInstr > 0 {
+		m.SetMaxInstructions(*maxInstr)
+	}
+	res, err := m.Run()
+	if err != nil {
+		return err
+	}
+	if res.Output != "" {
+		fmt.Print(res.Output)
+		fmt.Println()
+	}
+	fmt.Printf("instructions: %d\nexit code:    %d\nbus transitions: %d (%.2f per fetch)\n",
+		res.Instructions, res.ExitCode, res.Transitions,
+		float64(res.Transitions)/float64(res.Instructions))
+	if *showStats {
+		mix := res.Mix
+		pct := func(n uint64) float64 { return 100 * float64(n) / float64(res.Instructions) }
+		fmt.Printf("mix: loads %.1f%%, stores %.1f%%, branches %.1f%% (%.1f%% taken), jumps %.1f%%, fp %.1f%%\n",
+			pct(mix.Loads), pct(mix.Stores), pct(mix.Branches),
+			100*float64(mix.BranchTaken)/float64(max64(mix.Branches, 1)),
+			pct(mix.Jumps), pct(mix.FPOps))
+		type kv struct {
+			op string
+			n  uint64
+		}
+		var ops []kv
+		for op, n := range mix.PerOp {
+			ops = append(ops, kv{op, n})
+		}
+		sort.Slice(ops, func(i, j int) bool {
+			if ops[i].n != ops[j].n {
+				return ops[i].n > ops[j].n
+			}
+			return ops[i].op < ops[j].op
+		})
+		if len(ops) > 10 {
+			ops = ops[:10]
+		}
+		fmt.Println("top opcodes:")
+		for _, o := range ops {
+			fmt.Printf("  %-8s %10d  (%.1f%%)\n", o.op, o.n, pct(o.n))
+		}
+	}
+	return nil
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func cmdPlan(args []string) error {
+	fs := flag.NewFlagSet("plan", flag.ExitOnError)
+	cfg := configFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("plan wants one source file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m, err := imtrans.NewMachine(p)
+	if err != nil {
+		return err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return err
+	}
+	rep, err := imtrans.EncodeProgram(p, res.Profile, *cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("config %v: %d block(s) covered, %d TT entries, %.1f%% dynamic coverage\n",
+		rep.Config, len(rep.Plans), rep.TTEntriesUsed, rep.CoveragePercent)
+	fmt.Printf("static vertical-transition reduction in covered blocks: %.1f%%\n", rep.StaticPercent)
+	fmt.Printf("decoder storage: %d bits (TT %d + BBIT %d), %d-bit selectors, %d gates/line\n",
+		rep.OverheadBits, rep.TTBits, rep.BBITBits, rep.SelectorBits, rep.GatesPerLine)
+	fmt.Printf("table upload: %d word writes before entering the hot spot\n\n", rep.UploadWords)
+	var tb stats.Table
+	tb.AddRow("start PC", "instrs", "heat", "TT[from:+n]", "tail CT", "static before>after")
+	for _, pl := range rep.Plans {
+		tb.AddRowf(fmt.Sprintf("%#08x", pl.StartPC), pl.Instructions, pl.Heat,
+			fmt.Sprintf("%d:+%d", pl.TTStart, pl.TTEntries), pl.TailCT,
+			fmt.Sprintf("%d>%d", pl.StaticBefore, pl.StaticAfter))
+	}
+	fmt.Println(tb.String())
+	return nil
+}
+
+func cmdMeasure(args []string) error {
+	fs := flag.NewFlagSet("measure", flag.ExitOnError)
+	cfg := configFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("measure wants one source file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	ms, err := imtrans.MeasureProgram(p, nil, *cfg)
+	if err != nil {
+		return err
+	}
+	printMeasurement(ms[0])
+	return nil
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	cfg := configFlags(fs)
+	n := fs.Int("n", 0, "problem size (0 = paper default)")
+	iters := fs.Int("iters", 0, "iterations/sweeps (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("bench wants one benchmark name")
+	}
+	b, err := imtrans.BenchmarkByName(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b = b.WithScale(*n, *iters)
+	fmt.Printf("%s: %s (N=%d", b.Name, b.Description, b.N)
+	if b.Iters > 1 {
+		fmt.Printf(", iters=%d", b.Iters)
+	}
+	fmt.Println(")")
+	ms, err := b.Measure(*cfg)
+	if err != nil {
+		return err
+	}
+	printMeasurement(ms[0])
+	return nil
+}
+
+func cmdEncode(args []string) error {
+	fs := flag.NewFlagSet("encode", flag.ExitOnError)
+	cfg := configFlags(fs)
+	out := fs.String("o", "deployment.imtd", "output deployment artifact")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("encode wants one source file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m, err := imtrans.NewMachine(p)
+	if err != nil {
+		return err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return err
+	}
+	d, err := imtrans.BuildDeployment(p, res.Profile, *cfg)
+	if err != nil {
+		return err
+	}
+	if err := d.Verify(p, nil); err != nil {
+		return fmt.Errorf("deployment failed self-verification: %w", err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := d.Save(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: k=%d, %d TT entries, %d covered blocks, %d-word image\n",
+		*out, d.BlockSize, d.TTEntries(), d.CoveredBlocks(), len(d.Encoded))
+	return f.Close()
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("verify wants a source file and a deployment artifact")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	d, err := imtrans.LoadDeployment(f)
+	if err != nil {
+		return err
+	}
+	if err := d.Verify(p, nil); err != nil {
+		return err
+	}
+	fmt.Println("deployment verified: every fetched instruction restored correctly")
+	return nil
+}
+
+func cmdRTL(args []string) error {
+	fs := flag.NewFlagSet("rtl", flag.ExitOnError)
+	cfg := configFlags(fs)
+	out := fs.String("o", "decoder.v", "output Verilog module")
+	tb := fs.String("tb", "", "also write a self-checking testbench to this file")
+	vectors := fs.Int("vectors", 1000, "testbench vector cap")
+	module := fs.String("module", "imtrans_decoder", "Verilog module name")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("rtl wants one source file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	m, err := imtrans.NewMachine(p)
+	if err != nil {
+		return err
+	}
+	res, err := m.Run()
+	if err != nil {
+		return err
+	}
+	d, err := imtrans.BuildDeployment(p, res.Profile, *cfg)
+	if err != nil {
+		return err
+	}
+	if err := d.Verify(p, nil); err != nil {
+		return fmt.Errorf("deployment failed self-verification: %w", err)
+	}
+	v, err := d.Verilog(*module)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, []byte(v), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: module %s, %d TT entries, %d BBIT entries\n",
+		*out, *module, d.TTEntries(), d.CoveredBlocks())
+	if *tb != "" {
+		t, err := d.VerilogTestbench(p, nil, *module, *vectors)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*tb, []byte(t), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: self-checking testbench\n", *tb)
+	}
+	return nil
+}
+
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	cfg := configFlags(fs)
+	n := fs.Int("n", 40, "fetches to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("trace wants one source file")
+	}
+	p, err := loadProgram(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	entries, err := imtrans.TraceProgram(p, nil, *cfg, *n)
+	if err != nil {
+		return err
+	}
+	fmt.Println("      pc      original  bus-word  flips dec  instruction")
+	for _, e := range entries {
+		marker := "   "
+		if e.DecoderActive {
+			marker = " * "
+		}
+		fmt.Printf("%08x  %08x  %08x  %5d %s %s\n",
+			e.PC, e.Original, e.Bus, e.Flips, marker, e.Instruction)
+	}
+	return nil
+}
+
+func configFlags(fs *flag.FlagSet) *imtrans.Config {
+	cfg := &imtrans.Config{}
+	fs.IntVar(&cfg.BlockSize, "k", 0, "block size (0 = 5)")
+	fs.IntVar(&cfg.TTEntries, "tt", 0, "transformation-table entries (0 = 16)")
+	fs.IntVar(&cfg.BBITEntries, "bbit", 0, "BBIT entries (0 = 16)")
+	fs.BoolVar(&cfg.AllFunctions, "all16", false, "search all 16 transformations")
+	fs.BoolVar(&cfg.Exact, "exact", false, "exact DP chaining instead of greedy")
+	return cfg
+}
+
+func printMeasurement(m imtrans.Measurement) {
+	fmt.Printf("config:            %v\n", m.Config)
+	fmt.Printf("instructions:      %d\n", m.Instructions)
+	fmt.Printf("baseline:          %d transitions\n", m.Baseline)
+	fmt.Printf("encoded:           %d transitions\n", m.Encoded)
+	fmt.Printf("reduction:         %.2f%%\n", m.Percent)
+	fmt.Printf("bus-invert:        %d transitions (%.2f%%)\n", m.BusInvert, m.BusInvertPercent)
+	fmt.Printf("dict-256:          %d transitions (%.2f%%; needs a %d-bit table lookup per fetch)\n",
+		m.Dictionary, m.DictionaryPercent, m.DictionaryBits)
+	fmt.Printf("coverage:          %.1f%% of fetches (%d blocks, %d TT entries)\n",
+		m.CoveragePercent, m.CoveredBlocks, m.TTEntriesUsed)
+	fmt.Printf("decoder storage:   %d bits\n", m.OverheadBits)
+	fmt.Printf("energy saved:      %.4g J on-chip, %.4g J off-chip\n",
+		m.EnergySavedOnChipJ, m.EnergySavedOffChipJ)
+}

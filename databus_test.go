@@ -1,0 +1,53 @@
+package imtrans
+
+import "testing"
+
+func TestMeasureDataBus(t *testing.T) {
+	p, err := Assemble(`
+		.data
+	buf:	.space 64
+		.text
+		la  $s0, buf
+		li  $t0, 16
+	loop:
+		sll  $t1, $t0, 2
+		addu $t2, $s0, $t1
+		sw   $t1, -4($t2)
+		lw   $t3, -4($t2)
+		addiu $t0, $t0, -1
+		bgtz $t0, loop
+		li $v0, 10
+		syscall
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MeasureDataBus(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Loads != 16 || r.Stores != 16 || r.Accesses != 32 {
+		t.Errorf("accesses = %+v", r)
+	}
+	if r.Transitions == 0 {
+		t.Error("no data-bus transitions recorded")
+	}
+	// Bus-invert never costs more than one invert-line flip per transfer.
+	if r.BusInvert > r.Transitions+r.Accesses {
+		t.Errorf("bus-invert %d vs raw %d", r.BusInvert, r.Transitions)
+	}
+}
+
+func TestBenchmarkMeasureDataBus(t *testing.T) {
+	b, err := BenchmarkByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := b.WithScale(16, 0).MeasureDataBus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Accesses == 0 || r.Loads == 0 || r.Stores == 0 {
+		t.Errorf("report = %+v", r)
+	}
+}

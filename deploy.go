@@ -1,0 +1,185 @@
+package imtrans
+
+import (
+	"fmt"
+	"io"
+
+	"imtrans/internal/cfg"
+	"imtrans/internal/core"
+	"imtrans/internal/hw"
+	"imtrans/internal/objfile"
+	"imtrans/internal/transform"
+)
+
+// Save serialises the program (text, data, symbols) as a versioned JSON
+// artifact readable by LoadProgram and the CLI.
+func (p *Program) Save(w io.Writer) error {
+	return objfile.SaveProgram(w, &objfile.Program{
+		TextBase: p.TextBase,
+		Text:     p.Text,
+		DataBase: p.DataBase,
+		Data:     p.Data,
+		Symbols:  p.Symbols,
+	})
+}
+
+// LoadProgram reads a program artifact written by Program.Save.
+func LoadProgram(r io.Reader) (*Program, error) {
+	f, err := objfile.LoadProgram(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{
+		TextBase: f.TextBase,
+		Text:     f.Text,
+		DataBase: f.DataBase,
+		Data:     f.Data,
+		Symbols:  f.Symbols,
+	}, nil
+}
+
+// Deployment is everything a target system needs to run an encoded
+// program: the encoded text image (flashed into the instruction memory)
+// and the TT/BBIT contents (uploaded to the fetch-side decoder at load
+// time or by the firmware before entering the hot spot).
+type Deployment struct {
+	BlockSize int
+	BusWidth  int
+	TextBase  uint32
+	Encoded   []uint32
+	tt        []hw.TTEntry
+	bbit      []hw.BBITEntry
+}
+
+// TTEntries returns the number of Transformation Table rows in use.
+func (d *Deployment) TTEntries() int { return len(d.tt) }
+
+// CoveredBlocks returns the number of basic blocks the deployment encodes.
+func (d *Deployment) CoveredBlocks() int { return len(d.bbit) }
+
+// BuildDeployment plans an encoding from a profile (see Machine.Run) and
+// packages it for a target system.
+func BuildDeployment(p *Program, profile []uint64, c Config) (*Deployment, error) {
+	g, err := cfg.Build(p.TextBase, p.Text)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := core.Encode(g, profile, c.coreConfig())
+	if err != nil {
+		return nil, err
+	}
+	if err := enc.Verify(); err != nil {
+		return nil, err
+	}
+	dec, err := hw.NewDecoder(enc)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{
+		BlockSize: enc.Config.BlockSize,
+		BusWidth:  enc.Config.BusWidth,
+		TextBase:  p.TextBase,
+		Encoded:   enc.EncodedWords,
+		tt:        dec.TT(),
+		bbit:      dec.BBIT(),
+	}, nil
+}
+
+// BuildDeploymentStatic plans an encoding without any profile — the
+// paper's firmware scenario, where the tables are loaded together with the
+// application code rather than tuned per hot spot. Every instruction is
+// weighted equally, so selection favours the largest basic blocks; with
+// Knapsack set it maximises the static transition savings under the table
+// budgets.
+func BuildDeploymentStatic(p *Program, c Config) (*Deployment, error) {
+	profile := make([]uint64, len(p.Text))
+	for i := range profile {
+		profile[i] = 1
+	}
+	return BuildDeployment(p, profile, c)
+}
+
+// Save serialises the deployment as a versioned JSON artifact.
+func (d *Deployment) Save(w io.Writer) error {
+	f := &objfile.Deployment{
+		BlockSize: d.BlockSize,
+		BusWidth:  d.BusWidth,
+		TextBase:  d.TextBase,
+		Encoded:   d.Encoded,
+	}
+	for _, e := range d.tt {
+		fe := objfile.TTEntry{Sel: make([]uint16, d.BusWidth), E: e.E, CT: e.CT}
+		for line := 0; line < d.BusWidth; line++ {
+			fe.Sel[line] = uint16(e.Sel[line])
+		}
+		f.TT = append(f.TT, fe)
+	}
+	for _, e := range d.bbit {
+		f.BBIT = append(f.BBIT, objfile.BBITEntry{PC: e.PC, TTIndex: e.TTIndex})
+	}
+	return objfile.SaveDeployment(w, f)
+}
+
+// LoadDeployment reads a deployment artifact written by Deployment.Save.
+func LoadDeployment(r io.Reader) (*Deployment, error) {
+	f, err := objfile.LoadDeployment(r)
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{
+		BlockSize: f.BlockSize,
+		BusWidth:  f.BusWidth,
+		TextBase:  f.TextBase,
+		Encoded:   f.Encoded,
+	}
+	for _, e := range f.TT {
+		var he hw.TTEntry
+		for line := range he.Sel {
+			he.Sel[line] = transform.Identity
+		}
+		for line := 0; line < f.BusWidth && line < len(e.Sel); line++ {
+			he.Sel[line] = transform.Func(e.Sel[line])
+		}
+		he.E, he.CT = e.E, e.CT
+		d.tt = append(d.tt, he)
+	}
+	for _, e := range f.BBIT {
+		d.bbit = append(d.bbit, hw.BBITEntry{PC: e.PC, TTIndex: e.TTIndex})
+	}
+	return d, nil
+}
+
+// Verify executes the original program while fetching from the
+// deployment's encoded image through a decoder programmed with the
+// deployment's tables, checking every restored word — the end-to-end
+// acceptance test a firmware build would run before shipping the artifact.
+func (d *Deployment) Verify(p *Program, setup func(Memory) error) error {
+	if d.TextBase != p.TextBase || len(d.Encoded) != len(p.Text) {
+		return fmt.Errorf("imtrans: deployment does not match program layout")
+	}
+	dec, err := hw.NewDecoderFromTables(d.tt, d.bbit, d.BlockSize, d.BusWidth)
+	if err != nil {
+		return err
+	}
+	dec.Strict = true
+	m, err := newMachine(p, setup)
+	if err != nil {
+		return err
+	}
+	var hookErr error
+	m.OnFetch = func(pc, word uint32) {
+		busWord := d.Encoded[int(pc-d.TextBase)/4]
+		restored, err := dec.OnFetch(pc, busWord)
+		if err != nil && hookErr == nil {
+			hookErr = err
+		}
+		if restored != word && hookErr == nil {
+			hookErr = fmt.Errorf("imtrans: deployment restored %#08x at pc %#x, want %#08x",
+				restored, pc, word)
+		}
+	}
+	if err := m.Run(); err != nil {
+		return fmt.Errorf("imtrans: deployment verification run: %w", err)
+	}
+	return hookErr
+}

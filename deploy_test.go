@@ -1,0 +1,190 @@
+package imtrans
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProgramSaveLoadRoundTrip(t *testing.T) {
+	p, err := Assemble(`
+		.data
+	v:	.word 1, 2, 3
+		.text
+	main:	la $t0, v
+		lw $t1, 0($t0)
+		li $v0, 10
+		syscall
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TextBase != p.TextBase || len(got.Text) != len(p.Text) {
+		t.Fatalf("layout changed: %+v", got)
+	}
+	for i := range p.Text {
+		if got.Text[i] != p.Text[i] {
+			t.Fatalf("text word %d changed", i)
+		}
+	}
+	if !bytes.Equal(got.Data, p.Data) {
+		t.Error("data changed")
+	}
+	if got.Symbols["main"] != p.Symbols["main"] || got.Symbols["v"] != p.Symbols["v"] {
+		t.Error("symbols changed")
+	}
+	// The loaded program must still run.
+	m, err := NewMachine(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadProgramRejectsGarbage(t *testing.T) {
+	if _, err := LoadProgram(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := LoadProgram(strings.NewReader(`{"magic":"wrong","version":1,"text":[0]}`)); err == nil {
+		t.Error("wrong magic accepted")
+	}
+	if _, err := LoadProgram(strings.NewReader(`{"magic":"imtrans-program","version":99,"text":[0]}`)); err == nil {
+		t.Error("wrong version accepted")
+	}
+	if _, err := LoadProgram(strings.NewReader(`{"magic":"imtrans-program","version":1}`)); err == nil {
+		t.Error("empty text accepted")
+	}
+}
+
+func TestDeploymentRoundTripAndVerify(t *testing.T) {
+	p, err := Assemble(testLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BuildDeployment(p, run.Profile, Config{BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.TTEntries() == 0 || d.CoveredBlocks() == 0 {
+		t.Fatalf("empty deployment: %+v", d)
+	}
+	if err := d.Verify(p, nil); err != nil {
+		t.Fatalf("fresh deployment failed verification: %v", err)
+	}
+
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	saved := buf.String()
+	got, err := LoadDeployment(strings.NewReader(saved))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BlockSize != d.BlockSize || got.TTEntries() != d.TTEntries() ||
+		got.CoveredBlocks() != d.CoveredBlocks() {
+		t.Fatalf("deployment changed: %+v", got)
+	}
+	if err := got.Verify(p, nil); err != nil {
+		t.Fatalf("loaded deployment failed verification: %v", err)
+	}
+}
+
+func TestDeploymentVerifyCatchesCorruption(t *testing.T) {
+	p, err := Assemble(testLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMachine(p)
+	run, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BuildDeployment(p, run.Profile, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one encoded word inside a covered block (not the first
+	// word of the image, which is the cold prologue).
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	bad, err := LoadDeployment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.Encoded[3] ^= 1 << 7
+	if err := bad.Verify(p, nil); err == nil {
+		t.Error("corrupted image passed verification")
+	}
+	// Mismatched layout must be rejected up front.
+	other, _ := Assemble("nop\nli $v0, 10\nsyscall")
+	if err := d.Verify(other, nil); err == nil {
+		t.Error("layout mismatch accepted")
+	}
+}
+
+func TestBuildDeploymentStatic(t *testing.T) {
+	p, err := Assemble(testLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BuildDeploymentStatic(p, Config{BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CoveredBlocks() == 0 {
+		t.Fatal("static deployment covered nothing")
+	}
+	// The profile-free artifact must still restore every instruction of a
+	// real execution.
+	if err := d.Verify(p, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Knapsack under a tight budget also works without a profile.
+	d2, err := BuildDeploymentStatic(p, Config{BlockSize: 4, TTEntries: 2, Knapsack: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.TTEntries() > 2 {
+		t.Errorf("budget ignored: %d entries", d2.TTEntries())
+	}
+	if err := d2.Verify(p, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadDeploymentValidation(t *testing.T) {
+	cases := []string{
+		`{"magic":"wrong","version":1,"block_size":5,"bus_width":32}`,
+		`{"magic":"imtrans-deployment","version":2,"block_size":5,"bus_width":32}`,
+		`{"magic":"imtrans-deployment","version":1,"block_size":1,"bus_width":32}`,
+		`{"magic":"imtrans-deployment","version":1,"block_size":5,"bus_width":40}`,
+		`{"magic":"imtrans-deployment","version":1,"block_size":5,"bus_width":32,"bbit":[{"pc":4,"tt_index":2}]}`,
+		`{"magic":"imtrans-deployment","version":1,"block_size":5,"bus_width":32,"tt":[{"sel":[1],"e":true,"ct":1}]}`,
+	}
+	for i, c := range cases {
+		if _, err := LoadDeployment(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

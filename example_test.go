@@ -1,0 +1,112 @@
+package imtrans_test
+
+import (
+	"fmt"
+	"log"
+
+	"imtrans"
+)
+
+// ExampleEncodeBitStream shows the core transformation on one vertical bit
+// stream: the alternating pattern costs 12 transitions raw and zero after
+// encoding, because "~y" regenerates it from constant history.
+func ExampleEncodeBitStream() {
+	stream := []uint8{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0}
+	se, err := imtrans.EncodeBitStream(stream, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(se.Before, "->", se.After, "transitions")
+	fmt.Println("tau:", se.Taus[0])
+	// Output:
+	// 12 -> 0 transitions
+	// tau: ~y
+}
+
+// ExampleCodeTable reproduces a row of the paper's Figure 2.
+func ExampleCodeTable() {
+	rows, err := imtrans.CodeTable(3, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := rows[2] // the word 010
+	fmt.Printf("%s -> %s via %s (%d -> %d transitions)\n",
+		r.Word, r.CodeWord, r.Tau, r.Transitions, r.CodeTransitions)
+	// Output:
+	// 010 -> 000 via ~y (2 -> 0 transitions)
+}
+
+// ExampleTransitionTable reproduces the paper's Figure 3 numbers for the
+// preferred block size.
+func ExampleTransitionTable() {
+	rows, err := imtrans.TransitionTable(5, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	fmt.Printf("k=%d: TTN=%d RTN=%d improvement=%.0f%%\n",
+		last.K, last.TTN, last.RTN, last.ImprovementPercent)
+	// Output:
+	// k=5: TTN=64 RTN=32 improvement=50%
+}
+
+// ExampleAssemble assembles and simulates a three-instruction program.
+func ExampleAssemble() {
+	prog, err := imtrans.Assemble(`
+		li $a0, 42
+		li $v0, 1      # print_int
+		syscall
+		li $v0, 10     # exit
+		syscall
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := imtrans.NewMachine(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := m.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Output)
+	// Output:
+	// 42
+}
+
+// ExampleMeasureProgram runs the full pipeline on a small loop and prints
+// whether the encoding helped (exact percentages depend on the kernel).
+func ExampleMeasureProgram() {
+	prog, err := imtrans.Assemble(`
+		li $t0, 100
+	loop:
+		xor $t1, $t1, $t0
+		sll $t2, $t0, 2
+		addu $t1, $t1, $t2
+		addiu $t0, $t0, -1
+		bgtz $t0, loop
+		li $v0, 10
+		syscall
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ms, err := imtrans.MeasureProgram(prog, nil, imtrans.Config{BlockSize: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("saved transitions:", ms[0].Encoded < ms[0].Baseline)
+	fmt.Println("coverage above 90%:", ms[0].CoveragePercent > 90)
+	// Output:
+	// saved transitions: true
+	// coverage above 90%: true
+}
+
+// ExampleTransformationNames lists the canonical gate set in hardware
+// selector order.
+func ExampleTransformationNames() {
+	fmt.Println(imtrans.TransformationNames())
+	// Output:
+	// [x ~x y ~y x^y ~(x^y) ~(x|y) ~(x&y)]
+}

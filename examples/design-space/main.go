@@ -1,0 +1,68 @@
+// Design-space exploration: the hardware/efficacy trade-offs Section 5.3
+// and Section 7 of the paper discuss, swept programmatically. For one
+// kernel the example sweeps the block size (efficacy falls as k grows, but
+// so does table pressure), the Transformation Table capacity (coverage
+// saturates once the hot loop fits), and the 8-vs-16 function sets
+// (selector width vs no measurable gain) — the data an SoC architect needs
+// to pick the paper's recommended k=5/k=6 design points.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imtrans"
+)
+
+func main() {
+	b, err := imtrans.BenchmarkByName("lu")
+	if err != nil {
+		log.Fatal(err)
+	}
+	b = b.WithScale(48, 0)
+	fmt.Printf("kernel: %s (N=%d)\n\n", b.Name, b.N)
+
+	fmt.Println("block-size sweep (TT=16):")
+	var cfgs []imtrans.Config
+	for k := 2; k <= 8; k++ {
+		cfgs = append(cfgs, imtrans.Config{BlockSize: k})
+	}
+	ms, err := b.Measure(cfgs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  k   reduction   TT used   coverage   decoder bits")
+	for _, m := range ms {
+		fmt.Printf("  %d   %7.1f%%   %7d   %7.1f%%   %d\n",
+			m.Config.BlockSize, m.Percent, m.TTEntriesUsed, m.CoveragePercent, m.OverheadBits)
+	}
+
+	fmt.Println("\ntransformation-table sweep (k=5):")
+	cfgs = cfgs[:0]
+	for _, tt := range []int{1, 2, 4, 8, 16, 32} {
+		cfgs = append(cfgs, imtrans.Config{BlockSize: 5, TTEntries: tt, BBITEntries: 32})
+	}
+	ms, err = b.Measure(cfgs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("  TT   reduction   blocks covered   coverage")
+	for _, m := range ms {
+		fmt.Printf("  %2d   %7.1f%%   %14d   %7.1f%%\n",
+			m.Config.TTEntries, m.Percent, m.CoveredBlocks, m.CoveragePercent)
+	}
+
+	fmt.Println("\nfunction-set ablation (k=5, TT=16):")
+	ms, err = b.Measure(
+		imtrans.Config{BlockSize: 5},
+		imtrans.Config{BlockSize: 5, AllFunctions: true},
+		imtrans.Config{BlockSize: 5, Exact: true},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	labels := []string{"canonical 8, greedy", "all 16, greedy     ", "canonical 8, exact "}
+	for i, m := range ms {
+		fmt.Printf("  %s  %.2f%%  (%d decoder bits)\n", labels[i], m.Percent, m.OverheadBits)
+	}
+}

@@ -1,0 +1,41 @@
+// Off-chip flash scenario: the paper notes the technique matters most when
+// the instruction memory is external, because bus lines crossing the
+// package pins carry an order of magnitude more capacitance. This example
+// runs the sor benchmark and translates the measured transition savings
+// into energy for both memory placements, alongside the Bus-Invert
+// general-purpose comparator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"imtrans"
+)
+
+func main() {
+	b, err := imtrans.BenchmarkByName("sor")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A moderate grid keeps the example quick; scale up freely.
+	b = b.WithScale(64, 3)
+	fmt.Printf("benchmark: %s — %s (N=%d, %d sweeps)\n\n", b.Name, b.Description, b.N, b.Iters)
+
+	ms, err := b.Measure(imtrans.Config{BlockSize: 4}, imtrans.Config{BlockSize: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, m := range ms {
+		fmt.Printf("config %v\n", m.Config)
+		fmt.Printf("  fetches:        %d\n", m.Instructions)
+		fmt.Printf("  transitions:    %d -> %d  (%.1f%% saved)\n", m.Baseline, m.Encoded, m.Percent)
+		fmt.Printf("  bus-invert:     %d           (%.1f%% saved)\n", m.BusInvert, m.BusInvertPercent)
+		fmt.Printf("  energy saved:   on-chip bus  %.4g J\n", m.EnergySavedOnChipJ)
+		fmt.Printf("                  off-chip bus %.4g J  (%.0fx the on-chip saving)\n",
+			m.EnergySavedOffChipJ, m.EnergySavedOffChipJ/m.EnergySavedOnChipJ)
+		fmt.Printf("  decoder cost:   %d bits of reprogrammable storage\n\n", m.OverheadBits)
+	}
+	fmt.Println("the decoder hardware is identical in both placements; only the")
+	fmt.Println("line capacitance — and therefore the absolute saving — changes.")
+}

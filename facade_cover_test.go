@@ -1,0 +1,107 @@
+package imtrans
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtraBenchmarksRegistry(t *testing.T) {
+	bs := ExtraBenchmarks()
+	if len(bs) != 3 || bs[0].Name != "crc32" || bs[1].Name != "iir" || bs[2].Name != "conv2d" {
+		t.Fatalf("extras = %+v", bs)
+	}
+	for _, b := range bs {
+		if b.Description == "" || b.N == 0 {
+			t.Errorf("incomplete benchmark %+v", b)
+		}
+	}
+	// Extras are reachable by name and runnable at small scale.
+	b, err := BenchmarkByName("crc32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := b.WithScale(128, 1).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Instructions == 0 {
+		t.Error("no instructions")
+	}
+}
+
+func TestBenchmarkMeasureWithCacheSmall(t *testing.T) {
+	b, err := BenchmarkByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm, err := b.WithScale(16, 0).MeasureWithCache(CacheConfig{}, Config{BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cm.CoreEncoded >= cm.CoreBaseline {
+		t.Errorf("no core reduction: %+v", cm)
+	}
+}
+
+func TestSetMaxInstructions(t *testing.T) {
+	p, err := Assemble("loop: j loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetMaxInstructions(50)
+	if _, err := m.Run(); err == nil || !strings.Contains(err.Error(), "instruction cap") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestConfigStringVariants(t *testing.T) {
+	c := Config{BlockSize: 6, TTEntries: 8, AllFunctions: true, Exact: true, Knapsack: true}
+	s := c.String()
+	for _, want := range []string{"k=6", "TT=8", "funcs=16", "exact", "knapsack"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String %q missing %q", s, want)
+		}
+	}
+}
+
+func TestHistoryDepthComparisonFacade(t *testing.T) {
+	rows, err := HistoryDepthComparison(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0].K != 3 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// k=5: the paper's h=1 optimum is 50%; two history bits beat it.
+	last := rows[len(rows)-1]
+	if last.H1Percent != 50 || last.H2Percent <= last.H1Percent {
+		t.Errorf("k=5 comparison = %+v", last)
+	}
+	if last.H2Funcs <= 0 {
+		t.Errorf("no h2 functions reported: %+v", last)
+	}
+	if _, err := HistoryDepthComparison(99); err == nil {
+		t.Error("oversize maxK accepted")
+	}
+}
+
+func TestRescheduleStatsReduction(t *testing.T) {
+	s := RescheduleStats{Before: 200, After: 150}
+	if got := s.ReductionPercent(); got != 25 {
+		t.Errorf("reduction = %v", got)
+	}
+	if (RescheduleStats{}).ReductionPercent() != 0 {
+		t.Error("zero-before must yield 0")
+	}
+}
+
+func TestDecodeBitStreamUnknownTauError(t *testing.T) {
+	_, err := DecodeBitStream([]uint8{0, 1}, 4, []string{"bogus"})
+	if err == nil || !strings.Contains(err.Error(), "unknown transformation") {
+		t.Errorf("err = %v", err)
+	}
+}

@@ -1,0 +1,3 @@
+module imtrans
+
+go 1.22

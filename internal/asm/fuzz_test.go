@@ -1,0 +1,51 @@
+package asm
+
+import (
+	"testing"
+
+	"imtrans/internal/isa"
+)
+
+// FuzzAssemble feeds arbitrary text to the assembler: it must never panic,
+// and whenever it succeeds, every emitted word must decode (the assembler
+// only produces words through isa.Inst.Encode, so an undecodable word
+// means the two halves of the ISA disagree).
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		"",
+		"nop",
+		"addiu $t0, $zero, 5\nsyscall",
+		"loop: bne $t0, $zero, loop",
+		".data\nx: .word 1, 2\n.text\nla $t0, x\nlw $t1, 0($t0)",
+		"li $t0, 0x12345678",
+		".asciiz \"hi\\n\"",
+		"l.s $f0, 4($sp)\nadd.s $f1, $f0, $f0",
+		"# comment only",
+		"label:",
+		".text 0x400000\nj 0x400000",
+		"mul $t0, $t1, $t2\nrem $t3, $t4, $t5",
+		".data\n.float 1.5\n.align 3\n.space 7",
+		"bad $t0, $t1",
+		".word 5",
+		"add $t0, $t1, $t2, $t3",
+		"\x00\x01\x02",
+		"li $t0, 99999999999999999999",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		obj, err := Assemble(src)
+		if err != nil {
+			return
+		}
+		for i, w := range obj.TextWords {
+			if _, derr := isa.Decode(w); derr != nil {
+				t.Fatalf("assembled word %d (%#08x) undecodable: %v\nsource: %q", i, w, derr, src)
+			}
+		}
+		if len(obj.TextLines) != len(obj.TextWords) {
+			t.Fatalf("line table length mismatch")
+		}
+	})
+}

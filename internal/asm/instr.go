@@ -1,0 +1,577 @@
+package asm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"imtrans/internal/isa"
+)
+
+// instruction assembles one instruction line (native or pseudo) into one
+// or more protos.
+func (a *assembler) instruction(ln line) error {
+	if op, ok := isa.Lookup(ln.mnemonic); ok {
+		// Three-operand mul/div forms are pseudo-instructions even though
+		// the mnemonics exist natively with two operands.
+		if (op == isa.OpDIV || op == isa.OpMULT) && len(ln.operands) == 3 {
+			return a.pseudo(ln)
+		}
+		return a.native(op, ln)
+	}
+	return a.pseudo(ln)
+}
+
+func (a *assembler) native(op isa.Op, ln line) error {
+	errf := func(format string, args ...interface{}) error {
+		return fmt.Errorf("line %d: %s: %v", ln.num, ln.mnemonic, fmt.Sprintf(format, args...))
+	}
+	want := func(n int) error {
+		if len(ln.operands) != n {
+			return errf("want %d operands, got %d", n, len(ln.operands))
+		}
+		return nil
+	}
+	reg := func(i int) (isa.Reg, error) { return isa.ParseReg(ln.operands[i]) }
+	freg := func(i int) (isa.FReg, error) { return isa.ParseFReg(ln.operands[i]) }
+
+	in := isa.Inst{Op: op}
+	p := proto{inst: in}
+
+	switch op.Format() {
+	case isa.FmtR:
+		if err := want(3); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Rd, err = reg(0); err != nil {
+			return errf("%v", err)
+		}
+		if p.inst.Rs, err = reg(1); err != nil {
+			return errf("%v", err)
+		}
+		if p.inst.Rt, err = reg(2); err != nil {
+			return errf("%v", err)
+		}
+	case isa.FmtRShift:
+		if err := want(3); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Rd, err = reg(0); err != nil {
+			return errf("%v", err)
+		}
+		if p.inst.Rt, err = reg(1); err != nil {
+			return errf("%v", err)
+		}
+		sh, err := a.evalInt(ln.operands[2])
+		if err != nil || sh < 0 || sh > 31 {
+			return errf("bad shift amount %q", ln.operands[2])
+		}
+		p.inst.Shamt = uint8(sh)
+	case isa.FmtRShiftV:
+		if err := want(3); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Rd, err = reg(0); err != nil {
+			return errf("%v", err)
+		}
+		if p.inst.Rt, err = reg(1); err != nil {
+			return errf("%v", err)
+		}
+		if p.inst.Rs, err = reg(2); err != nil {
+			return errf("%v", err)
+		}
+	case isa.FmtRJump:
+		if err := want(1); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Rs, err = reg(0); err != nil {
+			return errf("%v", err)
+		}
+	case isa.FmtRJALR:
+		switch len(ln.operands) {
+		case 1: // jalr rs == jalr $ra, rs
+			var err error
+			p.inst.Rd = isa.RA
+			if p.inst.Rs, err = reg(0); err != nil {
+				return errf("%v", err)
+			}
+		case 2:
+			var err error
+			if p.inst.Rd, err = reg(0); err != nil {
+				return errf("%v", err)
+			}
+			if p.inst.Rs, err = reg(1); err != nil {
+				return errf("%v", err)
+			}
+		default:
+			return errf("want 1 or 2 operands")
+		}
+	case isa.FmtRMulDiv:
+		if err := want(2); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Rs, err = reg(0); err != nil {
+			return errf("%v", err)
+		}
+		if p.inst.Rt, err = reg(1); err != nil {
+			return errf("%v", err)
+		}
+	case isa.FmtRMoveFrom:
+		if err := want(1); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Rd, err = reg(0); err != nil {
+			return errf("%v", err)
+		}
+	case isa.FmtRMoveTo:
+		if err := want(1); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Rs, err = reg(0); err != nil {
+			return errf("%v", err)
+		}
+	case isa.FmtNone:
+		if err := want(0); err != nil {
+			return err
+		}
+	case isa.FmtI:
+		if err := want(3); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Rt, err = reg(0); err != nil {
+			return errf("%v", err)
+		}
+		if p.inst.Rs, err = reg(1); err != nil {
+			return errf("%v", err)
+		}
+		if p.inst.Imm, err = a.evalInt(ln.operands[2]); err != nil {
+			return errf("%v", err)
+		}
+	case isa.FmtILoad, isa.FmtIStore:
+		if err := want(2); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Rt, err = reg(0); err != nil {
+			return errf("%v", err)
+		}
+		if err := a.fillAddr(&p, ln.operands[1]); err != nil {
+			return errf("%v", err)
+		}
+	case isa.FmtIBranch:
+		if err := want(3); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Rs, err = reg(0); err != nil {
+			return errf("%v", err)
+		}
+		if p.inst.Rt, err = reg(1); err != nil {
+			return errf("%v", err)
+		}
+		a.fillBranch(&p, ln.operands[2])
+	case isa.FmtIBranchZ:
+		if err := want(2); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Rs, err = reg(0); err != nil {
+			return errf("%v", err)
+		}
+		a.fillBranch(&p, ln.operands[1])
+	case isa.FmtLUI:
+		if err := want(2); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Rt, err = reg(0); err != nil {
+			return errf("%v", err)
+		}
+		if p.inst.Imm, err = a.evalInt(ln.operands[1]); err != nil {
+			return errf("%v", err)
+		}
+	case isa.FmtJ:
+		if err := want(1); err != nil {
+			return err
+		}
+		t := ln.operands[0]
+		if a.isValue(t) {
+			v, err := a.evalInt(t)
+			if err != nil {
+				return errf("%v", err)
+			}
+			p.inst.Target = uint32(v) >> 2 & 0x03ffffff
+		} else {
+			sym, add, err := symbolRef(t)
+			if err != nil {
+				return errf("%v", err)
+			}
+			p.rel, p.sym, p.addend = relJump, sym, add
+		}
+	case isa.FmtFPR:
+		if err := want(3); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Fd, err = freg(0); err != nil {
+			return errf("%v", err)
+		}
+		if p.inst.Fs, err = freg(1); err != nil {
+			return errf("%v", err)
+		}
+		if p.inst.Ft, err = freg(2); err != nil {
+			return errf("%v", err)
+		}
+	case isa.FmtFPRUnary, isa.FmtFPCvt:
+		if err := want(2); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Fd, err = freg(0); err != nil {
+			return errf("%v", err)
+		}
+		if p.inst.Fs, err = freg(1); err != nil {
+			return errf("%v", err)
+		}
+	case isa.FmtFPCmp:
+		if err := want(2); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Fs, err = freg(0); err != nil {
+			return errf("%v", err)
+		}
+		if p.inst.Ft, err = freg(1); err != nil {
+			return errf("%v", err)
+		}
+	case isa.FmtFPBranch:
+		if err := want(1); err != nil {
+			return err
+		}
+		a.fillBranch(&p, ln.operands[0])
+	case isa.FmtFPMove:
+		if err := want(2); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Rt, err = reg(0); err != nil {
+			return errf("%v", err)
+		}
+		if p.inst.Fs, err = freg(1); err != nil {
+			return errf("%v", err)
+		}
+	case isa.FmtFPLoad, isa.FmtFPStore:
+		if err := want(2); err != nil {
+			return err
+		}
+		var err error
+		if p.inst.Ft, err = freg(0); err != nil {
+			return errf("%v", err)
+		}
+		if err := a.fillAddr(&p, ln.operands[1]); err != nil {
+			return errf("%v", err)
+		}
+	default:
+		return errf("unsupported format")
+	}
+	a.emit(p, ln.num)
+	return nil
+}
+
+// fillAddr parses an "off(base)" memory operand into the proto.
+func (a *assembler) fillAddr(p *proto, s string) error {
+	off, base, err := parseAddr(s)
+	if err != nil {
+		return err
+	}
+	if base == "" {
+		return fmt.Errorf("address %q needs a base register (use la/l.s for symbols)", s)
+	}
+	if p.inst.Rs, err = isa.ParseReg(base); err != nil {
+		return err
+	}
+	if off == "" {
+		p.inst.Imm = 0
+		return nil
+	}
+	if p.inst.Imm, err = a.evalInt(off); err != nil {
+		return err
+	}
+	return nil
+}
+
+// fillBranch records a branch target: numeric operands are raw word
+// offsets, anything else is a symbol resolved in pass 2.
+func (a *assembler) fillBranch(p *proto, s string) {
+	if isNumeric(s) {
+		v, _ := parseInt(s)
+		p.inst.Imm = v
+		return
+	}
+	sym, add, _ := symbolRef(s)
+	p.rel, p.sym, p.addend = relBranch, sym, add
+}
+
+// pseudo expands the supported pseudo-instructions.
+func (a *assembler) pseudo(ln line) error {
+	errf := func(format string, args ...interface{}) error {
+		return fmt.Errorf("line %d: %s: %v", ln.num, ln.mnemonic, fmt.Sprintf(format, args...))
+	}
+	want := func(n int) error {
+		if len(ln.operands) != n {
+			return errf("want %d operands, got %d", n, len(ln.operands))
+		}
+		return nil
+	}
+	reg := func(i int) (isa.Reg, error) { return isa.ParseReg(ln.operands[i]) }
+
+	switch ln.mnemonic {
+	case "nop":
+		if err := want(0); err != nil {
+			return err
+		}
+		a.emit(proto{inst: isa.Inst{Op: isa.OpSLL}}, ln.num)
+	case "move":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return errf("%v", err)
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return errf("%v", err)
+		}
+		a.emit(proto{inst: isa.Inst{Op: isa.OpADDU, Rd: rd, Rs: rs, Rt: isa.Zero}}, ln.num)
+	case "neg":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return errf("%v", err)
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return errf("%v", err)
+		}
+		a.emit(proto{inst: isa.Inst{Op: isa.OpSUBU, Rd: rd, Rs: isa.Zero, Rt: rs}}, ln.num)
+	case "not":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return errf("%v", err)
+		}
+		rs, err := reg(1)
+		if err != nil {
+			return errf("%v", err)
+		}
+		a.emit(proto{inst: isa.Inst{Op: isa.OpNOR, Rd: rd, Rs: rs, Rt: isa.Zero}}, ln.num)
+	case "li":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return errf("%v", err)
+		}
+		v, err := a.evalInt(ln.operands[1])
+		if err != nil {
+			return errf("%v", err)
+		}
+		a.emitLoadImm(rd, uint32(v), ln.num)
+	case "la":
+		if err := want(2); err != nil {
+			return err
+		}
+		rd, err := reg(0)
+		if err != nil {
+			return errf("%v", err)
+		}
+		if a.isValue(ln.operands[1]) {
+			v, err := a.evalInt(ln.operands[1])
+			if err != nil {
+				return errf("%v", err)
+			}
+			a.emitLoadImm(rd, uint32(v), ln.num)
+			return nil
+		}
+		sym, add, err := symbolRef(ln.operands[1])
+		if err != nil {
+			return errf("%v", err)
+		}
+		a.emit(proto{inst: isa.Inst{Op: isa.OpLUI, Rt: isa.AT}, rel: relHi16, sym: sym, addend: add}, ln.num)
+		a.emit(proto{inst: isa.Inst{Op: isa.OpORI, Rt: rd, Rs: isa.AT}, rel: relLo16, sym: sym, addend: add}, ln.num)
+	case "b":
+		if err := want(1); err != nil {
+			return err
+		}
+		p := proto{inst: isa.Inst{Op: isa.OpBEQ, Rs: isa.Zero, Rt: isa.Zero}}
+		a.fillBranch(&p, ln.operands[0])
+		a.emit(p, ln.num)
+	case "beqz", "bnez":
+		if err := want(2); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return errf("%v", err)
+		}
+		op := isa.OpBEQ
+		if ln.mnemonic == "bnez" {
+			op = isa.OpBNE
+		}
+		p := proto{inst: isa.Inst{Op: op, Rs: rs, Rt: isa.Zero}}
+		a.fillBranch(&p, ln.operands[1])
+		a.emit(p, ln.num)
+	case "blt", "bge", "bgt", "ble":
+		if err := want(3); err != nil {
+			return err
+		}
+		rs, err := reg(0)
+		if err != nil {
+			return errf("%v", err)
+		}
+		rt, err := reg(1)
+		if err != nil {
+			return errf("%v", err)
+		}
+		// blt: slt $at, rs, rt; bne $at, $zero, target
+		// bge: slt $at, rs, rt; beq $at, $zero, target
+		// bgt: slt $at, rt, rs; bne $at, $zero, target
+		// ble: slt $at, rt, rs; beq $at, $zero, target
+		if ln.mnemonic == "bgt" || ln.mnemonic == "ble" {
+			rs, rt = rt, rs
+		}
+		a.emit(proto{inst: isa.Inst{Op: isa.OpSLT, Rd: isa.AT, Rs: rs, Rt: rt}}, ln.num)
+		op := isa.OpBNE
+		if ln.mnemonic == "bge" || ln.mnemonic == "ble" {
+			op = isa.OpBEQ
+		}
+		p := proto{inst: isa.Inst{Op: op, Rs: isa.AT, Rt: isa.Zero}}
+		a.fillBranch(&p, ln.operands[2])
+		a.emit(p, ln.num)
+	case "mul":
+		if err := want(3); err != nil {
+			return err
+		}
+		return a.mulDiv(ln, isa.OpMULT)
+	case "div", "mult":
+		// Reached only via the three-operand dispatch in instruction().
+		if err := want(3); err != nil {
+			return err
+		}
+		op := isa.OpDIV
+		if ln.mnemonic == "mult" {
+			op = isa.OpMULT
+		}
+		return a.mulDiv(ln, op)
+	case "rem":
+		if err := want(3); err != nil {
+			return err
+		}
+		return a.remainder(ln)
+	case "li.s":
+		if err := want(2); err != nil {
+			return err
+		}
+		ft, err := isa.ParseFReg(ln.operands[0])
+		if err != nil {
+			return errf("%v", err)
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(ln.operands[1]), 32)
+		if err != nil {
+			return errf("bad float %q", ln.operands[1])
+		}
+		bits := math.Float32bits(float32(f))
+		a.emitLoadImm(isa.AT, bits, ln.num)
+		a.emit(proto{inst: isa.Inst{Op: isa.OpMTC1, Rt: isa.AT, Fs: ft}}, ln.num)
+	case "l.s", "s.s":
+		if err := want(2); err != nil {
+			return err
+		}
+		ft, err := isa.ParseFReg(ln.operands[0])
+		if err != nil {
+			return errf("%v", err)
+		}
+		op := isa.OpLWC1
+		if ln.mnemonic == "s.s" {
+			op = isa.OpSWC1
+		}
+		p := proto{inst: isa.Inst{Op: op, Ft: ft}}
+		if err := a.fillAddr(&p, ln.operands[1]); err != nil {
+			return errf("%v", err)
+		}
+		a.emit(p, ln.num)
+	default:
+		return fmt.Errorf("line %d: unknown instruction %q", ln.num, ln.mnemonic)
+	}
+	return nil
+}
+
+// mulDiv emits the three-operand multiply/divide pseudo: op rs, rt then
+// mflo rd.
+func (a *assembler) mulDiv(ln line, op isa.Op) error {
+	rd, err := isa.ParseReg(ln.operands[0])
+	if err != nil {
+		return fmt.Errorf("line %d: %v", ln.num, err)
+	}
+	rs, err := isa.ParseReg(ln.operands[1])
+	if err != nil {
+		return fmt.Errorf("line %d: %v", ln.num, err)
+	}
+	rt, err := isa.ParseReg(ln.operands[2])
+	if err != nil {
+		return fmt.Errorf("line %d: %v", ln.num, err)
+	}
+	a.emit(proto{inst: isa.Inst{Op: op, Rs: rs, Rt: rt}}, ln.num)
+	a.emit(proto{inst: isa.Inst{Op: isa.OpMFLO, Rd: rd}}, ln.num)
+	return nil
+}
+
+// remainder emits div rs, rt then mfhi rd.
+func (a *assembler) remainder(ln line) error {
+	rd, err := isa.ParseReg(ln.operands[0])
+	if err != nil {
+		return fmt.Errorf("line %d: %v", ln.num, err)
+	}
+	rs, err := isa.ParseReg(ln.operands[1])
+	if err != nil {
+		return fmt.Errorf("line %d: %v", ln.num, err)
+	}
+	rt, err := isa.ParseReg(ln.operands[2])
+	if err != nil {
+		return fmt.Errorf("line %d: %v", ln.num, err)
+	}
+	a.emit(proto{inst: isa.Inst{Op: isa.OpDIV, Rs: rs, Rt: rt}}, ln.num)
+	a.emit(proto{inst: isa.Inst{Op: isa.OpMFHI, Rd: rd}}, ln.num)
+	return nil
+}
+
+// emitLoadImm emits the shortest sequence loading a 32-bit constant.
+func (a *assembler) emitLoadImm(rd isa.Reg, v uint32, lineNum int) {
+	switch {
+	case v&0xffff8000 == 0 || v&0xffff8000 == 0xffff8000:
+		// Fits signed 16 bits.
+		a.emit(proto{inst: isa.Inst{Op: isa.OpADDIU, Rt: rd, Rs: isa.Zero, Imm: int32(v) << 16 >> 16}}, lineNum)
+	case v>>16 == 0:
+		a.emit(proto{inst: isa.Inst{Op: isa.OpORI, Rt: rd, Rs: isa.Zero, Imm: int32(v)}}, lineNum)
+	case v&0xffff == 0:
+		a.emit(proto{inst: isa.Inst{Op: isa.OpLUI, Rt: rd, Imm: int32(v >> 16)}}, lineNum)
+	default:
+		a.emit(proto{inst: isa.Inst{Op: isa.OpLUI, Rt: rd, Imm: int32(v >> 16)}}, lineNum)
+		a.emit(proto{inst: isa.Inst{Op: isa.OpORI, Rt: rd, Rs: rd, Imm: int32(v & 0xffff)}}, lineNum)
+	}
+}

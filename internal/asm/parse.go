@@ -1,0 +1,227 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// line is one source line after lexical splitting.
+type line struct {
+	num      int
+	labels   []string
+	mnemonic string   // directive (leading '.') or instruction mnemonic, lower case
+	operands []string // comma-separated operand fields, trimmed
+}
+
+// splitLines performs the lexical pass: comment stripping (# and ; outside
+// string literals), label extraction (possibly several per line), and
+// operand splitting that respects quoted strings and parenthesised
+// base-register forms.
+func splitLines(src string) ([]line, error) {
+	var out []line
+	for num, raw := range strings.Split(src, "\n") {
+		text := stripComment(raw)
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		ln := line{num: num + 1}
+		// Peel off leading labels.
+		for {
+			idx := labelEnd(text)
+			if idx < 0 {
+				break
+			}
+			ln.labels = append(ln.labels, strings.TrimSpace(text[:idx]))
+			text = strings.TrimSpace(text[idx+1:])
+			if text == "" {
+				break
+			}
+		}
+		if text != "" {
+			fields := strings.SplitN(text, " ", 2)
+			ln.mnemonic = strings.ToLower(strings.TrimSpace(fields[0]))
+			if len(fields) == 2 {
+				ops, err := splitOperands(fields[1])
+				if err != nil {
+					return nil, fmt.Errorf("line %d: %v", ln.num, err)
+				}
+				ln.operands = ops
+			}
+		}
+		if ln.mnemonic != "" || len(ln.labels) > 0 {
+			out = append(out, ln)
+		}
+	}
+	return out, nil
+}
+
+// stripComment removes '#' and ';' comments, honouring double-quoted
+// strings so .asciiz "a#b" survives.
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '#', ';':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+// labelEnd returns the index of the colon terminating a leading label, or
+// -1 if the line does not start with a label. A label is an identifier
+// followed immediately by ':'.
+func labelEnd(s string) int {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == ':':
+			if i == 0 {
+				return -1
+			}
+			return i
+		case c == '_' || c == '.' || c == '$' ||
+			c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' ||
+			c >= '0' && c <= '9':
+			// identifier character, keep scanning
+		default:
+			return -1
+		}
+	}
+	return -1
+}
+
+// splitOperands splits on commas outside quotes and parentheses.
+func splitOperands(s string) ([]string, error) {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+				if depth < 0 {
+					return nil, fmt.Errorf("unbalanced ')'")
+				}
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if inStr {
+		return nil, fmt.Errorf("unterminated string literal")
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("unbalanced '('")
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" {
+		out = append(out, last)
+	}
+	return out, nil
+}
+
+// parseInt parses a signed integer literal (decimal, 0x hex, 0o octal,
+// 0b binary, optional leading '-') into 32 bits.
+func parseInt(s string) (int32, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(s), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad integer %q", s)
+	}
+	if v < -1<<31 || v > 1<<32-1 {
+		return 0, fmt.Errorf("integer %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+// parseAddr splits an "imm(reg)" or "(reg)" or "imm" address operand.
+func parseAddr(s string) (offset string, base string, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 {
+		return s, "", nil
+	}
+	if !strings.HasSuffix(s, ")") {
+		return "", "", fmt.Errorf("malformed address %q", s)
+	}
+	return strings.TrimSpace(s[:open]), strings.TrimSpace(s[open+1 : len(s)-1]), nil
+}
+
+// symbolRef splits a "label", "label+off" or "label-off" reference.
+func symbolRef(s string) (sym string, addend int32, err error) {
+	s = strings.TrimSpace(s)
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			off, err := parseInt(s[i:])
+			if err != nil {
+				return "", 0, err
+			}
+			return strings.TrimSpace(s[:i]), off, nil
+		}
+	}
+	return s, 0, nil
+}
+
+// isNumeric reports whether the operand is a pure integer literal.
+func isNumeric(s string) bool {
+	_, err := parseInt(s)
+	return err == nil
+}
+
+// unquote interprets a double-quoted string literal with the usual escape
+// sequences.
+func unquote(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if len(s) < 2 || s[0] != '"' || s[len(s)-1] != '"' {
+		return "", fmt.Errorf("expected string literal, got %q", s)
+	}
+	body := s[1 : len(s)-1]
+	var b strings.Builder
+	for i := 0; i < len(body); i++ {
+		c := body[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(body) {
+			return "", fmt.Errorf("trailing backslash in %q", s)
+		}
+		switch body[i] {
+		case 'n':
+			b.WriteByte('\n')
+		case 't':
+			b.WriteByte('\t')
+		case '0':
+			b.WriteByte(0)
+		case '\\':
+			b.WriteByte('\\')
+		case '"':
+			b.WriteByte('"')
+		default:
+			return "", fmt.Errorf("unknown escape \\%c", body[i])
+		}
+	}
+	return b.String(), nil
+}

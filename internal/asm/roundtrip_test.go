@@ -1,0 +1,129 @@
+package asm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"imtrans/internal/isa"
+)
+
+// randInstFor builds a random valid instruction of the given op, mirroring
+// the generator in the isa tests.
+func randInstFor(rng *rand.Rand, op isa.Op) isa.Inst {
+	in := isa.Inst{Op: op}
+	reg := func() isa.Reg { return isa.Reg(rng.Intn(32)) }
+	freg := func() isa.FReg { return isa.FReg(rng.Intn(32)) }
+	simm := func() int32 { return int32(rng.Intn(1<<16) - 1<<15) }
+	uimm := func() int32 { return int32(rng.Intn(1 << 16)) }
+	switch op.Format() {
+	case isa.FmtR:
+		in.Rd, in.Rs, in.Rt = reg(), reg(), reg()
+	case isa.FmtRShift:
+		in.Rd, in.Rt, in.Shamt = reg(), reg(), uint8(rng.Intn(32))
+	case isa.FmtRShiftV:
+		in.Rd, in.Rt, in.Rs = reg(), reg(), reg()
+	case isa.FmtRJump:
+		in.Rs = reg()
+	case isa.FmtRJALR:
+		in.Rd, in.Rs = reg(), reg()
+	case isa.FmtRMulDiv:
+		in.Rs, in.Rt = reg(), reg()
+	case isa.FmtRMoveFrom:
+		in.Rd = reg()
+	case isa.FmtRMoveTo:
+		in.Rs = reg()
+	case isa.FmtNone:
+	case isa.FmtI:
+		in.Rt, in.Rs = reg(), reg()
+		if op == isa.OpANDI || op == isa.OpORI || op == isa.OpXORI {
+			in.Imm = uimm()
+		} else {
+			in.Imm = simm()
+		}
+	case isa.FmtILoad, isa.FmtIStore, isa.FmtIBranch:
+		in.Rt, in.Rs, in.Imm = reg(), reg(), simm()
+	case isa.FmtIBranchZ:
+		in.Rs, in.Imm = reg(), simm()
+	case isa.FmtLUI:
+		in.Rt, in.Imm = reg(), uimm()
+	case isa.FmtJ:
+		in.Target = rng.Uint32() & 0x03ffffff
+	case isa.FmtFPR:
+		in.Fd, in.Fs, in.Ft = freg(), freg(), freg()
+	case isa.FmtFPRUnary, isa.FmtFPCvt:
+		in.Fd, in.Fs = freg(), freg()
+	case isa.FmtFPCmp:
+		in.Fs, in.Ft = freg(), freg()
+	case isa.FmtFPBranch:
+		in.Imm = simm()
+	case isa.FmtFPMove:
+		in.Rt, in.Fs = reg(), freg()
+	case isa.FmtFPLoad, isa.FmtFPStore:
+		in.Ft, in.Rs, in.Imm = freg(), reg(), simm()
+	}
+	return in
+}
+
+// TestDisassembleReassembleRoundTrip is the assembler/disassembler duality
+// property: for every operation and many random operand draws, assembling
+// the disassembly of an encoded instruction reproduces the machine word.
+// This pins the two halves of the toolchain against each other.
+func TestDisassembleReassembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, op := range isa.Ops() {
+		for trial := 0; trial < 60; trial++ {
+			in := randInstFor(rng, op)
+			word, err := in.Encode()
+			if err != nil {
+				t.Fatalf("%s: encode: %v", op, err)
+			}
+			src := in.String()
+			obj, err := Assemble(src)
+			if err != nil {
+				t.Fatalf("%s: reassemble %q: %v", op, src, err)
+			}
+			if len(obj.TextWords) != 1 {
+				t.Fatalf("%s: %q assembled to %d words", op, src, len(obj.TextWords))
+			}
+			if obj.TextWords[0] != word {
+				t.Fatalf("%s: %q -> %#08x, want %#08x", op, src, obj.TextWords[0], word)
+			}
+		}
+	}
+}
+
+// TestRandomProgramRoundTrip assembles whole random programs from
+// disassembled listings.
+func TestRandomProgramRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	ops := isa.Ops()
+	for trial := 0; trial < 20; trial++ {
+		n := 20 + rng.Intn(60)
+		words := make([]uint32, 0, n)
+		var src strings.Builder
+		for i := 0; i < n; i++ {
+			in := randInstFor(rng, ops[rng.Intn(len(ops))])
+			w, err := in.Encode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			words = append(words, w)
+			src.WriteString(in.String())
+			src.WriteString("\n")
+		}
+		obj, err := Assemble(src.String())
+		if err != nil {
+			t.Fatalf("program reassembly: %v\n%s", err, src.String())
+		}
+		if len(obj.TextWords) != n {
+			t.Fatalf("%d words, want %d", len(obj.TextWords), n)
+		}
+		for i := range words {
+			if obj.TextWords[i] != words[i] {
+				t.Fatalf("word %d: %#08x, want %#08x (%s)",
+					i, obj.TextWords[i], words[i], isa.Disassemble(words[i]))
+			}
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package baseline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGrayRoundTrip(t *testing.T) {
+	err := quick.Check(func(v uint32) bool {
+		return GrayDecode(GrayEncode(v)) == v
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrayAdjacentDifferByOneBit(t *testing.T) {
+	for v := uint32(0); v < 4096; v++ {
+		d := GrayEncode(v) ^ GrayEncode(v+1)
+		if d == 0 || d&(d-1) != 0 {
+			t.Fatalf("Gray(%d)^Gray(%d) = %#x, not a single bit", v, v+1, d)
+		}
+	}
+}
+
+func TestAddrBusSequentialStream(t *testing.T) {
+	// Pure sequential fetch: T0 asserts INC once and never toggles again;
+	// Gray toggles one line per step (amortised).
+	a := NewAddrBus(32, 4)
+	for pc := uint32(0x400000); pc < 0x400000+4*1000; pc += 4 {
+		a.Transfer(pc)
+	}
+	if a.Words() != 1000 {
+		t.Fatalf("words = %d", a.Words())
+	}
+	if a.T0() != 1 {
+		t.Errorf("T0 transitions = %d, want 1 (single INC assertion)", a.T0())
+	}
+	if a.Gray() >= a.Binary() {
+		t.Errorf("Gray %d not better than binary %d on sequential stream", a.Gray(), a.Binary())
+	}
+	// Sequential word addresses: Gray of addr/1 changes ~1 bit per step
+	// at stride 4 the toggled lines sit higher, still close to 1/step.
+	if a.Gray() > 2*a.Words() {
+		t.Errorf("Gray %d implausibly high", a.Gray())
+	}
+}
+
+func TestAddrBusBranchyStream(t *testing.T) {
+	// A stream with a taken branch every 4 instructions: T0 pays for each
+	// discontinuity but still beats binary.
+	a := NewAddrBus(32, 4)
+	pc := uint32(0x400000)
+	for i := 0; i < 4000; i++ {
+		a.Transfer(pc)
+		if i%4 == 3 {
+			pc = 0x400000 // loop back
+		} else {
+			pc += 4
+		}
+	}
+	if a.T0() >= a.Binary() {
+		t.Errorf("T0 %d vs binary %d", a.T0(), a.Binary())
+	}
+}
+
+func TestAddrBusRandomStreamT0Harmless(t *testing.T) {
+	// On random addresses T0 degenerates to binary plus INC-line noise:
+	// never more than one extra transition per transfer.
+	a := NewAddrBus(32, 4)
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 5000; i++ {
+		a.Transfer(rng.Uint32())
+	}
+	if a.T0() > a.Binary()+a.Words() {
+		t.Errorf("T0 %d exceeds binary %d + words %d", a.T0(), a.Binary(), a.Words())
+	}
+}
+
+func TestAddrBusWidthAndStrideDefaults(t *testing.T) {
+	a := NewAddrBus(0, 0)
+	if a.width != 1 || a.stride != 4 {
+		t.Errorf("defaults: width=%d stride=%d", a.width, a.stride)
+	}
+	b := NewAddrBus(64, 4)
+	if b.width != 32 {
+		t.Errorf("clamp: width=%d", b.width)
+	}
+}

@@ -1,0 +1,101 @@
+package baseline
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"imtrans/internal/bitline"
+)
+
+func TestBusInvertNeverWorseThanHalf(t *testing.T) {
+	// Per transfer, bus-invert caps data transitions at width/2.
+	bi := NewBusInvert(32)
+	rng := rand.New(rand.NewSource(1))
+	prev, _ := bi.Transfer(rng.Uint32())
+	for i := 0; i < 1000; i++ {
+		v, _ := bi.Transfer(rng.Uint32())
+		if d := bits.OnesCount32(v ^ prev); d > 16 {
+			t.Fatalf("transfer %d caused %d data transitions", i, d)
+		}
+		prev = v
+	}
+}
+
+func TestBusInvertReducesDenseFlips(t *testing.T) {
+	// Alternating all-zeros / all-ones: raw cost 32 per transfer,
+	// bus-invert cost ~1 (invert line only).
+	words := make([]uint32, 100)
+	for i := range words {
+		if i%2 == 1 {
+			words[i] = 0xffffffff
+		}
+	}
+	raw := uint64(bitline.WordTransitions(words))
+	enc := Encode(words, 32)
+	if enc >= raw/10 {
+		t.Errorf("bus-invert %d vs raw %d", enc, raw)
+	}
+}
+
+func TestBusInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	words := make([]uint32, 300)
+	for i := range words {
+		words[i] = rng.Uint32()
+	}
+	bi := NewBusInvert(32)
+	driven := make([]uint32, len(words))
+	inverted := make([]bool, len(words))
+	for i, w := range words {
+		driven[i], inverted[i] = bi.Transfer(w)
+	}
+	got := Decode(driven, inverted, 32)
+	for i := range words {
+		if got[i] != words[i] {
+			t.Fatalf("word %d: %#x != %#x", i, got[i], words[i])
+		}
+	}
+}
+
+func TestBusInvertCountsInvertLine(t *testing.T) {
+	bi := NewBusInvert(4)
+	bi.Transfer(0b0000)
+	bi.Transfer(0b1111) // inverted -> drive 0000, invert line flips
+	if bi.DataTransitions() != 0 || bi.InvertTransitions() != 1 {
+		t.Errorf("data=%d invert=%d", bi.DataTransitions(), bi.InvertTransitions())
+	}
+	if bi.Total() != 1 || bi.Words() != 2 {
+		t.Errorf("total=%d words=%d", bi.Total(), bi.Words())
+	}
+}
+
+func TestBusInvertTieNotInverted(t *testing.T) {
+	// Exactly half the lines flipping must not invert (strict majority).
+	bi := NewBusInvert(4)
+	bi.Transfer(0b0000)
+	v, inv := bi.Transfer(0b0011)
+	if inv || v != 0b0011 {
+		t.Errorf("tie inverted: %#b, %v", v, inv)
+	}
+}
+
+func TestWidthClamp(t *testing.T) {
+	if NewBusInvert(0).width != 1 || NewBusInvert(64).width != 32 {
+		t.Error("width not clamped")
+	}
+}
+
+func TestEncodeNeverMuchWorseThanRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	words := make([]uint32, 500)
+	for i := range words {
+		words[i] = rng.Uint32()
+	}
+	raw := uint64(bitline.WordTransitions(words))
+	enc := Encode(words, 32)
+	// Bus-invert's worst case adds only the invert-line transitions.
+	if enc > raw+uint64(len(words)) {
+		t.Errorf("bus-invert %d vs raw %d", enc, raw)
+	}
+}

@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// This file models dictionary-based instruction compression, the related-
+// work class the paper's Section 3 argues against (cf. Lekatsas et al.,
+// DAC 2000): the most frequent instructions are replaced by short indices
+// into a decompression table at the processor side. On the bus, a hit
+// drives only the index lines (plus a hit flag) and leaves the remaining
+// lines holding their previous values; a miss drives the raw word. The
+// comparison the paper cares about: the scheme needs a full dictionary
+// SRAM lookup in the fetch path (entries x 32 bits), where the functional
+// transformations need one gate and a 3-bit selector per line.
+
+// Dictionary is an instruction-compression coder and bus-transition model.
+type Dictionary struct {
+	index   map[uint32]uint32 // word -> index
+	words   []uint32          // index -> word
+	idxBits int
+	last    uint32 // data-line state
+	lastHit bool
+	started bool
+	trans   uint64
+	hits    uint64
+	misses  uint64
+}
+
+// BuildDictionary selects the `entries` dynamically most frequent
+// instruction words (profile weights, static tie-break by first
+// appearance) of a program.
+func BuildDictionary(text []uint32, profile []uint64, entries int) *Dictionary {
+	if entries < 1 {
+		entries = 1
+	}
+	type cand struct {
+		word  uint32
+		count uint64
+		first int
+	}
+	byWord := map[uint32]*cand{}
+	order := []*cand{}
+	for i, w := range text {
+		c := byWord[w]
+		if c == nil {
+			c = &cand{word: w, first: i}
+			byWord[w] = c
+			order = append(order, c)
+		}
+		if i < len(profile) {
+			c.count += profile[i]
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if order[a].count != order[b].count {
+			return order[a].count > order[b].count
+		}
+		return order[a].first < order[b].first
+	})
+	if entries > len(order) {
+		entries = len(order)
+	}
+	d := &Dictionary{index: make(map[uint32]uint32, entries)}
+	for i := 0; i < entries; i++ {
+		d.index[order[i].word] = uint32(i)
+		d.words = append(d.words, order[i].word)
+	}
+	d.idxBits = bits.Len(uint(entries - 1))
+	if d.idxBits == 0 {
+		d.idxBits = 1
+	}
+	return d
+}
+
+// Entries returns the dictionary size.
+func (d *Dictionary) Entries() int { return len(d.words) }
+
+// IndexBits returns the width of the index field on the bus.
+func (d *Dictionary) IndexBits() int { return d.idxBits }
+
+// TableBits returns the decompression-table storage at the processor side
+// — the cost the paper's technique avoids.
+func (d *Dictionary) TableBits() int { return len(d.words) * 32 }
+
+// Lookup decompresses an index back to its instruction word.
+func (d *Dictionary) Lookup(idx uint32) (uint32, bool) {
+	if int(idx) >= len(d.words) {
+		return 0, false
+	}
+	return d.words[idx], true
+}
+
+// Transfer transmits one instruction fetch under the compression scheme
+// and accumulates bus transitions (data lines plus the hit flag line). It
+// returns whether the word hit the dictionary.
+func (d *Dictionary) Transfer(word uint32) bool {
+	idx, hit := d.index[word]
+	var drive uint32
+	var mask uint32
+	if hit {
+		d.hits++
+		mask = 1<<uint(d.idxBits) - 1
+		drive = idx & mask
+	} else {
+		d.misses++
+		mask = ^uint32(0)
+		drive = word
+	}
+	if !d.started {
+		d.started = true
+		d.last = drive & mask
+		d.lastHit = hit
+		return hit
+	}
+	next := d.last&^mask | drive&mask // undriven lines hold their value
+	d.trans += uint64(bits.OnesCount32(next ^ d.last))
+	if hit != d.lastHit {
+		d.trans++
+	}
+	d.last, d.lastHit = next, hit
+	return hit
+}
+
+// Transitions returns the accumulated bus transitions (incl. the hit line).
+func (d *Dictionary) Transitions() uint64 { return d.trans }
+
+// HitRate returns the fraction of fetches served by the dictionary, in
+// percent.
+func (d *Dictionary) HitRate() float64 {
+	total := d.hits + d.misses
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(d.hits) / float64(total)
+}

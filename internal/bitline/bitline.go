@@ -1,0 +1,123 @@
+// Package bitline manipulates the "vertical" bit streams of the paper: the
+// sequence formed by bit position j of successive words travelling over an
+// instruction-memory data bus. Power on a bus line is proportional to the
+// number of 0<->1 transitions of that line, so the encoder operates on one
+// vertical stream per line, independently of all the others.
+package bitline
+
+import "math/bits"
+
+// Extract returns the vertical bit stream of bit position line across the
+// word sequence: element i is bit line of words[i], in transmission order.
+// line must be in [0, 64).
+func Extract(words []uint32, line int) []uint8 {
+	s := make([]uint8, len(words))
+	for i, w := range words {
+		s[i] = uint8(w>>uint(line)) & 1
+	}
+	return s
+}
+
+// ExtractAll returns all width vertical streams of the word sequence,
+// indexed by line. It is equivalent to calling Extract for each line but
+// walks the words once.
+func ExtractAll(words []uint32, width int) [][]uint8 {
+	streams := make([][]uint8, width)
+	flat := make([]uint8, width*len(words))
+	for j := range streams {
+		streams[j], flat = flat[:len(words)], flat[len(words):]
+	}
+	for i, w := range words {
+		for j := 0; j < width; j++ {
+			streams[j][i] = uint8(w>>uint(j)) & 1
+		}
+	}
+	return streams
+}
+
+// Assemble is the inverse of ExtractAll: it rebuilds the word sequence from
+// per-line vertical streams. All streams must have equal length; streams
+// beyond index 31 are ignored (words are 32 bits wide).
+func Assemble(streams [][]uint8) []uint32 {
+	if len(streams) == 0 {
+		return nil
+	}
+	n := len(streams[0])
+	words := make([]uint32, n)
+	for j, s := range streams {
+		if j >= 32 {
+			break
+		}
+		for i := 0; i < n; i++ {
+			words[i] |= uint32(s[i]&1) << uint(j)
+		}
+	}
+	return words
+}
+
+// Transitions counts the number of 0<->1 transitions in a single vertical
+// bit stream, i.e. the number of adjacent positions that differ.
+func Transitions(stream []uint8) int {
+	n := 0
+	for i := 1; i < len(stream); i++ {
+		if stream[i]&1 != stream[i-1]&1 {
+			n++
+		}
+	}
+	return n
+}
+
+// WordTransitions counts the total bus transitions caused by transmitting
+// the word sequence: the sum over adjacent word pairs of their Hamming
+// distance. This equals the sum of Transitions over all 32 vertical
+// streams.
+func WordTransitions(words []uint32) int {
+	n := 0
+	for i := 1; i < len(words); i++ {
+		n += bits.OnesCount32(words[i] ^ words[i-1])
+	}
+	return n
+}
+
+// PerLineTransitions returns the transition count of each of the width bus
+// lines over the word sequence.
+func PerLineTransitions(words []uint32, width int) []int {
+	counts := make([]int, width)
+	for i := 1; i < len(words); i++ {
+		diff := words[i] ^ words[i-1]
+		for j := 0; j < width; j++ {
+			counts[j] += int(diff>>uint(j)) & 1
+		}
+	}
+	return counts
+}
+
+// BitString formats a vertical stream with the paper's convention: the
+// first-transmitted bit appears rightmost.
+func BitString(stream []uint8) string {
+	b := make([]byte, len(stream))
+	for i, v := range stream {
+		b[len(stream)-1-i] = '0' + v&1
+	}
+	return string(b)
+}
+
+// FromBitString parses a paper-convention bit string (first-transmitted bit
+// rightmost) into a vertical stream. Any rune other than '0' and '1' is
+// ignored, so tables may include spacing.
+func FromBitString(s string) []uint8 {
+	var rev []uint8
+	for _, r := range s {
+		switch r {
+		case '0':
+			rev = append(rev, 0)
+		case '1':
+			rev = append(rev, 1)
+		}
+	}
+	out := make([]uint8, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}

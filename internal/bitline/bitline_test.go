@@ -1,0 +1,130 @@
+package bitline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestExtract(t *testing.T) {
+	words := []uint32{0b1010, 0b0110, 0b1111}
+	if got := Extract(words, 0); !reflect.DeepEqual(got, []uint8{0, 0, 1}) {
+		t.Errorf("line 0 = %v", got)
+	}
+	if got := Extract(words, 1); !reflect.DeepEqual(got, []uint8{1, 1, 1}) {
+		t.Errorf("line 1 = %v", got)
+	}
+	if got := Extract(words, 3); !reflect.DeepEqual(got, []uint8{1, 0, 1}) {
+		t.Errorf("line 3 = %v", got)
+	}
+	if got := Extract(words, 31); !reflect.DeepEqual(got, []uint8{0, 0, 0}) {
+		t.Errorf("line 31 = %v", got)
+	}
+}
+
+func TestExtractAllMatchesExtract(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	words := make([]uint32, 100)
+	for i := range words {
+		words[i] = rng.Uint32()
+	}
+	all := ExtractAll(words, 32)
+	if len(all) != 32 {
+		t.Fatalf("got %d streams", len(all))
+	}
+	for j := 0; j < 32; j++ {
+		if !reflect.DeepEqual(all[j], Extract(words, j)) {
+			t.Errorf("line %d mismatch", j)
+		}
+	}
+}
+
+func TestAssembleInverseOfExtractAll(t *testing.T) {
+	err := quick.Check(func(words []uint32) bool {
+		got := Assemble(ExtractAll(words, 32))
+		if len(got) != len(words) {
+			return false
+		}
+		for i := range got {
+			if got[i] != words[i] {
+				return false
+			}
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssembleEmpty(t *testing.T) {
+	if got := Assemble(nil); got != nil {
+		t.Errorf("Assemble(nil) = %v", got)
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	cases := []struct {
+		in   []uint8
+		want int
+	}{
+		{nil, 0},
+		{[]uint8{1}, 0},
+		{[]uint8{1, 1, 1}, 0},
+		{[]uint8{0, 1, 0, 1}, 3},
+		{[]uint8{1, 0, 0, 0}, 1},
+		{[]uint8{0, 0, 1, 1, 0}, 2},
+	}
+	for _, c := range cases {
+		if got := Transitions(c.in); got != c.want {
+			t.Errorf("Transitions(%v) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWordTransitionsEqualsSumOfLines(t *testing.T) {
+	err := quick.Check(func(words []uint32) bool {
+		sum := 0
+		for j := 0; j < 32; j++ {
+			sum += Transitions(Extract(words, j))
+		}
+		return sum == WordTransitions(words)
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPerLineTransitions(t *testing.T) {
+	words := []uint32{0b00, 0b01, 0b11, 0b10}
+	got := PerLineTransitions(words, 2)
+	// line 0: 0,1,1,0 -> 2 transitions; line 1: 0,0,1,1 -> 1.
+	if !reflect.DeepEqual(got, []int{2, 1}) {
+		t.Errorf("PerLineTransitions = %v", got)
+	}
+	total := 0
+	for _, n := range PerLineTransitions(words, 32) {
+		total += n
+	}
+	if total != WordTransitions(words) {
+		t.Errorf("per-line sum %d != word transitions %d", total, WordTransitions(words))
+	}
+}
+
+func TestBitStringRoundTrip(t *testing.T) {
+	s := []uint8{0, 1, 1, 0, 1}
+	str := BitString(s)
+	if str != "10110" { // first-transmitted bit rightmost
+		t.Fatalf("BitString = %q", str)
+	}
+	if got := FromBitString(str); !reflect.DeepEqual(got, s) {
+		t.Errorf("round trip = %v, want %v", got, s)
+	}
+	if got := FromBitString("1 0110"); !reflect.DeepEqual(got, s) {
+		t.Errorf("spacing not ignored: %v", got)
+	}
+	if got := FromBitString(""); len(got) != 0 {
+		t.Errorf("empty parse = %v", got)
+	}
+}

@@ -1,0 +1,383 @@
+// Package cfg recovers the control-flow structure of an MR32 text segment:
+// basic blocks, the control-flow graph, dominators, and natural loops. The
+// power-encoding methodology of the paper operates on the basic blocks of
+// the hottest application loops, and encoded blocks must never span basic
+// block boundaries, so this analysis determines exactly which instruction
+// ranges the encoder may transform.
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"imtrans/internal/isa"
+)
+
+// Block is a maximal straight-line instruction sequence: control enters at
+// the first instruction and leaves only after the last.
+type Block struct {
+	Index  int    // position within Graph.Blocks
+	Start  uint32 // address of the first instruction
+	Count  int    // number of instructions
+	Succs  []int  // successor block indices (static CFG edges)
+	Term   isa.Op // control-transfer op ending the block, or OpInvalid for fallthrough
+	Indir  bool   // ends in an indirect jump (jr/jalr): successors unknowable statically
+	IsExit bool   // ends in the program-exit syscall pattern
+}
+
+// End returns the address one past the block's last instruction.
+func (b Block) End() uint32 { return b.Start + uint32(4*b.Count) }
+
+// Graph is the control-flow graph of one program.
+type Graph struct {
+	Base    uint32
+	Words   []uint32
+	Blocks  []Block
+	byStart map[uint32]int
+}
+
+// Build decodes the program and partitions it into basic blocks.
+func Build(base uint32, words []uint32) (*Graph, error) {
+	n := len(words)
+	if n == 0 {
+		return nil, fmt.Errorf("cfg: empty program")
+	}
+	insts := make([]isa.Inst, n)
+	for i, w := range words {
+		in, err := isa.Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("cfg: word %d: %w", i, err)
+		}
+		insts[i] = in
+	}
+	// Leaders: entry, branch/jump targets, and instructions following a
+	// control transfer.
+	leader := make([]bool, n)
+	leader[0] = true
+	for i, in := range insts {
+		if !in.Op.IsControl() {
+			continue
+		}
+		if i+1 < n {
+			leader[i+1] = true
+		}
+		if t, ok := staticTarget(base, uint32(i), in); ok {
+			ti := int(t-base) / 4
+			if ti >= 0 && ti < n {
+				leader[ti] = true
+			}
+		}
+	}
+	g := &Graph{Base: base, Words: append([]uint32(nil), words...), byStart: make(map[uint32]int)}
+	for i := 0; i < n; i++ {
+		if !leader[i] {
+			continue
+		}
+		end := i + 1
+		for end < n && !leader[end] {
+			end++
+		}
+		// A block also terminates at its own control instruction (which,
+		// by leader construction, is always its last instruction).
+		b := Block{
+			Index: len(g.Blocks),
+			Start: base + uint32(4*i),
+			Count: end - i,
+		}
+		last := insts[end-1]
+		if last.Op.IsControl() {
+			b.Term = last.Op
+		}
+		g.byStart[b.Start] = b.Index
+		g.Blocks = append(g.Blocks, b)
+		i = end - 1
+	}
+	// Successor edges.
+	for bi := range g.Blocks {
+		b := &g.Blocks[bi]
+		lastIdx := int(b.End()-base)/4 - 1
+		last := insts[lastIdx]
+		addSucc := func(addr uint32) {
+			if si, ok := g.byStart[addr]; ok {
+				b.Succs = append(b.Succs, si)
+			}
+		}
+		switch {
+		case last.Op == isa.OpJR || last.Op == isa.OpJALR:
+			b.Indir = true
+		case last.Op == isa.OpSYSCALL || last.Op == isa.OpBREAK:
+			b.IsExit = true
+			// A non-exit syscall (I/O) falls through.
+			addSucc(b.End())
+		case last.Op.IsJump(): // j / jal
+			if t, ok := staticTarget(base, uint32(lastIdx), last); ok {
+				addSucc(t)
+			}
+		case last.Op.IsBranch():
+			if t, ok := staticTarget(base, uint32(lastIdx), last); ok {
+				addSucc(t)
+			}
+			addSucc(b.End()) // not-taken path
+		default: // fallthrough block
+			addSucc(b.End())
+		}
+	}
+	return g, nil
+}
+
+// staticTarget computes the statically known control-transfer target of the
+// instruction at word index idx, if it has one.
+func staticTarget(base uint32, idx uint32, in isa.Inst) (uint32, bool) {
+	pc := base + 4*idx
+	switch {
+	case in.Op.IsBranch():
+		return pc + 4 + uint32(in.Imm)<<2, true
+	case in.Op == isa.OpJ || in.Op == isa.OpJAL:
+		return (pc+4)&0xf0000000 | in.Target<<2, true
+	}
+	return 0, false
+}
+
+// BlockAt returns the index of the block starting at addr.
+func (g *Graph) BlockAt(addr uint32) (int, bool) {
+	i, ok := g.byStart[addr]
+	return i, ok
+}
+
+// BlockContaining returns the index of the block containing addr.
+func (g *Graph) BlockContaining(addr uint32) (int, bool) {
+	if addr < g.Base || addr >= g.Base+uint32(4*len(g.Words)) {
+		return 0, false
+	}
+	// Blocks are sorted by start address by construction.
+	i := sort.Search(len(g.Blocks), func(i int) bool { return g.Blocks[i].Start > addr })
+	if i == 0 {
+		return 0, false
+	}
+	b := g.Blocks[i-1]
+	if addr >= b.Start && addr < b.End() {
+		return i - 1, true
+	}
+	return 0, false
+}
+
+// Instructions returns the machine words of block bi.
+func (g *Graph) Instructions(bi int) []uint32 {
+	b := g.Blocks[bi]
+	start := int(b.Start-g.Base) / 4
+	return g.Words[start : start+b.Count]
+}
+
+// Dominators computes the immediate-dominator-free dominator sets with the
+// classic iterative data-flow algorithm. dom[i] is a bitset over block
+// indices. Unreachable blocks dominate themselves only.
+func (g *Graph) Dominators() []bitset {
+	n := len(g.Blocks)
+	preds := make([][]int, n)
+	for i, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], i)
+		}
+	}
+	full := newBitset(n)
+	for i := 0; i < n; i++ {
+		full.set(i)
+	}
+	dom := make([]bitset, n)
+	for i := range dom {
+		if i == 0 {
+			dom[i] = newBitset(n)
+			dom[i].set(0)
+		} else {
+			dom[i] = full.clone()
+		}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for i := 1; i < n; i++ {
+			nd := full.clone()
+			any := false
+			for _, p := range preds[i] {
+				nd.intersect(dom[p])
+				any = true
+			}
+			if !any {
+				nd = newBitset(n)
+			}
+			nd.set(i)
+			if !nd.equal(dom[i]) {
+				dom[i] = nd
+				changed = true
+			}
+		}
+	}
+	return dom
+}
+
+// Loop is a natural loop: the head block plus every block that can reach
+// the back edge's source without passing through the head.
+type Loop struct {
+	Head   int   // header block index
+	Blocks []int // member block indices, ascending, including Head
+}
+
+// NaturalLoops detects loops from back edges (edges whose target dominates
+// their source). Loops sharing a header are merged, matching the usual
+// convention.
+func (g *Graph) NaturalLoops() []Loop {
+	dom := g.Dominators()
+	n := len(g.Blocks)
+	preds := make([][]int, n)
+	for i, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], i)
+		}
+	}
+	members := map[int]map[int]bool{} // head -> set of blocks
+	for i, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !dom[i].has(s) {
+				continue // not a back edge
+			}
+			set := members[s]
+			if set == nil {
+				set = map[int]bool{s: true}
+				members[s] = set
+			}
+			// Walk predecessors backwards from the edge source.
+			stack := []int{i}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if set[x] {
+					continue
+				}
+				set[x] = true
+				stack = append(stack, preds[x]...)
+			}
+		}
+	}
+	heads := make([]int, 0, len(members))
+	for h := range members {
+		heads = append(heads, h)
+	}
+	sort.Ints(heads)
+	loops := make([]Loop, 0, len(heads))
+	for _, h := range heads {
+		l := Loop{Head: h}
+		for b := range members[h] {
+			l.Blocks = append(l.Blocks, b)
+		}
+		sort.Ints(l.Blocks)
+		loops = append(loops, l)
+	}
+	return loops
+}
+
+// OutermostLoops returns the maximal natural loops — those not nested
+// inside another loop. Each corresponds to one application hot spot in the
+// paper's sense: the unit before which firmware would reprogram the
+// decoder tables.
+func (g *Graph) OutermostLoops() []Loop {
+	loops := g.NaturalLoops()
+	sets := make([]map[int]bool, len(loops))
+	for i, l := range loops {
+		sets[i] = make(map[int]bool, len(l.Blocks))
+		for _, b := range l.Blocks {
+			sets[i][b] = true
+		}
+	}
+	var out []Loop
+	for i, l := range loops {
+		nested := false
+		for j, other := range loops {
+			if i == j || !containsAll(sets[j], l.Blocks) {
+				continue
+			}
+			// l's blocks all lie inside other. Strictly smaller means
+			// properly nested; equal sets (possible only in irreducible
+			// shapes) keep the loop with the smaller header.
+			if len(other.Blocks) > len(l.Blocks) ||
+				len(other.Blocks) == len(l.Blocks) && other.Head < l.Head {
+				nested = true
+				break
+			}
+		}
+		if !nested {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func containsAll(set map[int]bool, blocks []int) bool {
+	for _, b := range blocks {
+		if !set[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// BlockHeat returns, for each block, the total number of dynamic
+// instructions it contributed according to the per-instruction profile
+// (indexed like Words).
+func (g *Graph) BlockHeat(profile []uint64) []uint64 {
+	heat := make([]uint64, len(g.Blocks))
+	for bi, b := range g.Blocks {
+		start := int(b.Start-g.Base) / 4
+		for i := 0; i < b.Count && start+i < len(profile); i++ {
+			heat[bi] += profile[start+i]
+		}
+	}
+	return heat
+}
+
+// HotBlocks returns block indices sorted by descending heat, hottest
+// first, excluding blocks that never executed.
+func (g *Graph) HotBlocks(profile []uint64) []int {
+	heat := g.BlockHeat(profile)
+	idx := make([]int, 0, len(heat))
+	for i, h := range heat {
+		if h > 0 {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		if heat[idx[a]] != heat[idx[b]] {
+			return heat[idx[a]] > heat[idx[b]]
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// bitset is a minimal fixed-size bit vector.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)      { b[i/64] |= 1 << uint(i%64) }
+func (b bitset) has(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) intersect(o bitset) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+func (b bitset) equal(o bitset) bool {
+	for i := range b {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,300 @@
+package cfg
+
+import (
+	"reflect"
+	"testing"
+
+	"imtrans/internal/asm"
+	"imtrans/internal/isa"
+	"imtrans/internal/mem"
+)
+
+func build(t *testing.T, src string) *Graph {
+	t.Helper()
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	g, err := Build(obj.TextBase, obj.TextWords)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+func TestStraightLineSingleBlock(t *testing.T) {
+	g := build(t, `
+		addiu $t0, $zero, 1
+		addiu $t1, $zero, 2
+		addu  $t2, $t0, $t1
+		li $v0, 10
+		syscall
+	`)
+	if len(g.Blocks) != 1 {
+		t.Fatalf("%d blocks, want 1", len(g.Blocks))
+	}
+	b := g.Blocks[0]
+	if b.Count != 5 || b.Term != isa.OpSYSCALL || !b.IsExit {
+		t.Errorf("block = %+v", b)
+	}
+}
+
+func TestLoopStructure(t *testing.T) {
+	g := build(t, `
+		li $t0, 10        # B0: 2 instructions (li -> 1 word here)
+	loop:
+		addiu $t0, $t0, -1  # B1
+		bgtz $t0, loop
+		li $v0, 10          # B2
+		syscall
+	`)
+	if len(g.Blocks) != 3 {
+		t.Fatalf("%d blocks, want 3: %+v", len(g.Blocks), g.Blocks)
+	}
+	// B0 falls through to B1.
+	if !reflect.DeepEqual(g.Blocks[0].Succs, []int{1}) {
+		t.Errorf("B0 succs = %v", g.Blocks[0].Succs)
+	}
+	// B1 branches to itself or falls to B2.
+	succs := g.Blocks[1].Succs
+	if len(succs) != 2 || succs[0] != 1 || succs[1] != 2 {
+		t.Errorf("B1 succs = %v", succs)
+	}
+	loops := g.NaturalLoops()
+	if len(loops) != 1 {
+		t.Fatalf("loops = %+v", loops)
+	}
+	if loops[0].Head != 1 || !reflect.DeepEqual(loops[0].Blocks, []int{1}) {
+		t.Errorf("loop = %+v", loops[0])
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	g := build(t, `
+		li $s0, 3
+	outer:
+		li $s1, 4
+	inner:
+		addiu $s1, $s1, -1
+		bgtz $s1, inner
+		addiu $s0, $s0, -1
+		bgtz $s0, outer
+		li $v0, 10
+		syscall
+	`)
+	loops := g.NaturalLoops()
+	if len(loops) != 2 {
+		t.Fatalf("%d loops: %+v", len(loops), loops)
+	}
+	// The inner loop is a single block; the outer loop contains it.
+	var inner, outer Loop
+	for _, l := range loops {
+		if len(l.Blocks) == 1 {
+			inner = l
+		} else {
+			outer = l
+		}
+	}
+	if len(inner.Blocks) != 1 {
+		t.Fatalf("no single-block inner loop: %+v", loops)
+	}
+	found := false
+	for _, b := range outer.Blocks {
+		if b == inner.Head {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("outer loop %v does not contain inner head %d", outer.Blocks, inner.Head)
+	}
+}
+
+func TestOutermostLoops(t *testing.T) {
+	g := build(t, `
+		li $s0, 3
+	outer:
+		li $s1, 4
+	inner:
+		addiu $s1, $s1, -1
+		bgtz $s1, inner
+		addiu $s0, $s0, -1
+		bgtz $s0, outer
+		li $t0, 5
+	second:
+		addiu $t0, $t0, -1
+		bgtz $t0, second
+		li $v0, 10
+		syscall
+	`)
+	all := g.NaturalLoops()
+	if len(all) != 3 {
+		t.Fatalf("%d natural loops, want 3 (outer, inner, second)", len(all))
+	}
+	outer := g.OutermostLoops()
+	if len(outer) != 2 {
+		t.Fatalf("%d outermost loops, want 2: %+v", len(outer), outer)
+	}
+	// One of them must contain more than one block (the nest), and the
+	// nested inner loop must not appear on its own.
+	sizes := map[int]bool{}
+	for _, l := range outer {
+		sizes[len(l.Blocks)] = true
+	}
+	if !sizes[1] {
+		t.Errorf("standalone loop missing: %+v", outer)
+	}
+	multi := false
+	for _, l := range outer {
+		if len(l.Blocks) > 1 {
+			multi = true
+		}
+	}
+	if !multi {
+		t.Errorf("loop nest collapsed: %+v", outer)
+	}
+}
+
+func TestOutermostLoopsSingle(t *testing.T) {
+	g := build(t, `
+	loop:
+		addiu $t0, $t0, -1
+		bgtz $t0, loop
+		li $v0, 10
+		syscall
+	`)
+	out := g.OutermostLoops()
+	if len(out) != 1 {
+		t.Errorf("outermost = %+v", out)
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	g := build(t, `
+		beq $t0, $zero, else
+		addiu $t1, $zero, 1
+		j join
+	else:
+		addiu $t1, $zero, 2
+	join:
+		li $v0, 10
+		syscall
+	`)
+	if len(g.Blocks) != 4 {
+		t.Fatalf("%d blocks: %+v", len(g.Blocks), g.Blocks)
+	}
+	dom := g.Dominators()
+	// Entry dominates everything; join (block 3) is dominated by entry only
+	// (besides itself).
+	for i := range g.Blocks {
+		if !dom[i].has(0) {
+			t.Errorf("block %d not dominated by entry", i)
+		}
+	}
+	if dom[3].has(1) || dom[3].has(2) {
+		t.Error("join wrongly dominated by a branch arm")
+	}
+	if len(g.NaturalLoops()) != 0 {
+		t.Error("acyclic graph reported loops")
+	}
+}
+
+func TestIndirectJump(t *testing.T) {
+	g := build(t, `
+		jal sub
+		li $v0, 10
+		syscall
+	sub:
+		jr $ra
+	`)
+	var jrBlock *Block
+	for i := range g.Blocks {
+		if g.Blocks[i].Term == isa.OpJR {
+			jrBlock = &g.Blocks[i]
+		}
+	}
+	if jrBlock == nil || !jrBlock.Indir || len(jrBlock.Succs) != 0 {
+		t.Errorf("jr block = %+v", jrBlock)
+	}
+}
+
+func TestBlockContainingAndInstructions(t *testing.T) {
+	g := build(t, `
+		nop
+		nop
+		beq $zero, $zero, l
+		nop
+	l:	li $v0, 10
+		syscall
+	`)
+	bi, ok := g.BlockContaining(g.Base + 4)
+	if !ok || bi != 0 {
+		t.Errorf("BlockContaining(base+4) = %d,%v", bi, ok)
+	}
+	if _, ok := g.BlockContaining(g.Base - 4); ok {
+		t.Error("address below text accepted")
+	}
+	if _, ok := g.BlockContaining(g.Base + uint32(4*len(g.Words))); ok {
+		t.Error("address past text accepted")
+	}
+	words := g.Instructions(0)
+	if len(words) != g.Blocks[0].Count {
+		t.Errorf("Instructions len %d", len(words))
+	}
+	if bi, ok := g.BlockAt(g.Blocks[1].Start); !ok || bi != 1 {
+		t.Errorf("BlockAt = %d,%v", bi, ok)
+	}
+}
+
+func TestHeatAndHotBlocks(t *testing.T) {
+	g := build(t, `
+		li $t0, 5
+	loop:
+		addiu $t0, $t0, -1
+		bgtz $t0, loop
+		li $v0, 10
+		syscall
+	`)
+	profile := make([]uint64, len(g.Words))
+	// Simulate: block 0 once, block 1 five times, block 2 once.
+	profile[0] = 1
+	profile[1], profile[2] = 5, 5
+	profile[3], profile[4] = 1, 1
+	heat := g.BlockHeat(profile)
+	if heat[0] != 1 || heat[1] != 10 || heat[2] != 2 {
+		t.Errorf("heat = %v", heat)
+	}
+	hot := g.HotBlocks(profile)
+	if !reflect.DeepEqual(hot, []int{1, 2, 0}) {
+		t.Errorf("hot = %v", hot)
+	}
+	// Zero-heat blocks are excluded.
+	profile[0] = 0
+	hot = g.HotBlocks(profile)
+	if !reflect.DeepEqual(hot, []int{1, 2}) {
+		t.Errorf("hot = %v", hot)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(mem.TextBase, nil); err == nil {
+		t.Error("empty program accepted")
+	}
+	if _, err := Build(mem.TextBase, []uint32{0xffffffff}); err == nil {
+		t.Error("undecodable word accepted")
+	}
+}
+
+func TestBranchToMiddleCreatesLeader(t *testing.T) {
+	g := build(t, `
+		nop
+		nop
+	target:
+		nop
+		beq $zero, $zero, target
+		li $v0, 10
+		syscall
+	`)
+	if _, ok := g.BlockAt(g.Base + 8); !ok {
+		t.Error("branch target did not start a block")
+	}
+}

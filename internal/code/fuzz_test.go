@@ -1,0 +1,49 @@
+package code
+
+import (
+	"testing"
+
+	"imtrans/internal/transform"
+)
+
+// FuzzEncodeChain checks the two core invariants of the power code on
+// arbitrary streams and block sizes: lossless decode and the worst-case
+// guarantee (never more transitions than the original).
+func FuzzEncodeChain(f *testing.F) {
+	f.Add([]byte{}, uint8(5))
+	f.Add([]byte{1}, uint8(2))
+	f.Add([]byte{0, 1, 0, 1, 0, 1}, uint8(5))
+	f.Add([]byte{1, 1, 0, 0, 1, 0, 1, 1, 0}, uint8(3))
+	f.Add([]byte{0xff, 0x00, 0xaa}, uint8(7))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw uint8) {
+		k := 2 + int(kRaw%(MaxBlockSize-1))
+		stream := make([]uint8, len(raw))
+		for i, b := range raw {
+			stream[i] = b & 1
+		}
+		for _, strat := range []Strategy{Greedy, Exact} {
+			ch, err := EncodeChain(stream, k, transform.Canonical8, strat)
+			if err != nil {
+				t.Fatalf("k=%d %v: %v", k, strat, err)
+			}
+			dec := ch.Decode()
+			if len(dec) != len(stream) {
+				t.Fatalf("k=%d %v: length %d -> %d", k, strat, len(stream), len(dec))
+			}
+			for i := range stream {
+				if dec[i] != stream[i] {
+					t.Fatalf("k=%d %v: bit %d corrupted", k, strat, i)
+				}
+			}
+			orig := 0
+			for i := 1; i < len(stream); i++ {
+				if stream[i] != stream[i-1] {
+					orig++
+				}
+			}
+			if ch.Transitions() > orig {
+				t.Fatalf("k=%d %v: %d transitions > original %d", k, strat, ch.Transitions(), orig)
+			}
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package code
+
+import (
+	"math/rand"
+	"testing"
+
+	"imtrans/internal/transform"
+)
+
+func TestFunc2Eval(t *testing.T) {
+	// tau(x,y1,y2) = x XOR y1: truth bits set where x^y1 = 1.
+	var f Func2
+	for x := uint8(0); x < 2; x++ {
+		for y1 := uint8(0); y1 < 2; y1++ {
+			for y2 := uint8(0); y2 < 2; y2++ {
+				if x^y1 == 1 {
+					f |= 1 << (x<<2 | y1<<1 | y2)
+				}
+			}
+		}
+	}
+	for x := uint8(0); x < 2; x++ {
+		for y1 := uint8(0); y1 < 2; y1++ {
+			for y2 := uint8(0); y2 < 2; y2++ {
+				if f.Eval2(x, y1, y2) != x^y1 {
+					t.Fatalf("Eval2(%d,%d,%d) = %d", x, y1, y2, f.Eval2(x, y1, y2))
+				}
+			}
+		}
+	}
+	if f.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSolveTau2RoundTrip(t *testing.T) {
+	// For random words and feasible candidates, the returned function must
+	// actually decode the candidate back to the word.
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 2000; trial++ {
+		k := 3 + rng.Intn(5)
+		b := uint32(rng.Intn(1 << uint(k)))
+		c := uint32(rng.Intn(1<<uint(k)))&^3 | b&3 // force passthrough prefix
+		fn, ok := solveTau2(c, b, k)
+		if !ok {
+			continue
+		}
+		// Decode c with fn and compare.
+		dec := b & 3
+		for i := 2; i < k; i++ {
+			x := uint8(c>>uint(i)) & 1
+			y1 := uint8(dec>>uint(i-1)) & 1
+			y2 := uint8(dec>>uint(i-2)) & 1
+			dec |= uint32(fn.Eval2(x, y1, y2)) << uint(i)
+		}
+		if dec != b {
+			t.Fatalf("k=%d b=%0*b c=%0*b fn=%v decoded %0*b", k, k, b, k, c, fn, k, dec)
+		}
+	}
+}
+
+func TestReduction2NeverWorseThanH1(t *testing.T) {
+	for k := 3; k <= 7; k++ {
+		h1, err := TheoreticalReduction(k, transform.All())
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, fns, err := Reduction2(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h2.TTN != h1.TTN {
+			t.Errorf("k=%d: TTN mismatch %d vs %d", k, h2.TTN, h1.TTN)
+		}
+		// One extra history bit can only relax the constraint system per
+		// bit position... note the h=2 system passes TWO bits through, so
+		// for tiny k it can actually be weaker; from k=4 on it must win
+		// or tie on RTN-per-word grounds is not guaranteed either. The
+		// meaningful invariant is validity: RTN <= TTN.
+		if h2.RTN > h2.TTN {
+			t.Errorf("k=%d: h2 RTN %d exceeds TTN %d", k, h2.RTN, h2.TTN)
+		}
+		if len(fns) == 0 || len(fns) > 256 {
+			t.Errorf("k=%d: %d functions used", k, len(fns))
+		}
+	}
+}
+
+func TestReduction2Bounds(t *testing.T) {
+	if _, _, err := Reduction2(2); err == nil {
+		t.Error("k=2 accepted for h=2")
+	}
+	if _, _, err := Reduction2(MaxTableBlockSize + 1); err == nil {
+		t.Error("oversize k accepted")
+	}
+}
+
+func TestCompareHistoryDepths(t *testing.T) {
+	rows, err := CompareHistoryDepths(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.H1.TTN != r.H2.TTN {
+			t.Errorf("k=%d: TTN differ", r.K)
+		}
+		if r.ExtraPercent != r.H2.Improvement-r.H1.Improvement {
+			t.Errorf("k=%d: ExtraPercent inconsistent", r.K)
+		}
+	}
+	if _, err := CompareHistoryDepths(MaxTableBlockSize + 1); err == nil {
+		t.Error("oversize maxK accepted")
+	}
+}

@@ -1,0 +1,414 @@
+// Package core assembles the paper's contribution end-to-end: given a
+// program, its control-flow graph and an execution profile, it selects the
+// hottest basic blocks under the Transformation Table budget, encodes each
+// block's vertical bit streams with the power-efficient functional
+// transformations, and produces the encoded memory image plus the per-block
+// transformation plans that parameterise the fetch-side decoder hardware.
+package core
+
+import (
+	"fmt"
+
+	"imtrans/internal/bitline"
+	"imtrans/internal/cfg"
+	"imtrans/internal/code"
+	"imtrans/internal/transform"
+)
+
+// Selection chooses how basic blocks compete for Transformation Table
+// capacity.
+type Selection int
+
+const (
+	// HeatGreedy admits blocks hottest-first while they fit — the
+	// paper's implicit policy (cover the major loop, skip cold blocks).
+	HeatGreedy Selection = iota
+	// Knapsack solves the TT allocation exactly: blocks are items whose
+	// weight is their TT entry count and whose value is the estimated
+	// dynamic transition saving (per-execution static saving times
+	// execution count), subject to both the TT and BBIT capacities.
+	Knapsack
+)
+
+// String implements fmt.Stringer.
+func (s Selection) String() string {
+	switch s {
+	case HeatGreedy:
+		return "heat-greedy"
+	case Knapsack:
+		return "knapsack"
+	default:
+		return fmt.Sprintf("Selection(%d)", int(s))
+	}
+}
+
+// Config parameterises an encoding run. The zero value is completed by
+// defaults matching the paper's evaluation: block size 5, a 16-entry TT,
+// the canonical 8 transformations, greedy chaining, heat-greedy block
+// selection, a 32-bit bus.
+type Config struct {
+	BlockSize   int              // k, bits per encoded block (2..16)
+	TTEntries   int              // transformation-table capacity
+	BBITEntries int              // max basic blocks covered (BBIT capacity)
+	Funcs       []transform.Func // allowed transformation set
+	Strategy    code.Strategy    // chain-encoding strategy
+	Selection   Selection        // TT allocation policy
+	BusWidth    int              // instruction bus width in lines
+}
+
+// Defaults used for zero Config fields.
+const (
+	DefaultBlockSize   = 5
+	DefaultTTEntries   = 16
+	DefaultBBITEntries = 16
+	DefaultBusWidth    = 32
+)
+
+// WithDefaults returns c with zero fields replaced by the paper's values.
+func (c Config) WithDefaults() Config {
+	if c.BlockSize == 0 {
+		c.BlockSize = DefaultBlockSize
+	}
+	if c.TTEntries == 0 {
+		c.TTEntries = DefaultTTEntries
+	}
+	if c.BBITEntries == 0 {
+		c.BBITEntries = DefaultBBITEntries
+	}
+	if c.Funcs == nil {
+		c.Funcs = transform.Canonical8
+	}
+	if c.BusWidth == 0 {
+		c.BusWidth = DefaultBusWidth
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.BlockSize < 2 || c.BlockSize > code.MaxBlockSize {
+		return fmt.Errorf("core: block size %d out of range [2,%d]", c.BlockSize, code.MaxBlockSize)
+	}
+	if c.TTEntries < 1 {
+		return fmt.Errorf("core: TT needs at least one entry")
+	}
+	if c.BBITEntries < 1 {
+		return fmt.Errorf("core: BBIT needs at least one entry")
+	}
+	if c.BusWidth < 1 || c.BusWidth > 32 {
+		return fmt.Errorf("core: bus width %d out of range [1,32]", c.BusWidth)
+	}
+	if len(c.Funcs) == 0 {
+		return fmt.Errorf("core: empty transformation set")
+	}
+	return nil
+}
+
+// Plan is the encoding decision for one covered basic block: which TT
+// entries it owns and which transformation each entry selects per bus line.
+type Plan struct {
+	Block   int    // cfg block index
+	StartPC uint32 // first instruction address
+	Count   int    // instructions in the block
+	Heat    uint64 // dynamic instructions contributed (profile)
+
+	TTStart int // first TT entry allocated to this block
+	TTCount int // entries used (= chain blocks per line)
+	TailCT  int // instructions decoded under the last entry (the CT field)
+
+	// Taus[e][line] is the transformation of chain block e on the given
+	// bus line.
+	Taus [][]transform.Func
+
+	// Encoded holds the block's instruction words as stored in program
+	// memory after encoding.
+	Encoded []uint32
+
+	// OrigTransitions and CodeTransitions count the vertical bit
+	// transitions of the block before and after encoding (static view).
+	OrigTransitions int
+	CodeTransitions int
+}
+
+// Encoding is the result of planning a whole program.
+type Encoding struct {
+	Config Config
+	Graph  *cfg.Graph
+
+	Plans        []Plan
+	EncodedWords []uint32 // full text image with covered blocks replaced
+
+	TTUsed         int // TT entries consumed
+	CoveredDynamic uint64
+	TotalDynamic   uint64
+	StaticOriginal int // vertical transitions in covered blocks, before
+	StaticEncoded  int // and after encoding
+	SkippedByTT    int // hot blocks skipped for lack of TT space
+	SkippedByBBIT  int // hot blocks skipped for lack of BBIT space
+	planByBlockIdx map[int]int
+}
+
+// Encode plans the power encoding of the program described by g, using the
+// per-instruction execution profile to rank basic blocks (hottest first).
+// Blocks are admitted while both TT and BBIT capacity remain; a block too
+// large for the remaining TT entries is skipped but smaller ones may still
+// fit, mirroring the paper's advice to leave infrequent blocks unencoded.
+func Encode(g *cfg.Graph, profile []uint64, c Config) (*Encoding, error) {
+	c = c.WithDefaults()
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if len(profile) != len(g.Words) {
+		return nil, fmt.Errorf("core: profile length %d != program length %d", len(profile), len(g.Words))
+	}
+	enc := &Encoding{
+		Config:         c,
+		Graph:          g,
+		EncodedWords:   append([]uint32(nil), g.Words...),
+		planByBlockIdx: make(map[int]int),
+	}
+	for _, n := range profile {
+		enc.TotalDynamic += n
+	}
+	// Encode every warm multi-instruction block as a candidate, in heat
+	// order; selection then decides which ones the tables can afford.
+	heat := g.BlockHeat(profile)
+	var cands []Plan
+	for _, bi := range g.HotBlocks(profile) {
+		if g.Blocks[bi].Count < 2 {
+			continue // a single instruction has no vertical transitions
+		}
+		plan, err := encodeBlock(g, bi, c)
+		if err != nil {
+			return nil, err
+		}
+		plan.Heat = heat[bi]
+		cands = append(cands, plan)
+	}
+	var chosen []bool
+	var err error
+	switch c.Selection {
+	case HeatGreedy:
+		chosen = selectGreedy(cands, c, enc)
+	case Knapsack:
+		chosen, err = selectKnapsack(cands, c)
+		if err != nil {
+			return nil, err
+		}
+		for i := range cands {
+			if !chosen[i] {
+				enc.SkippedByTT++
+			}
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown selection policy %d", int(c.Selection))
+	}
+	for i := range cands {
+		if !chosen[i] {
+			continue
+		}
+		plan := cands[i]
+		plan.TTStart = enc.TTUsed
+		enc.TTUsed += plan.TTCount
+		enc.CoveredDynamic += plan.Heat
+		enc.StaticOriginal += plan.OrigTransitions
+		enc.StaticEncoded += plan.CodeTransitions
+		start := int(plan.StartPC-g.Base) / 4
+		copy(enc.EncodedWords[start:start+plan.Count], plan.Encoded)
+		enc.planByBlockIdx[plan.Block] = len(enc.Plans)
+		enc.Plans = append(enc.Plans, plan)
+	}
+	return enc, nil
+}
+
+// selectGreedy admits candidates (already in heat order) while both
+// capacities hold, recording why blocks were skipped.
+func selectGreedy(cands []Plan, c Config, enc *Encoding) []bool {
+	chosen := make([]bool, len(cands))
+	used, blocks := 0, 0
+	for i := range cands {
+		if blocks >= c.BBITEntries {
+			enc.SkippedByBBIT++
+			continue
+		}
+		if used+cands[i].TTCount > c.TTEntries {
+			enc.SkippedByTT++
+			continue
+		}
+		chosen[i] = true
+		used += cands[i].TTCount
+		blocks++
+	}
+	return chosen
+}
+
+// selectKnapsack maximises the estimated dynamic transition saving —
+// (static saving per pass) x (passes) — subject to the TT capacity and
+// the BBIT cardinality, by exact dynamic programming.
+func selectKnapsack(cands []Plan, c Config) ([]bool, error) {
+	n := len(cands)
+	w := c.TTEntries
+	m := c.BBITEntries
+	if m > n {
+		m = n
+	}
+	cells := (w + 1) * (m + 1)
+	if n*cells > 50_000_000 {
+		return nil, fmt.Errorf("core: knapsack instance too large (%d blocks, TT %d, BBIT %d)", n, w, m)
+	}
+	value := func(p *Plan) float64 {
+		passes := float64(p.Heat) / float64(p.Count)
+		return passes * float64(p.OrigTransitions-p.CodeTransitions)
+	}
+	// dp[i][j*(m+1)+b]: best value over the first i items with j TT
+	// entries and b blocks used. The full table makes reconstruction
+	// exact; instances are tiny (dozens of blocks, tens of entries).
+	dp := make([][]float64, n+1)
+	dp[0] = make([]float64, cells)
+	for i := 1; i <= n; i++ {
+		dp[i] = make([]float64, cells)
+		copy(dp[i], dp[i-1])
+		wi := cands[i-1].TTCount
+		vi := value(&cands[i-1])
+		for j := wi; j <= w; j++ {
+			for b := 1; b <= m; b++ {
+				if cand := dp[i-1][(j-wi)*(m+1)+b-1] + vi; cand > dp[i][j*(m+1)+b] {
+					dp[i][j*(m+1)+b] = cand
+				}
+			}
+		}
+	}
+	// Best terminal cell, then walk the table backwards.
+	bestJ, bestB := 0, 0
+	for j := 0; j <= w; j++ {
+		for b := 0; b <= m; b++ {
+			if dp[n][j*(m+1)+b] > dp[n][bestJ*(m+1)+bestB] {
+				bestJ, bestB = j, b
+			}
+		}
+	}
+	chosen := make([]bool, n)
+	j, b := bestJ, bestB
+	for i := n; i >= 1; i-- {
+		if dp[i][j*(m+1)+b] == dp[i-1][j*(m+1)+b] {
+			continue // item i-1 not taken on the optimal path
+		}
+		chosen[i-1] = true
+		j -= cands[i-1].TTCount
+		b--
+	}
+	return chosen, nil
+}
+
+// encodeBlock encodes every vertical bit stream of one basic block.
+func encodeBlock(g *cfg.Graph, bi int, c Config) (Plan, error) {
+	b := g.Blocks[bi]
+	words := g.Instructions(bi)
+	k := c.BlockSize
+	plan := Plan{
+		Block:   bi,
+		StartPC: b.Start,
+		Count:   b.Count,
+		TTCount: code.NumBlocks(b.Count, k),
+	}
+	plan.TailCT = (b.Count - 1) - (plan.TTCount-1)*(k-1)
+	if plan.TailCT <= 0 {
+		plan.TailCT = k - 1 // full-length tail
+	}
+	streams := bitline.ExtractAll(words, c.BusWidth)
+	plan.Taus = make([][]transform.Func, plan.TTCount)
+	for e := range plan.Taus {
+		plan.Taus[e] = make([]transform.Func, c.BusWidth)
+	}
+	encodedStreams := make([][]uint8, c.BusWidth)
+	for line, stream := range streams {
+		ch, err := code.EncodeChain(stream, k, c.Funcs, c.Strategy)
+		if err != nil {
+			return Plan{}, fmt.Errorf("core: block %d line %d: %w", bi, line, err)
+		}
+		if len(ch.Taus) != plan.TTCount {
+			return Plan{}, fmt.Errorf("core: block %d line %d: %d chain blocks, want %d",
+				bi, line, len(ch.Taus), plan.TTCount)
+		}
+		for e, tau := range ch.Taus {
+			plan.Taus[e][line] = tau
+		}
+		encodedStreams[line] = ch.Code
+		plan.OrigTransitions += bitline.Transitions(stream)
+		plan.CodeTransitions += ch.Transitions()
+	}
+	// Preserve bits above the modelled bus width verbatim.
+	enc := bitline.Assemble(encodedStreams)
+	if c.BusWidth < 32 {
+		hi := ^uint32(0) << uint(c.BusWidth)
+		for i := range enc {
+			enc[i] |= words[i] & hi
+		}
+	}
+	plan.Encoded = enc
+	return plan, nil
+}
+
+// PlanForPC returns the plan of the covered basic block starting at pc.
+func (e *Encoding) PlanForPC(pc uint32) (*Plan, bool) {
+	bi, ok := e.Graph.BlockAt(pc)
+	if !ok {
+		return nil, false
+	}
+	return e.PlanForBlock(bi)
+}
+
+// PlanForBlock returns the plan covering cfg block bi, if any.
+func (e *Encoding) PlanForBlock(bi int) (*Plan, bool) {
+	pi, ok := e.planByBlockIdx[bi]
+	if !ok {
+		return nil, false
+	}
+	return &e.Plans[pi], true
+}
+
+// StaticReduction returns the percentage reduction of vertical transitions
+// across covered blocks (the static, layout-order view; the dynamic fetch
+// stream is measured by the hw decoder pipeline).
+func (e *Encoding) StaticReduction() float64 {
+	if e.StaticOriginal == 0 {
+		return 0
+	}
+	return 100 * float64(e.StaticOriginal-e.StaticEncoded) / float64(e.StaticOriginal)
+}
+
+// Coverage returns the fraction of dynamic instructions fetched from
+// covered blocks, in percent.
+func (e *Encoding) Coverage() float64 {
+	if e.TotalDynamic == 0 {
+		return 0
+	}
+	return 100 * float64(e.CoveredDynamic) / float64(e.TotalDynamic)
+}
+
+// Verify statically decodes every covered block with the plan's
+// transformations and checks the original instruction words are recovered
+// exactly. It is the software proof that the stored image plus the TT
+// contents reproduce the program.
+func (e *Encoding) Verify() error {
+	k := e.Config.BlockSize
+	for pi := range e.Plans {
+		p := &e.Plans[pi]
+		orig := e.Graph.Instructions(p.Block)
+		for line := 0; line < e.Config.BusWidth; line++ {
+			taus := make([]transform.Func, p.TTCount)
+			for ei := 0; ei < p.TTCount; ei++ {
+				taus[ei] = p.Taus[ei][line]
+			}
+			ch := code.Chain{K: k, Code: bitline.Extract(p.Encoded, line), Taus: taus}
+			dec := ch.Decode()
+			want := bitline.Extract(orig, line)
+			for i := range want {
+				if dec[i] != want[i] {
+					return fmt.Errorf("core: block %d line %d instr %d: decode mismatch",
+						p.Block, line, i)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,476 @@
+// Package cpu implements a functional in-order simulator for the MR32
+// instruction set: one instruction fetched and executed per step, exactly
+// the embedded front end the paper's experiments assume. Its job in the
+// power-encoding pipeline is to produce the dynamic instruction fetch
+// stream (via the OnFetch hook) and the per-PC execution profile that
+// drives hot-loop selection; architectural state is simulated precisely so
+// benchmark kernels can be validated against golden references.
+package cpu
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"imtrans/internal/isa"
+	"imtrans/internal/mem"
+)
+
+// Program is a contiguous text segment: machine words laid out from Base.
+type Program struct {
+	Base  uint32
+	Words []uint32
+}
+
+// Contains reports whether pc addresses an instruction of the program.
+func (p Program) Contains(pc uint32) bool {
+	return pc >= p.Base && pc < p.Base+uint32(4*len(p.Words)) && pc&3 == 0
+}
+
+// Index returns the word index of pc within the program.
+func (p Program) Index(pc uint32) int { return int(pc-p.Base) >> 2 }
+
+// Syscall numbers, following the SPIM convention used by the workloads.
+const (
+	SysPrintInt    = 1
+	SysPrintFloat  = 2
+	SysPrintString = 4
+	SysExit        = 10
+	SysPrintChar   = 11
+	SysExit2       = 17
+)
+
+// CPU is the architectural state of one MR32 core plus simulation
+// bookkeeping. Construct with New.
+type CPU struct {
+	PC  uint32
+	GPR [32]uint32
+	FPR [32]float32
+	HI  uint32
+	LO  uint32
+	FCC bool // floating-point condition flag (FCC0)
+
+	Mem    *mem.Memory
+	Stdout io.Writer
+
+	// OnFetch, when non-nil, observes every instruction fetch with the
+	// program counter and the raw machine word on the instruction bus.
+	// The power-encoding experiments attach their bus models here.
+	OnFetch func(pc, word uint32)
+
+	// OnData, when non-nil, observes data-memory traffic: the effective
+	// address and the 32-bit value on the data bus (sub-word accesses are
+	// reported zero-extended, as a 32-bit bus would carry them). store
+	// distinguishes writes from reads.
+	OnData func(addr, value uint32, store bool)
+
+	// MaxInstructions aborts runaway programs; 0 means the default cap.
+	MaxInstructions uint64
+
+	prog      Program
+	decoded   []isa.Inst
+	profile   []uint64
+	opCounts  [128]uint64
+	branches  uint64
+	taken     uint64
+	InstCount uint64
+	Halted    bool
+	ExitCode  int
+}
+
+// Stats summarises the dynamic instruction mix of a run.
+type Stats struct {
+	Instructions uint64
+	Loads        uint64
+	Stores       uint64
+	Branches     uint64
+	BranchTaken  uint64
+	Jumps        uint64
+	FPOps        uint64
+	PerOp        map[string]uint64 // mnemonic -> dynamic count
+}
+
+// Stats returns the instruction-mix counters accumulated so far.
+func (c *CPU) Stats() Stats {
+	s := Stats{
+		Instructions: c.InstCount,
+		Branches:     c.branches,
+		BranchTaken:  c.taken,
+		PerOp:        make(map[string]uint64),
+	}
+	for op, n := range c.opCounts {
+		if n == 0 {
+			continue
+		}
+		o := isa.Op(op)
+		s.PerOp[o.Name()] = n
+		switch {
+		case o.IsLoad():
+			s.Loads += n
+		case o.IsStore():
+			s.Stores += n
+		case o.IsJump():
+			s.Jumps += n
+		}
+		if o.IsFP() {
+			s.FPOps += n
+		}
+	}
+	return s
+}
+
+// DefaultMaxInstructions bounds a Run when the caller sets no explicit cap.
+const DefaultMaxInstructions = 2_000_000_000
+
+// New creates a CPU with the program pre-decoded, PC at the program base,
+// the stack pointer initialised, and an empty data memory attached if m is
+// nil. Programs containing undecodable words fail immediately rather than
+// at execution time.
+func New(prog Program, m *mem.Memory) (*CPU, error) {
+	if len(prog.Words) == 0 {
+		return nil, fmt.Errorf("cpu: empty program")
+	}
+	dec := make([]isa.Inst, len(prog.Words))
+	for i, w := range prog.Words {
+		in, err := isa.Decode(w)
+		if err != nil {
+			return nil, fmt.Errorf("cpu: word %d (pc %#x): %w", i, prog.Base+uint32(4*i), err)
+		}
+		dec[i] = in
+	}
+	if m == nil {
+		m = mem.New()
+	}
+	c := &CPU{
+		PC:      prog.Base,
+		Mem:     m,
+		Stdout:  io.Discard,
+		prog:    prog,
+		decoded: dec,
+		profile: make([]uint64, len(prog.Words)),
+	}
+	c.GPR[isa.SP] = mem.StackBase
+	c.GPR[isa.GP] = mem.DataBase + 0x8000
+	return c, nil
+}
+
+// Program returns the program the CPU executes.
+func (c *CPU) Program() Program { return c.prog }
+
+// Profile returns the per-instruction execution counts, indexed like
+// Program().Words. The slice aliases live state; copy before mutating.
+func (c *CPU) Profile() []uint64 { return c.profile }
+
+// Run executes instructions until the program exits via syscall, an
+// execution error occurs, or the instruction cap is hit.
+func (c *CPU) Run() error {
+	max := c.MaxInstructions
+	if max == 0 {
+		max = DefaultMaxInstructions
+	}
+	for !c.Halted {
+		if c.InstCount >= max {
+			return fmt.Errorf("cpu: instruction cap %d exceeded at pc %#x", max, c.PC)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step fetches, decodes and executes a single instruction.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return fmt.Errorf("cpu: step after halt")
+	}
+	if !c.prog.Contains(c.PC) {
+		return fmt.Errorf("cpu: pc %#x outside text segment", c.PC)
+	}
+	idx := c.prog.Index(c.PC)
+	if c.OnFetch != nil {
+		c.OnFetch(c.PC, c.prog.Words[idx])
+	}
+	c.profile[idx]++
+	c.InstCount++
+	in := &c.decoded[idx]
+	c.opCounts[in.Op&127]++
+	next := c.PC + 4
+
+	switch in.Op {
+	case isa.OpSLL:
+		c.setGPR(in.Rd, c.GPR[in.Rt]<<in.Shamt)
+	case isa.OpSRL:
+		c.setGPR(in.Rd, c.GPR[in.Rt]>>in.Shamt)
+	case isa.OpSRA:
+		c.setGPR(in.Rd, uint32(int32(c.GPR[in.Rt])>>in.Shamt))
+	case isa.OpSLLV:
+		c.setGPR(in.Rd, c.GPR[in.Rt]<<(c.GPR[in.Rs]&31))
+	case isa.OpSRLV:
+		c.setGPR(in.Rd, c.GPR[in.Rt]>>(c.GPR[in.Rs]&31))
+	case isa.OpSRAV:
+		c.setGPR(in.Rd, uint32(int32(c.GPR[in.Rt])>>(c.GPR[in.Rs]&31)))
+	case isa.OpJR:
+		next = c.GPR[in.Rs]
+	case isa.OpJALR:
+		c.setGPR(in.Rd, c.PC+4)
+		next = c.GPR[in.Rs]
+	case isa.OpSYSCALL:
+		if err := c.syscall(); err != nil {
+			return err
+		}
+	case isa.OpBREAK:
+		return fmt.Errorf("cpu: break at pc %#x", c.PC)
+	case isa.OpMFHI:
+		c.setGPR(in.Rd, c.HI)
+	case isa.OpMTHI:
+		c.HI = c.GPR[in.Rs]
+	case isa.OpMFLO:
+		c.setGPR(in.Rd, c.LO)
+	case isa.OpMTLO:
+		c.LO = c.GPR[in.Rs]
+	case isa.OpMULT:
+		prod := int64(int32(c.GPR[in.Rs])) * int64(int32(c.GPR[in.Rt]))
+		c.LO, c.HI = uint32(prod), uint32(prod>>32)
+	case isa.OpMULTU:
+		prod := uint64(c.GPR[in.Rs]) * uint64(c.GPR[in.Rt])
+		c.LO, c.HI = uint32(prod), uint32(prod>>32)
+	case isa.OpDIV:
+		d := int32(c.GPR[in.Rt])
+		if d == 0 {
+			return fmt.Errorf("cpu: integer divide by zero at pc %#x", c.PC)
+		}
+		n := int32(c.GPR[in.Rs])
+		c.LO, c.HI = uint32(n/d), uint32(n%d)
+	case isa.OpDIVU:
+		d := c.GPR[in.Rt]
+		if d == 0 {
+			return fmt.Errorf("cpu: integer divide by zero at pc %#x", c.PC)
+		}
+		n := c.GPR[in.Rs]
+		c.LO, c.HI = n/d, n%d
+	case isa.OpADD, isa.OpADDU:
+		// Overflow traps are not modelled; ADD behaves as ADDU.
+		c.setGPR(in.Rd, c.GPR[in.Rs]+c.GPR[in.Rt])
+	case isa.OpSUB, isa.OpSUBU:
+		c.setGPR(in.Rd, c.GPR[in.Rs]-c.GPR[in.Rt])
+	case isa.OpAND:
+		c.setGPR(in.Rd, c.GPR[in.Rs]&c.GPR[in.Rt])
+	case isa.OpOR:
+		c.setGPR(in.Rd, c.GPR[in.Rs]|c.GPR[in.Rt])
+	case isa.OpXOR:
+		c.setGPR(in.Rd, c.GPR[in.Rs]^c.GPR[in.Rt])
+	case isa.OpNOR:
+		c.setGPR(in.Rd, ^(c.GPR[in.Rs] | c.GPR[in.Rt]))
+	case isa.OpSLT:
+		c.setGPR(in.Rd, b2u(int32(c.GPR[in.Rs]) < int32(c.GPR[in.Rt])))
+	case isa.OpSLTU:
+		c.setGPR(in.Rd, b2u(c.GPR[in.Rs] < c.GPR[in.Rt]))
+	case isa.OpBLTZ:
+		if int32(c.GPR[in.Rs]) < 0 {
+			next = c.branchTarget(in.Imm)
+		}
+	case isa.OpBGEZ:
+		if int32(c.GPR[in.Rs]) >= 0 {
+			next = c.branchTarget(in.Imm)
+		}
+	case isa.OpJ:
+		next = (c.PC+4)&0xf0000000 | in.Target<<2
+	case isa.OpJAL:
+		c.setGPR(isa.RA, c.PC+4)
+		next = (c.PC+4)&0xf0000000 | in.Target<<2
+	case isa.OpBEQ:
+		if c.GPR[in.Rs] == c.GPR[in.Rt] {
+			next = c.branchTarget(in.Imm)
+		}
+	case isa.OpBNE:
+		if c.GPR[in.Rs] != c.GPR[in.Rt] {
+			next = c.branchTarget(in.Imm)
+		}
+	case isa.OpBLEZ:
+		if int32(c.GPR[in.Rs]) <= 0 {
+			next = c.branchTarget(in.Imm)
+		}
+	case isa.OpBGTZ:
+		if int32(c.GPR[in.Rs]) > 0 {
+			next = c.branchTarget(in.Imm)
+		}
+	case isa.OpADDI, isa.OpADDIU:
+		c.setGPR(in.Rt, c.GPR[in.Rs]+uint32(in.Imm))
+	case isa.OpSLTI:
+		c.setGPR(in.Rt, b2u(int32(c.GPR[in.Rs]) < in.Imm))
+	case isa.OpSLTIU:
+		c.setGPR(in.Rt, b2u(c.GPR[in.Rs] < uint32(in.Imm)))
+	case isa.OpANDI:
+		c.setGPR(in.Rt, c.GPR[in.Rs]&uint32(uint16(in.Imm)))
+	case isa.OpORI:
+		c.setGPR(in.Rt, c.GPR[in.Rs]|uint32(uint16(in.Imm)))
+	case isa.OpXORI:
+		c.setGPR(in.Rt, c.GPR[in.Rs]^uint32(uint16(in.Imm)))
+	case isa.OpLUI:
+		c.setGPR(in.Rt, uint32(uint16(in.Imm))<<16)
+	case isa.OpLB:
+		addr := c.GPR[in.Rs] + uint32(in.Imm)
+		b := c.Mem.LoadByte(addr)
+		c.data(addr, uint32(b), false)
+		c.setGPR(in.Rt, uint32(int32(int8(b))))
+	case isa.OpLBU:
+		addr := c.GPR[in.Rs] + uint32(in.Imm)
+		b := c.Mem.LoadByte(addr)
+		c.data(addr, uint32(b), false)
+		c.setGPR(in.Rt, uint32(b))
+	case isa.OpLH:
+		addr := c.GPR[in.Rs] + uint32(in.Imm)
+		v, err := c.Mem.LoadHalf(addr)
+		if err != nil {
+			return c.memErr(err)
+		}
+		c.data(addr, uint32(v), false)
+		c.setGPR(in.Rt, uint32(int32(int16(v))))
+	case isa.OpLHU:
+		addr := c.GPR[in.Rs] + uint32(in.Imm)
+		v, err := c.Mem.LoadHalf(addr)
+		if err != nil {
+			return c.memErr(err)
+		}
+		c.data(addr, uint32(v), false)
+		c.setGPR(in.Rt, uint32(v))
+	case isa.OpLW:
+		addr := c.GPR[in.Rs] + uint32(in.Imm)
+		v, err := c.Mem.LoadWord(addr)
+		if err != nil {
+			return c.memErr(err)
+		}
+		c.data(addr, v, false)
+		c.setGPR(in.Rt, v)
+	case isa.OpSB:
+		addr := c.GPR[in.Rs] + uint32(in.Imm)
+		c.data(addr, uint32(byte(c.GPR[in.Rt])), true)
+		c.Mem.StoreByte(addr, byte(c.GPR[in.Rt]))
+	case isa.OpSH:
+		addr := c.GPR[in.Rs] + uint32(in.Imm)
+		if err := c.Mem.StoreHalf(addr, uint16(c.GPR[in.Rt])); err != nil {
+			return c.memErr(err)
+		}
+		c.data(addr, uint32(uint16(c.GPR[in.Rt])), true)
+	case isa.OpSW:
+		addr := c.GPR[in.Rs] + uint32(in.Imm)
+		if err := c.Mem.StoreWord(addr, c.GPR[in.Rt]); err != nil {
+			return c.memErr(err)
+		}
+		c.data(addr, c.GPR[in.Rt], true)
+	case isa.OpLWC1:
+		addr := c.GPR[in.Rs] + uint32(in.Imm)
+		v, err := c.Mem.LoadWord(addr)
+		if err != nil {
+			return c.memErr(err)
+		}
+		c.data(addr, v, false)
+		c.FPR[in.Ft] = math.Float32frombits(v)
+	case isa.OpSWC1:
+		addr := c.GPR[in.Rs] + uint32(in.Imm)
+		if err := c.Mem.StoreWord(addr, math.Float32bits(c.FPR[in.Ft])); err != nil {
+			return c.memErr(err)
+		}
+		c.data(addr, math.Float32bits(c.FPR[in.Ft]), true)
+	case isa.OpMFC1:
+		c.setGPR(in.Rt, math.Float32bits(c.FPR[in.Fs]))
+	case isa.OpMTC1:
+		c.FPR[in.Fs] = math.Float32frombits(c.GPR[in.Rt])
+	case isa.OpBC1F:
+		if !c.FCC {
+			next = c.branchTarget(in.Imm)
+		}
+	case isa.OpBC1T:
+		if c.FCC {
+			next = c.branchTarget(in.Imm)
+		}
+	case isa.OpADDS:
+		c.FPR[in.Fd] = c.FPR[in.Fs] + c.FPR[in.Ft]
+	case isa.OpSUBS:
+		c.FPR[in.Fd] = c.FPR[in.Fs] - c.FPR[in.Ft]
+	case isa.OpMULS:
+		c.FPR[in.Fd] = c.FPR[in.Fs] * c.FPR[in.Ft]
+	case isa.OpDIVS:
+		c.FPR[in.Fd] = c.FPR[in.Fs] / c.FPR[in.Ft]
+	case isa.OpSQRTS:
+		c.FPR[in.Fd] = float32(math.Sqrt(float64(c.FPR[in.Fs])))
+	case isa.OpABSS:
+		c.FPR[in.Fd] = float32(math.Abs(float64(c.FPR[in.Fs])))
+	case isa.OpMOVS:
+		c.FPR[in.Fd] = c.FPR[in.Fs]
+	case isa.OpNEGS:
+		c.FPR[in.Fd] = -c.FPR[in.Fs]
+	case isa.OpCVTWS:
+		c.FPR[in.Fd] = math.Float32frombits(uint32(int32(c.FPR[in.Fs])))
+	case isa.OpCVTSW:
+		c.FPR[in.Fd] = float32(int32(math.Float32bits(c.FPR[in.Fs])))
+	case isa.OpCEQS:
+		c.FCC = c.FPR[in.Fs] == c.FPR[in.Ft]
+	case isa.OpCLTS:
+		c.FCC = c.FPR[in.Fs] < c.FPR[in.Ft]
+	case isa.OpCLES:
+		c.FCC = c.FPR[in.Fs] <= c.FPR[in.Ft]
+	default:
+		return fmt.Errorf("cpu: unimplemented op %s at pc %#x", in.Op, c.PC)
+	}
+	if in.Op.IsBranch() {
+		c.branches++
+		if next != c.PC+4 {
+			c.taken++
+		}
+	}
+	if !c.Halted {
+		c.PC = next
+	}
+	return nil
+}
+
+func (c *CPU) data(addr, v uint32, store bool) {
+	if c.OnData != nil {
+		c.OnData(addr, v, store)
+	}
+}
+
+func (c *CPU) setGPR(r isa.Reg, v uint32) {
+	if r != isa.Zero {
+		c.GPR[r] = v
+	}
+}
+
+func (c *CPU) branchTarget(off int32) uint32 {
+	return c.PC + 4 + uint32(off)<<2
+}
+
+func (c *CPU) memErr(err error) error {
+	return fmt.Errorf("cpu: pc %#x: %w", c.PC, err)
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (c *CPU) syscall() error {
+	switch c.GPR[isa.V0] {
+	case SysPrintInt:
+		fmt.Fprintf(c.Stdout, "%d", int32(c.GPR[isa.A0]))
+	case SysPrintFloat:
+		fmt.Fprintf(c.Stdout, "%g", c.FPR[12])
+	case SysPrintString:
+		fmt.Fprint(c.Stdout, c.Mem.LoadString(c.GPR[isa.A0], 1<<16))
+	case SysPrintChar:
+		fmt.Fprintf(c.Stdout, "%c", rune(c.GPR[isa.A0]))
+	case SysExit:
+		c.Halted = true
+		c.ExitCode = 0
+	case SysExit2:
+		c.Halted = true
+		c.ExitCode = int(int32(c.GPR[isa.A0]))
+	default:
+		return fmt.Errorf("cpu: unknown syscall %d at pc %#x", c.GPR[isa.V0], c.PC)
+	}
+	return nil
+}

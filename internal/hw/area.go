@@ -1,0 +1,73 @@
+package hw
+
+import (
+	"math/bits"
+
+	"imtrans/internal/transform"
+)
+
+// Overhead quantifies the hardware cost of the decoder the way the paper
+// argues it: two small SRAM arrays (TT and BBIT) plus a handful of logic
+// gates per bus line. All sizes are in bits of storage.
+type Overhead struct {
+	TTEntries        int // rows in the transformation table
+	SelectorBits     int // bits per line selector (3 for the canonical set)
+	CTBits           int // width of the tail counter field
+	TTBitsPerEntry   int // width*selector + E + CT
+	TTBits           int
+	BBITEntries      int
+	BBITBitsPerEntry int // 30-bit word PC + TT index
+	BBITBits         int
+	TotalBits        int
+	GatesPerLine     int // distinct two-input gates muxed per bus line
+	HistoryFlipFlops int // per-line history bits (encoded + decoded)
+	// UploadWords is the number of 32-bit writes the firmware issues to
+	// program both tables through the peripheral interface before
+	// entering the hot spot (paper Section 7.1) — the reprogramming cost
+	// amortised over the loop's execution.
+	UploadWords int
+}
+
+// Overhead computes the storage and logic cost of this decoder instance.
+func (d *Decoder) Overhead() Overhead {
+	selBits := 3
+	gates := len(transform.Canonical8)
+	for _, ent := range d.tt {
+		for line := 0; line < d.width; line++ {
+			if _, ok := transform.Index3(ent.Sel[line]); !ok {
+				selBits = 4
+				gates = transform.NumFuncs
+			}
+		}
+	}
+	o := Overhead{
+		TTEntries:        len(d.tt),
+		SelectorBits:     selBits,
+		CTBits:           bitsFor(d.k - 1),
+		BBITEntries:      len(d.bbit),
+		GatesPerLine:     gates,
+		HistoryFlipFlops: 2 * d.width,
+	}
+	o.TTBitsPerEntry = d.width*selBits + 1 + o.CTBits
+	o.TTBits = o.TTEntries * o.TTBitsPerEntry
+	o.BBITBitsPerEntry = 30 + bitsFor(maxInt(o.TTEntries-1, 1))
+	o.BBITBits = o.BBITEntries * o.BBITBitsPerEntry
+	o.TotalBits = o.TTBits + o.BBITBits
+	o.UploadWords = (o.TTBits+31)/32 + (o.BBITBits+31)/32
+	return o
+}
+
+// bitsFor returns the number of bits needed to represent values 0..n.
+func bitsFor(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return bits.Len(uint(n))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,228 @@
+// Package hw models the reprogrammable fetch-side hardware of the paper's
+// Figure 5: the Transformation Table (TT) holding per-bus-line
+// transformation selectors with End/Counter fields, the Basic Block
+// Identification Table (BBIT) mapping basic-block start PCs to TT indices,
+// and the decoder datapath — one two-input logic gate per bus line selected
+// by a 3-bit index, with single-bit history — that restores original
+// instruction words from the encoded bus stream at fetch time.
+package hw
+
+import (
+	"fmt"
+
+	"imtrans/internal/core"
+	"imtrans/internal/transform"
+)
+
+// TTEntry is one row of the Transformation Table: a transformation
+// selector per bus line plus the block-delimiter fields.
+type TTEntry struct {
+	Sel [32]transform.Func // per-line transformation
+	E   bool               // set on the last entry of a basic block
+	CT  uint8              // instructions decoded under this (tail) entry
+}
+
+// BBITEntry maps a basic block's start PC to its first TT entry.
+type BBITEntry struct {
+	PC      uint32
+	TTIndex uint16
+}
+
+// Decoder is the runtime model of the fetch-stage restore logic. It is
+// driven with every fetch, exactly as the hardware sits on the instruction
+// bus, and reproduces the original instruction words.
+type Decoder struct {
+	tt    []TTEntry
+	bbit  map[uint32]uint16
+	k     int
+	width int
+
+	// Strict makes the decoder verify fetch-stream assumptions (covered
+	// blocks entered only at their first instruction, sequential PCs
+	// while a block decodes). The hardware cannot check these; the model
+	// can, and the simulator integration turns it on.
+	Strict bool
+
+	// masks[entry] groups bus lines by transformation so a fetch costs a
+	// handful of word-wide gate evaluations instead of 32 bit operations.
+	masks [][]tauMask
+
+	active   bool
+	ttIdx    int    // current TT entry
+	decoded  int    // instructions decoded under the current entry
+	expectPC uint32 // next PC while active
+	prevEnc  uint32 // last encoded word seen on the bus
+	prevDec  uint32 // last decoded (original) word
+}
+
+type tauMask struct {
+	fn   transform.Func
+	mask uint32
+}
+
+// NewDecoder builds the TT and BBIT contents from an encoding plan and
+// returns the decoder model programmed with them — the software equivalent
+// of the paper's "transferred by software prior to entering the loop".
+func NewDecoder(enc *core.Encoding) (*Decoder, error) {
+	cfg := enc.Config
+	d := &Decoder{
+		bbit:  make(map[uint32]uint16, len(enc.Plans)),
+		k:     cfg.BlockSize,
+		width: cfg.BusWidth,
+	}
+	for pi := range enc.Plans {
+		p := &enc.Plans[pi]
+		if p.TTStart != len(d.tt) {
+			return nil, fmt.Errorf("hw: plan %d: TT start %d, table has %d entries", pi, p.TTStart, len(d.tt))
+		}
+		if p.TTStart > 0xffff {
+			return nil, fmt.Errorf("hw: TT index overflow")
+		}
+		d.bbit[p.StartPC] = uint16(p.TTStart)
+		for e := 0; e < p.TTCount; e++ {
+			var ent TTEntry
+			for line := 0; line < cfg.BusWidth; line++ {
+				ent.Sel[line] = p.Taus[e][line]
+			}
+			for line := cfg.BusWidth; line < 32; line++ {
+				ent.Sel[line] = transform.Identity
+			}
+			if e == p.TTCount-1 {
+				ent.E = true
+				ent.CT = uint8(p.TailCT)
+			} else {
+				ent.CT = uint8(d.k - 1)
+			}
+			d.tt = append(d.tt, ent)
+		}
+	}
+	d.buildMasks()
+	return d, nil
+}
+
+// NewDecoderFromTables programs a decoder directly from raw TT/BBIT
+// contents; used by tests and the failure-injection suite.
+func NewDecoderFromTables(tt []TTEntry, bbit []BBITEntry, k, width int) (*Decoder, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("hw: block size %d", k)
+	}
+	if width < 1 || width > 32 {
+		return nil, fmt.Errorf("hw: bus width %d", width)
+	}
+	d := &Decoder{tt: append([]TTEntry(nil), tt...), bbit: make(map[uint32]uint16), k: k, width: width}
+	for _, e := range bbit {
+		if int(e.TTIndex) >= len(tt) {
+			return nil, fmt.Errorf("hw: BBIT entry %#x points past TT", e.PC)
+		}
+		d.bbit[e.PC] = e.TTIndex
+	}
+	d.buildMasks()
+	return d, nil
+}
+
+func (d *Decoder) buildMasks() {
+	d.masks = make([][]tauMask, len(d.tt))
+	for i, ent := range d.tt {
+		perFn := map[transform.Func]uint32{}
+		for line := 0; line < d.width; line++ {
+			perFn[ent.Sel[line]] |= 1 << uint(line)
+		}
+		// Lines above the modelled width pass through.
+		if d.width < 32 {
+			perFn[transform.Identity] |= ^uint32(0) << uint(d.width)
+		}
+		for fn, m := range perFn {
+			d.masks[i] = append(d.masks[i], tauMask{fn, m})
+		}
+	}
+}
+
+// TT returns a copy of the transformation table contents.
+func (d *Decoder) TT() []TTEntry { return append([]TTEntry(nil), d.tt...) }
+
+// BBIT returns the basic-block identification table contents.
+func (d *Decoder) BBIT() []BBITEntry {
+	out := make([]BBITEntry, 0, len(d.bbit))
+	for pc, idx := range d.bbit {
+		out = append(out, BBITEntry{PC: pc, TTIndex: idx})
+	}
+	return out
+}
+
+// Reset clears the runtime state (not the tables).
+func (d *Decoder) Reset() {
+	d.active = false
+	d.ttIdx, d.decoded = 0, 0
+	d.expectPC, d.prevEnc, d.prevDec = 0, 0, 0
+}
+
+// wordEval applies a two-input Boolean function bitwise across words:
+// result bit i = fn(x bit i, y bit i).
+func wordEval(fn transform.Func, x, y uint32) uint32 {
+	var r uint32
+	if fn&0b0001 != 0 { // fn(0,0)
+		r |= ^x & ^y
+	}
+	if fn&0b0010 != 0 { // fn(0,1)
+		r |= ^x & y
+	}
+	if fn&0b0100 != 0 { // fn(1,0)
+		r |= x & ^y
+	}
+	if fn&0b1000 != 0 { // fn(1,1)
+		r |= x & y
+	}
+	return r
+}
+
+// OnFetch consumes one bus transfer and returns the restored instruction
+// word. pc is the fetch address, busWord the (possibly encoded) value on
+// the instruction bus. Errors indicate corrupted tables or violated
+// fetch-stream assumptions, never occur on a correctly programmed decoder,
+// and leave the decoder inactive.
+func (d *Decoder) OnFetch(pc, busWord uint32) (uint32, error) {
+	if d.active {
+		if d.Strict && pc != d.expectPC {
+			d.active = false
+			return busWord, fmt.Errorf("hw: non-sequential fetch %#x inside covered block (expected %#x)", pc, d.expectPC)
+		}
+		if d.ttIdx >= len(d.tt) {
+			d.active = false
+			return busWord, fmt.Errorf("hw: TT index %d out of range", d.ttIdx)
+		}
+		ent := &d.tt[d.ttIdx]
+		hist := d.prevDec
+		if d.decoded == 0 {
+			// First equation of a chain block uses the encoded overlap
+			// bit as history (paper, Section 6).
+			hist = d.prevEnc
+		}
+		var dec uint32
+		for _, tm := range d.masks[d.ttIdx] {
+			dec |= wordEval(tm.fn, busWord, hist) & tm.mask
+		}
+		d.prevEnc, d.prevDec = busWord, dec
+		d.decoded++
+		d.expectPC = pc + 4
+		if d.decoded >= int(ent.CT) && ent.E {
+			d.active = false
+		} else if d.decoded >= d.k-1 {
+			d.ttIdx++
+			d.decoded = 0
+		}
+		return dec, nil
+	}
+	if idx, ok := d.bbit[pc]; ok {
+		// First instruction of a covered block is stored unencoded.
+		d.active = true
+		d.ttIdx = int(idx)
+		d.decoded = 0
+		d.expectPC = pc + 4
+		d.prevEnc, d.prevDec = busWord, busWord
+		return busWord, nil
+	}
+	return busWord, nil
+}
+
+// Active reports whether the decoder is inside a covered basic block.
+func (d *Decoder) Active() bool { return d.active }

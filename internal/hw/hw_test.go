@@ -1,0 +1,313 @@
+package hw
+
+import (
+	"strings"
+	"testing"
+
+	"imtrans/internal/asm"
+	"imtrans/internal/cfg"
+	"imtrans/internal/core"
+	"imtrans/internal/cpu"
+	"imtrans/internal/trace"
+	"imtrans/internal/transform"
+)
+
+const kernelSrc = `
+	li   $t0, 150
+	li   $t1, 0
+	li   $t2, 0
+loop:
+	addu $t1, $t1, $t0
+	sll  $t3, $t0, 3
+	xor  $t2, $t2, $t3
+	srl  $t4, $t1, 1
+	or   $t2, $t2, $t4
+	addiu $t0, $t0, -1
+	bgtz $t0, loop
+	li $v0, 10
+	syscall
+`
+
+// prepare assembles and profiles the kernel, then encodes it.
+func prepare(t *testing.T, cfgOpt core.Config) (*cpu.CPU, *core.Encoding) {
+	t.Helper()
+	obj, err := asm.Assemble(kernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := cpu.Program{Base: obj.TextBase, Words: obj.TextWords}
+	c, err := cpu.New(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(obj.TextBase, obj.TextWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := core.Encode(g, c.Profile(), cfgOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if len(enc.Plans) == 0 {
+		t.Fatal("nothing covered")
+	}
+	// Fresh CPU for the measured run.
+	c2, err := cpu.New(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c2, enc
+}
+
+// runWithDecoder executes the program while feeding the encoded image
+// through the decoder, verifying every restored word, and returns baseline
+// and encoded bus transition counts.
+func runWithDecoder(t *testing.T, c *cpu.CPU, enc *core.Encoding) (orig, coded uint64) {
+	t.Helper()
+	dec, err := NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Strict = true
+	base := c.Program().Base
+	origBus := trace.NewBus(32)
+	codedBus := trace.NewBus(32)
+	var firstErr error
+	c.OnFetch = func(pc, word uint32) {
+		idx := int(pc-base) / 4
+		busWord := enc.EncodedWords[idx]
+		origBus.Transfer(word)
+		codedBus.Transfer(busWord)
+		restored, err := dec.OnFetch(pc, busWord)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if restored != word && firstErr == nil {
+			firstErr = &restoreError{pc, word, restored}
+		}
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if firstErr != nil {
+		t.Fatal(firstErr)
+	}
+	return origBus.Total(), codedBus.Total()
+}
+
+type restoreError struct{ pc, want, got uint32 }
+
+func (e *restoreError) Error() string {
+	return "decoder restored wrong word"
+}
+
+func TestDecoderRestoresEveryWord(t *testing.T) {
+	for _, k := range []int{3, 4, 5, 6, 7} {
+		c, enc := prepare(t, core.Config{BlockSize: k})
+		orig, coded := runWithDecoder(t, c, enc)
+		if coded > orig {
+			t.Errorf("k=%d: encoded transitions %d exceed baseline %d", k, coded, orig)
+		}
+		if coded == orig {
+			t.Errorf("k=%d: no dynamic reduction (orig=%d)", k, orig)
+		}
+	}
+}
+
+func TestDecoderWithFullFunctionSet(t *testing.T) {
+	c, enc := prepare(t, core.Config{Funcs: transform.Preferred()})
+	orig, coded := runWithDecoder(t, c, enc)
+	if coded >= orig {
+		t.Errorf("16-function run: %d >= %d", coded, orig)
+	}
+}
+
+func TestTTContents(t *testing.T) {
+	_, enc := prepare(t, core.Config{})
+	dec, err := NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := dec.TT()
+	if len(tt) != enc.TTUsed {
+		t.Fatalf("TT has %d entries, plans use %d", len(tt), enc.TTUsed)
+	}
+	for _, p := range enc.Plans {
+		last := tt[p.TTStart+p.TTCount-1]
+		if !last.E {
+			t.Errorf("block %d: tail entry lacks E bit", p.Block)
+		}
+		if int(last.CT) != p.TailCT {
+			t.Errorf("block %d: CT=%d, want %d", p.Block, last.CT, p.TailCT)
+		}
+		for e := 0; e < p.TTCount-1; e++ {
+			if tt[p.TTStart+e].E {
+				t.Errorf("block %d: non-tail entry %d has E bit", p.Block, e)
+			}
+		}
+	}
+	bbit := dec.BBIT()
+	if len(bbit) != len(enc.Plans) {
+		t.Errorf("BBIT has %d entries, want %d", len(bbit), len(enc.Plans))
+	}
+}
+
+func TestWordEvalMatchesBitEval(t *testing.T) {
+	for _, f := range transform.All() {
+		for x := uint32(0); x < 4; x++ {
+			for y := uint32(0); y < 4; y++ {
+				got := wordEval(f, x, y)
+				for bit := 0; bit < 2; bit++ {
+					want := f.Eval(uint8(x>>uint(bit))&1, uint8(y>>uint(bit))&1)
+					if uint8(got>>uint(bit))&1 != want {
+						t.Fatalf("wordEval(%s,%b,%b) bit %d = %d, want %d",
+							f, x, y, bit, got>>uint(bit)&1, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestOverheadModel(t *testing.T) {
+	_, enc := prepare(t, core.Config{})
+	dec, err := NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := dec.Overhead()
+	if o.SelectorBits != 3 {
+		t.Errorf("canonical set should need 3 selector bits, got %d", o.SelectorBits)
+	}
+	if o.GatesPerLine != 8 {
+		t.Errorf("gates per line = %d", o.GatesPerLine)
+	}
+	if o.TTBitsPerEntry != 32*3+1+o.CTBits {
+		t.Errorf("TT bits per entry = %d", o.TTBitsPerEntry)
+	}
+	if o.TotalBits != o.TTBits+o.BBITBits {
+		t.Error("total bits inconsistent")
+	}
+
+	// The 16-function ablation needs 4-bit selectors.
+	_, enc16 := prepare(t, core.Config{Funcs: transform.Preferred()})
+	dec16, err := NewDecoder(enc16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only flag wider selectors if a non-canonical function was chosen;
+	// either way the model must be self-consistent.
+	o16 := dec16.Overhead()
+	if o16.SelectorBits != 3 && o16.SelectorBits != 4 {
+		t.Errorf("selector bits = %d", o16.SelectorBits)
+	}
+}
+
+func TestDecoderFailureInjection(t *testing.T) {
+	c, enc := prepare(t, core.Config{})
+	dec, err := NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Strict = true
+	// Corrupt one TT selector: the decoder must now restore at least one
+	// word incorrectly (detected by comparison), proving the verification
+	// harness has teeth.
+	tt := dec.TT()
+	tt[0].Sel[0] ^= 0b1111
+	bad, err := NewDecoderFromTables(tt, dec.BBIT(), enc.Config.BlockSize, enc.Config.BusWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := c.Program().Base
+	mismatches := 0
+	c.OnFetch = func(pc, word uint32) {
+		busWord := enc.EncodedWords[int(pc-base)/4]
+		restored, _ := bad.OnFetch(pc, busWord)
+		if restored != word {
+			mismatches++
+		}
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mismatches == 0 {
+		t.Error("corrupted TT produced no restore mismatches")
+	}
+}
+
+func TestDecoderStrictNonSequentialFetch(t *testing.T) {
+	_, enc := prepare(t, core.Config{})
+	dec, err := NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Strict = true
+	p := enc.Plans[0]
+	start := int(p.StartPC-enc.Graph.Base) / 4
+	if _, err := dec.OnFetch(p.StartPC, enc.EncodedWords[start]); err != nil {
+		t.Fatal(err)
+	}
+	// Jump somewhere else mid-block: strict mode must object.
+	if _, err := dec.OnFetch(p.StartPC+400, 0); err == nil {
+		t.Error("non-sequential fetch not detected")
+	}
+	if dec.Active() {
+		t.Error("decoder still active after violation")
+	}
+}
+
+func TestNewDecoderFromTablesValidation(t *testing.T) {
+	if _, err := NewDecoderFromTables(nil, []BBITEntry{{PC: 4, TTIndex: 0}}, 5, 32); err == nil {
+		t.Error("BBIT past TT accepted")
+	}
+	if _, err := NewDecoderFromTables(nil, nil, 1, 32); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := NewDecoderFromTables(nil, nil, 5, 40); err == nil {
+		t.Error("width 40 accepted")
+	}
+}
+
+func TestDecoderReset(t *testing.T) {
+	_, enc := prepare(t, core.Config{})
+	dec, err := NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := enc.Plans[0]
+	start := int(p.StartPC-enc.Graph.Base) / 4
+	dec.OnFetch(p.StartPC, enc.EncodedWords[start])
+	if !dec.Active() {
+		t.Fatal("decoder should be active inside covered block")
+	}
+	dec.Reset()
+	if dec.Active() {
+		t.Error("Reset left decoder active")
+	}
+}
+
+func TestUncoveredFetchPassesThrough(t *testing.T) {
+	_, enc := prepare(t, core.Config{})
+	dec, err := NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.OnFetch(0x00000ffc, 0xdeadbeef)
+	if err != nil || got != 0xdeadbeef {
+		t.Errorf("passthrough = %#x, %v", got, err)
+	}
+}
+
+func TestRestoreErrorMessage(t *testing.T) {
+	e := &restoreError{4, 1, 2}
+	if !strings.Contains(e.Error(), "decoder") {
+		t.Error("unhelpful error text")
+	}
+}

@@ -1,0 +1,173 @@
+package icache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{LineWords: 3, Sets: 4, Ways: 1},
+		{LineWords: 4, Sets: 3, Ways: 1},
+		{LineWords: 4, Sets: 4, Ways: 0},
+		{LineWords: 0, Sets: 4, Ways: 1},
+	}
+	for _, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+	if DefaultConfig.SizeBytes() != 1024 {
+		t.Errorf("default size = %d", DefaultConfig.SizeBytes())
+	}
+}
+
+func TestSequentialAccessPattern(t *testing.T) {
+	c, err := New(Config{LineWords: 4, Sets: 8, Ways: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refills []uint32
+	c.OnRefill = func(addr uint32) { refills = append(refills, addr) }
+	// 32 sequential word fetches: one miss per 4-word line.
+	for pc := uint32(0); pc < 128; pc += 4 {
+		c.Access(pc)
+	}
+	if c.Misses != 8 || c.Hits != 24 {
+		t.Errorf("misses=%d hits=%d", c.Misses, c.Hits)
+	}
+	if len(refills) != 8 || refills[0] != 0 || refills[7] != 112 {
+		t.Errorf("refills = %v", refills)
+	}
+}
+
+func TestLoopFitsAfterWarmup(t *testing.T) {
+	c, err := New(DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 16-instruction loop executed 100 times: misses only on the first
+	// pass.
+	for iter := 0; iter < 100; iter++ {
+		for pc := uint32(0x400000); pc < 0x400040; pc += 4 {
+			c.Access(pc)
+		}
+	}
+	if c.Misses != 4 {
+		t.Errorf("misses = %d, want 4 (one per line)", c.Misses)
+	}
+	if c.HitRate() < 99 {
+		t.Errorf("hit rate = %.2f", c.HitRate())
+	}
+}
+
+func TestConflictEviction(t *testing.T) {
+	// Direct-mapped, 2 sets of 1 way, 1-word lines: addresses 0 and 8 map
+	// to set 0 and evict each other.
+	c, err := New(Config{LineWords: 1, Sets: 2, Ways: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Access(0)
+		c.Access(8)
+	}
+	if c.Hits != 0 || c.Misses != 20 {
+		t.Errorf("hits=%d misses=%d, want pure thrashing", c.Hits, c.Misses)
+	}
+}
+
+func TestTwoWayAvoidsThrashing(t *testing.T) {
+	c, err := New(Config{LineWords: 1, Sets: 2, Ways: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Access(0)
+		c.Access(8)
+	}
+	if c.Misses != 2 {
+		t.Errorf("misses = %d, want 2 cold misses", c.Misses)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c, err := New(Config{LineWords: 1, Sets: 1, Ways: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0) // way A <- 0
+	c.Access(4) // way B <- 4
+	c.Access(0) // touch 0 (4 becomes LRU)
+	c.Access(8) // must evict 4
+	if !c.Access(0) {
+		t.Error("0 was evicted instead of the LRU line")
+	}
+	if c.Access(4) {
+		t.Error("4 should have been evicted")
+	}
+}
+
+func TestReset(t *testing.T) {
+	c, err := New(DefaultConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0)
+	c.Access(0)
+	c.Reset()
+	if c.Hits != 0 || c.Misses != 0 || c.HitRate() != 0 {
+		t.Error("reset incomplete")
+	}
+	if c.Access(0) {
+		t.Error("contents survived reset")
+	}
+}
+
+func TestRandomizedConsistency(t *testing.T) {
+	// Cross-check against a map-based reference model.
+	cfg := Config{LineWords: 4, Sets: 4, Ways: 2}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type way struct {
+		tag  uint32
+		used int
+	}
+	ref := make(map[int][]*way)
+	rng := rand.New(rand.NewSource(5))
+	tick := 0
+	for i := 0; i < 10000; i++ {
+		pc := uint32(rng.Intn(1024)) &^ 3
+		tick++
+		line := pc >> 4 // 4 words * 4 bytes
+		set := int(line % 4)
+		tag := line / 4
+		ws := ref[set]
+		refHit := false
+		for _, w := range ws {
+			if w.tag == tag {
+				w.used = tick
+				refHit = true
+				break
+			}
+		}
+		if !refHit {
+			if len(ws) < cfg.Ways {
+				ref[set] = append(ws, &way{tag, tick})
+			} else {
+				lru := ws[0]
+				for _, w := range ws[1:] {
+					if w.used < lru.used {
+						lru = w
+					}
+				}
+				lru.tag, lru.used = tag, tick
+			}
+		}
+		if got := c.Access(pc); got != refHit {
+			t.Fatalf("access %d (pc %#x): model hit=%v, reference hit=%v", i, pc, got, refHit)
+		}
+	}
+}

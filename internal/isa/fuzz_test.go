@@ -1,0 +1,38 @@
+package isa
+
+import "testing"
+
+// FuzzDecode checks decode/encode coherence on arbitrary machine words:
+// whenever a word decodes, re-encoding the decoded instruction must yield
+// a word that decodes to the identical instruction (encoding canonicalises
+// don't-care fields, so the words themselves may differ).
+func FuzzDecode(f *testing.F) {
+	seeds := []uint32{
+		0x00000000, 0x0000000c, 0x012a4020, 0x27bdfffc, 0x8fa80004,
+		0x11000003, 0x08100000, 0x03e00008, 0x3c011001, 0x46062080,
+		0x44880000, 0x4604103c, 0x45010002, 0xffffffff, 0x04010000,
+	}
+	for _, w := range seeds {
+		f.Add(w)
+	}
+	f.Fuzz(func(t *testing.T, word uint32) {
+		in, err := Decode(word)
+		if err != nil {
+			return
+		}
+		if !in.Op.Valid() {
+			t.Fatalf("Decode(%#08x) returned invalid op", word)
+		}
+		re, err := in.Encode()
+		if err != nil {
+			t.Fatalf("re-encode of %#08x (%v) failed: %v", word, in, err)
+		}
+		in2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("canonical word %#08x undecodable: %v", re, err)
+		}
+		if in2 != in {
+			t.Fatalf("decode not idempotent: %#08x -> %+v -> %#08x -> %+v", word, in, re, in2)
+		}
+	})
+}

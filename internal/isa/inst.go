@@ -1,0 +1,302 @@
+package isa
+
+import "fmt"
+
+// Inst is a decoded MR32 instruction. Field usage depends on the
+// operation's Format; unused fields are zero.
+type Inst struct {
+	Op     Op
+	Rd     Reg    // integer destination (R-type)
+	Rs     Reg    // first integer source / base register
+	Rt     Reg    // second integer source / I-type destination
+	Fd     FReg   // FP destination
+	Fs     FReg   // first FP source
+	Ft     FReg   // second FP source / FP load-store data register
+	Shamt  uint8  // shift amount
+	Imm    int32  // sign-extended 16-bit immediate (branch offsets in instructions)
+	Target uint32 // 26-bit jump target (word index within the 256MB region)
+}
+
+// Encode packs the instruction into its 32-bit machine word.
+func (in Inst) Encode() (uint32, error) {
+	if !in.Op.Valid() {
+		return 0, fmt.Errorf("isa: cannot encode invalid op")
+	}
+	inf := opTable[in.Op]
+	opc := uint32(inf.opcode) << 26
+	r := func(v uint8) error {
+		if v >= 32 {
+			return fmt.Errorf("isa: register field %d out of range in %s", v, in.Op)
+		}
+		return nil
+	}
+	checkImm16 := func(signed bool) error {
+		if signed {
+			if in.Imm < -32768 || in.Imm > 32767 {
+				return fmt.Errorf("isa: immediate %d out of signed 16-bit range in %s", in.Imm, in.Op)
+			}
+			return nil
+		}
+		if in.Imm < 0 || in.Imm > 0xffff {
+			return fmt.Errorf("isa: immediate %d out of unsigned 16-bit range in %s", in.Imm, in.Op)
+		}
+		return nil
+	}
+	switch inf.format {
+	case FmtR:
+		if err := firstErr(r(uint8(in.Rd)), r(uint8(in.Rs)), r(uint8(in.Rt))); err != nil {
+			return 0, err
+		}
+		return opc | uint32(in.Rs)<<21 | uint32(in.Rt)<<16 | uint32(in.Rd)<<11 | uint32(inf.funct), nil
+	case FmtRShift:
+		if in.Shamt >= 32 {
+			return 0, fmt.Errorf("isa: shift amount %d out of range", in.Shamt)
+		}
+		return opc | uint32(in.Rt)<<16 | uint32(in.Rd)<<11 | uint32(in.Shamt)<<6 | uint32(inf.funct), nil
+	case FmtRShiftV:
+		return opc | uint32(in.Rs)<<21 | uint32(in.Rt)<<16 | uint32(in.Rd)<<11 | uint32(inf.funct), nil
+	case FmtRJump:
+		return opc | uint32(in.Rs)<<21 | uint32(inf.funct), nil
+	case FmtRJALR:
+		return opc | uint32(in.Rs)<<21 | uint32(in.Rd)<<11 | uint32(inf.funct), nil
+	case FmtRMulDiv:
+		return opc | uint32(in.Rs)<<21 | uint32(in.Rt)<<16 | uint32(inf.funct), nil
+	case FmtRMoveFrom:
+		return opc | uint32(in.Rd)<<11 | uint32(inf.funct), nil
+	case FmtRMoveTo:
+		return opc | uint32(in.Rs)<<21 | uint32(inf.funct), nil
+	case FmtNone:
+		return opc | uint32(inf.funct), nil
+	case FmtI:
+		signed := in.Op == OpADDI || in.Op == OpADDIU || in.Op == OpSLTI || in.Op == OpSLTIU
+		if err := checkImm16(signed); err != nil {
+			return 0, err
+		}
+		return opc | uint32(in.Rs)<<21 | uint32(in.Rt)<<16 | uint32(uint16(in.Imm)), nil
+	case FmtILoad, FmtIStore:
+		if err := checkImm16(true); err != nil {
+			return 0, err
+		}
+		return opc | uint32(in.Rs)<<21 | uint32(in.Rt)<<16 | uint32(uint16(in.Imm)), nil
+	case FmtIBranch:
+		if err := checkImm16(true); err != nil {
+			return 0, err
+		}
+		return opc | uint32(in.Rs)<<21 | uint32(in.Rt)<<16 | uint32(uint16(in.Imm)), nil
+	case FmtIBranchZ:
+		if err := checkImm16(true); err != nil {
+			return 0, err
+		}
+		return opc | uint32(in.Rs)<<21 | uint32(inf.regimm)<<16 | uint32(uint16(in.Imm)), nil
+	case FmtLUI:
+		if err := checkImm16(false); err != nil {
+			return 0, err
+		}
+		return opc | uint32(in.Rt)<<16 | uint32(uint16(in.Imm)), nil
+	case FmtJ:
+		if in.Target >= 1<<26 {
+			return 0, fmt.Errorf("isa: jump target %#x out of 26-bit range", in.Target)
+		}
+		return opc | in.Target, nil
+	case FmtFPR:
+		return opc | uint32(inf.fmtFld)<<21 | uint32(in.Ft)<<16 | uint32(in.Fs)<<11 | uint32(in.Fd)<<6 | uint32(inf.funct), nil
+	case FmtFPRUnary, FmtFPCvt:
+		return opc | uint32(inf.fmtFld)<<21 | uint32(in.Fs)<<11 | uint32(in.Fd)<<6 | uint32(inf.funct), nil
+	case FmtFPCmp:
+		return opc | uint32(inf.fmtFld)<<21 | uint32(in.Ft)<<16 | uint32(in.Fs)<<11 | uint32(inf.funct), nil
+	case FmtFPBranch:
+		if err := checkImm16(true); err != nil {
+			return 0, err
+		}
+		return opc | uint32(inf.fmtFld)<<21 | uint32(inf.regimm)<<16 | uint32(uint16(in.Imm)), nil
+	case FmtFPMove:
+		return opc | uint32(inf.fmtFld)<<21 | uint32(in.Rt)<<16 | uint32(in.Fs)<<11, nil
+	case FmtFPLoad, FmtFPStore:
+		if err := checkImm16(true); err != nil {
+			return 0, err
+		}
+		return opc | uint32(in.Rs)<<21 | uint32(in.Ft)<<16 | uint32(uint16(in.Imm)), nil
+	}
+	return 0, fmt.Errorf("isa: unhandled format for %s", in.Op)
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Decode unpacks a 32-bit machine word. Unknown encodings return an error;
+// the power-encoding pipeline never needs to decode arbitrary data words,
+// only genuine instructions.
+func Decode(word uint32) (Inst, error) {
+	opc := uint8(word >> 26)
+	rs := Reg(word >> 21 & 31)
+	rt := Reg(word >> 16 & 31)
+	rd := Reg(word >> 11 & 31)
+	shamt := uint8(word >> 6 & 31)
+	funct := uint8(word & 63)
+	imm := int32(int16(word & 0xffff))
+
+	switch opc {
+	case opcSpecial:
+		for op := OpSLL; op < numOps; op++ {
+			inf := opTable[op]
+			if inf.opcode != opcSpecial || inf.funct != funct {
+				continue
+			}
+			in := Inst{Op: op}
+			switch inf.format {
+			case FmtR:
+				in.Rd, in.Rs, in.Rt = rd, rs, rt
+			case FmtRShift:
+				in.Rd, in.Rt, in.Shamt = rd, rt, shamt
+			case FmtRShiftV:
+				in.Rd, in.Rt, in.Rs = rd, rt, rs
+			case FmtRJump:
+				in.Rs = rs
+			case FmtRJALR:
+				in.Rd, in.Rs = rd, rs
+			case FmtRMulDiv:
+				in.Rs, in.Rt = rs, rt
+			case FmtRMoveFrom:
+				in.Rd = rd
+			case FmtRMoveTo:
+				in.Rs = rs
+			case FmtNone:
+			}
+			return in, nil
+		}
+		return Inst{}, fmt.Errorf("isa: unknown SPECIAL funct %#x", funct)
+	case opcRegimm:
+		switch uint8(rt) {
+		case 0x00:
+			return Inst{Op: OpBLTZ, Rs: rs, Imm: imm}, nil
+		case 0x01:
+			return Inst{Op: OpBGEZ, Rs: rs, Imm: imm}, nil
+		}
+		return Inst{}, fmt.Errorf("isa: unknown REGIMM rt %#x", uint8(rt))
+	case opcCOP1:
+		fmtFld := uint8(rs)
+		switch fmtFld {
+		case fmtMFC1:
+			return Inst{Op: OpMFC1, Rt: rt, Fs: FReg(rd)}, nil
+		case fmtMTC1:
+			return Inst{Op: OpMTC1, Rt: rt, Fs: FReg(rd)}, nil
+		case fmtBC:
+			if uint8(rt)&1 == 0 {
+				return Inst{Op: OpBC1F, Imm: imm}, nil
+			}
+			return Inst{Op: OpBC1T, Imm: imm}, nil
+		case fmtSingle, fmtWord:
+			for op := OpADDS; op < numOps; op++ {
+				inf := opTable[op]
+				if inf.opcode != opcCOP1 || inf.fmtFld != fmtFld || inf.funct != funct {
+					continue
+				}
+				in := Inst{Op: op}
+				switch inf.format {
+				case FmtFPR:
+					in.Fd, in.Fs, in.Ft = FReg(shamt), FReg(rd), FReg(rt)
+				case FmtFPRUnary, FmtFPCvt:
+					in.Fd, in.Fs = FReg(shamt), FReg(rd)
+				case FmtFPCmp:
+					in.Fs, in.Ft = FReg(rd), FReg(rt)
+				}
+				return in, nil
+			}
+			return Inst{}, fmt.Errorf("isa: unknown COP1 funct %#x (fmt %#x)", funct, fmtFld)
+		}
+		return Inst{}, fmt.Errorf("isa: unknown COP1 fmt %#x", fmtFld)
+	}
+	for op := OpSLL; op < numOps; op++ {
+		inf := opTable[op]
+		if inf.opcode != opc || inf.opcode == opcSpecial || inf.opcode == opcRegimm || inf.opcode == opcCOP1 {
+			continue
+		}
+		in := Inst{Op: op}
+		switch inf.format {
+		case FmtI, FmtILoad, FmtIStore, FmtIBranch:
+			in.Rs, in.Rt, in.Imm = rs, rt, imm
+			if op == OpANDI || op == OpORI || op == OpXORI {
+				in.Imm = int32(word & 0xffff) // logical immediates are zero-extended
+			}
+		case FmtIBranchZ:
+			in.Rs, in.Imm = rs, imm
+		case FmtLUI:
+			in.Rt, in.Imm = rt, int32(word&0xffff)
+		case FmtJ:
+			in.Target = word & 0x03ffffff
+		case FmtFPLoad, FmtFPStore:
+			in.Rs, in.Ft, in.Imm = rs, FReg(rt), imm
+		}
+		return in, nil
+	}
+	return Inst{}, fmt.Errorf("isa: unknown opcode %#x", opc)
+}
+
+// String disassembles the instruction using assembler syntax. Branch and
+// jump operands are shown numerically (the disassembler has no symbol
+// table).
+func (in Inst) String() string {
+	inf := opTable[in.Op]
+	n := in.Op.Name()
+	switch inf.format {
+	case FmtR:
+		return fmt.Sprintf("%s %s, %s, %s", n, in.Rd, in.Rs, in.Rt)
+	case FmtRShift:
+		return fmt.Sprintf("%s %s, %s, %d", n, in.Rd, in.Rt, in.Shamt)
+	case FmtRShiftV:
+		return fmt.Sprintf("%s %s, %s, %s", n, in.Rd, in.Rt, in.Rs)
+	case FmtRJump:
+		return fmt.Sprintf("%s %s", n, in.Rs)
+	case FmtRJALR:
+		return fmt.Sprintf("%s %s, %s", n, in.Rd, in.Rs)
+	case FmtRMulDiv:
+		return fmt.Sprintf("%s %s, %s", n, in.Rs, in.Rt)
+	case FmtRMoveFrom:
+		return fmt.Sprintf("%s %s", n, in.Rd)
+	case FmtRMoveTo:
+		return fmt.Sprintf("%s %s", n, in.Rs)
+	case FmtNone:
+		return n
+	case FmtI:
+		return fmt.Sprintf("%s %s, %s, %d", n, in.Rt, in.Rs, in.Imm)
+	case FmtILoad, FmtIStore:
+		return fmt.Sprintf("%s %s, %d(%s)", n, in.Rt, in.Imm, in.Rs)
+	case FmtIBranch:
+		return fmt.Sprintf("%s %s, %s, %d", n, in.Rs, in.Rt, in.Imm)
+	case FmtIBranchZ:
+		return fmt.Sprintf("%s %s, %d", n, in.Rs, in.Imm)
+	case FmtLUI:
+		return fmt.Sprintf("%s %s, %d", n, in.Rt, in.Imm)
+	case FmtJ:
+		return fmt.Sprintf("%s %#x", n, in.Target<<2)
+	case FmtFPR:
+		return fmt.Sprintf("%s %s, %s, %s", n, in.Fd, in.Fs, in.Ft)
+	case FmtFPRUnary, FmtFPCvt:
+		return fmt.Sprintf("%s %s, %s", n, in.Fd, in.Fs)
+	case FmtFPCmp:
+		return fmt.Sprintf("%s %s, %s", n, in.Fs, in.Ft)
+	case FmtFPBranch:
+		return fmt.Sprintf("%s %d", n, in.Imm)
+	case FmtFPMove:
+		return fmt.Sprintf("%s %s, %s", n, in.Rt, in.Fs)
+	case FmtFPLoad, FmtFPStore:
+		return fmt.Sprintf("%s %s, %d(%s)", n, in.Ft, in.Imm, in.Rs)
+	}
+	return n
+}
+
+// Disassemble decodes and formats a machine word, falling back to a raw
+// word directive for undecodable values.
+func Disassemble(word uint32) string {
+	in, err := Decode(word)
+	if err != nil {
+		return fmt.Sprintf(".word %#08x", word)
+	}
+	return in.String()
+}

@@ -1,0 +1,262 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randInst builds a random valid instruction of the given op.
+func randInst(rng *rand.Rand, op Op) Inst {
+	in := Inst{Op: op}
+	reg := func() Reg { return Reg(rng.Intn(32)) }
+	freg := func() FReg { return FReg(rng.Intn(32)) }
+	simm := func() int32 { return int32(rng.Intn(1<<16) - 1<<15) }
+	uimm := func() int32 { return int32(rng.Intn(1 << 16)) }
+	switch op.Format() {
+	case FmtR:
+		in.Rd, in.Rs, in.Rt = reg(), reg(), reg()
+	case FmtRShift:
+		in.Rd, in.Rt, in.Shamt = reg(), reg(), uint8(rng.Intn(32))
+	case FmtRShiftV:
+		in.Rd, in.Rt, in.Rs = reg(), reg(), reg()
+	case FmtRJump:
+		in.Rs = reg()
+	case FmtRJALR:
+		in.Rd, in.Rs = reg(), reg()
+	case FmtRMulDiv:
+		in.Rs, in.Rt = reg(), reg()
+	case FmtRMoveFrom:
+		in.Rd = reg()
+	case FmtRMoveTo:
+		in.Rs = reg()
+	case FmtNone:
+	case FmtI:
+		in.Rt, in.Rs = reg(), reg()
+		if op == OpANDI || op == OpORI || op == OpXORI {
+			in.Imm = uimm()
+		} else {
+			in.Imm = simm()
+		}
+	case FmtILoad, FmtIStore, FmtIBranch:
+		in.Rt, in.Rs, in.Imm = reg(), reg(), simm()
+	case FmtIBranchZ:
+		in.Rs, in.Imm = reg(), simm()
+	case FmtLUI:
+		in.Rt, in.Imm = reg(), uimm()
+	case FmtJ:
+		in.Target = rng.Uint32() & 0x03ffffff
+	case FmtFPR:
+		in.Fd, in.Fs, in.Ft = freg(), freg(), freg()
+	case FmtFPRUnary, FmtFPCvt:
+		in.Fd, in.Fs = freg(), freg()
+	case FmtFPCmp:
+		in.Fs, in.Ft = freg(), freg()
+	case FmtFPBranch:
+		in.Imm = simm()
+	case FmtFPMove:
+		in.Rt, in.Fs = reg(), freg()
+	case FmtFPLoad, FmtFPStore:
+		in.Ft, in.Rs, in.Imm = freg(), reg(), simm()
+	}
+	return in
+}
+
+// TestEncodeDecodeRoundTrip exercises every operation with many random
+// operand draws: decode(encode(i)) must reproduce i exactly.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, op := range Ops() {
+		for trial := 0; trial < 100; trial++ {
+			in := randInst(rng, op)
+			word, err := in.Encode()
+			if err != nil {
+				t.Fatalf("%s: encode %+v: %v", op, in, err)
+			}
+			got, err := Decode(word)
+			if err != nil {
+				t.Fatalf("%s: decode %#08x: %v", op, word, err)
+			}
+			if got != in {
+				t.Fatalf("%s: round trip %+v -> %#08x -> %+v", op, in, word, got)
+			}
+		}
+	}
+}
+
+// TestKnownEncodings pins a handful of golden MIPS-I machine words so that
+// an encoding-table regression cannot slip past the round-trip test.
+func TestKnownEncodings(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want uint32
+	}{
+		// add $t0, $t1, $t2 -> 0x012A4020
+		{Inst{Op: OpADD, Rd: T0, Rs: T1, Rt: T2}, 0x012a4020},
+		// addiu $sp, $sp, -4 -> 0x27BDFFFC
+		{Inst{Op: OpADDIU, Rt: SP, Rs: SP, Imm: -4}, 0x27bdfffc},
+		// lw $t0, 4($sp) -> 0x8FA80004
+		{Inst{Op: OpLW, Rt: T0, Rs: SP, Imm: 4}, 0x8fa80004},
+		// sw $ra, 0($sp) -> 0xAFBF0000
+		{Inst{Op: OpSW, Rt: RA, Rs: SP, Imm: 0}, 0xafbf0000},
+		// beq $t0, $zero, +3 -> 0x11000003
+		{Inst{Op: OpBEQ, Rs: T0, Rt: Zero, Imm: 3}, 0x11000003},
+		// j 0x00400000 -> target field 0x100000 -> 0x08100000
+		{Inst{Op: OpJ, Target: 0x00400000 >> 2}, 0x08100000},
+		// jr $ra -> 0x03E00008
+		{Inst{Op: OpJR, Rs: RA}, 0x03e00008},
+		// sll $zero, $zero, 0 (canonical nop) -> 0x00000000
+		{Inst{Op: OpSLL, Rd: Zero, Rt: Zero, Shamt: 0}, 0x00000000},
+		// lui $at, 0x1001 -> 0x3C011001
+		{Inst{Op: OpLUI, Rt: AT, Imm: 0x1001}, 0x3c011001},
+		// add.s $f2, $f4, $f6 -> 0x46062080
+		{Inst{Op: OpADDS, Fd: 2, Fs: 4, Ft: 6}, 0x46062080},
+		// mtc1 $t0, $f0 -> 0x44880000
+		{Inst{Op: OpMTC1, Rt: T0, Fs: 0}, 0x44880000},
+		// c.lt.s $f2, $f4 -> 0x4604103C
+		{Inst{Op: OpCLTS, Fs: 2, Ft: 4}, 0x4604103c},
+		// bc1t +2 -> 0x45010002
+		{Inst{Op: OpBC1T, Imm: 2}, 0x45010002},
+		// syscall -> 0x0000000C
+		{Inst{Op: OpSYSCALL}, 0x0000000c},
+	}
+	for _, c := range cases {
+		got, err := c.in.Encode()
+		if err != nil {
+			t.Fatalf("encode %v: %v", c.in, err)
+		}
+		if got != c.want {
+			t.Errorf("encode(%v) = %#08x, want %#08x", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEncodeRangeChecks(t *testing.T) {
+	bad := []Inst{
+		{Op: OpADDI, Rt: T0, Rs: T1, Imm: 40000},
+		{Op: OpADDI, Rt: T0, Rs: T1, Imm: -40000},
+		{Op: OpORI, Rt: T0, Rs: T1, Imm: -1},
+		{Op: OpORI, Rt: T0, Rs: T1, Imm: 0x10000},
+		{Op: OpLUI, Rt: T0, Imm: 0x10000},
+		{Op: OpSLL, Rd: T0, Rt: T1, Shamt: 32},
+		{Op: OpJ, Target: 1 << 26},
+		{Op: OpInvalid},
+	}
+	for _, in := range bad {
+		if _, err := in.Encode(); err == nil {
+			t.Errorf("encode(%+v) accepted out-of-range operand", in)
+		}
+	}
+}
+
+func TestDecodeUnknown(t *testing.T) {
+	bad := []uint32{
+		0x00000001, // SPECIAL funct 1 undefined
+		0x04420000, // REGIMM rt=2 undefined
+		0x47000000, // COP1 fmt 0x18 undefined
+		0x46000021, // COP1 single funct 0x21 undefined
+		0xff000000, // opcode 0x3f undefined
+	}
+	for _, w := range bad {
+		if _, err := Decode(w); err == nil {
+			t.Errorf("Decode(%#08x) succeeded, want error", w)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	for _, op := range Ops() {
+		got, ok := Lookup(op.Name())
+		if !ok || got != op {
+			t.Errorf("Lookup(%q) = (%v,%v)", op.Name(), got, ok)
+		}
+	}
+	if _, ok := Lookup("frobnicate"); ok {
+		t.Error("Lookup accepted unknown mnemonic")
+	}
+}
+
+func TestParseReg(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Reg
+	}{
+		{"$t0", T0}, {"t0", T0}, {"$zero", Zero}, {"$31", RA},
+		{"$sp", SP}, {"ra", RA}, {"$8", T0}, {" $v0 ", V0},
+	}
+	for _, c := range cases {
+		got, err := ParseReg(c.in)
+		if err != nil || got != c.want {
+			t.Errorf("ParseReg(%q) = (%v,%v), want %v", c.in, got, err, c.want)
+		}
+	}
+	for _, bad := range []string{"$t00x", "$32", "", "$f1"} {
+		if _, err := ParseReg(bad); err == nil {
+			t.Errorf("ParseReg(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseFReg(t *testing.T) {
+	got, err := ParseFReg("$f12")
+	if err != nil || got != 12 {
+		t.Errorf("ParseFReg($f12) = (%v,%v)", got, err)
+	}
+	if _, err := ParseFReg("$t0"); err == nil {
+		t.Error("ParseFReg accepted integer register")
+	}
+	if _, err := ParseFReg("$f32"); err == nil {
+		t.Error("ParseFReg accepted out-of-range register")
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpBEQ.IsBranch() || OpADD.IsBranch() {
+		t.Error("IsBranch wrong")
+	}
+	if !OpJ.IsJump() || !OpJR.IsJump() || OpBEQ.IsJump() {
+		t.Error("IsJump wrong")
+	}
+	if !OpSYSCALL.IsControl() || !OpBNE.IsControl() || OpADDU.IsControl() {
+		t.Error("IsControl wrong")
+	}
+	if !OpLW.IsLoad() || !OpLWC1.IsLoad() || OpSW.IsLoad() {
+		t.Error("IsLoad wrong")
+	}
+	if !OpSW.IsStore() || !OpSWC1.IsStore() || OpLW.IsStore() {
+		t.Error("IsStore wrong")
+	}
+	if !OpADDS.IsFP() || !OpMFC1.IsFP() || OpADD.IsFP() {
+		t.Error("IsFP wrong")
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	word, err := (Inst{Op: OpADD, Rd: T0, Rs: T1, Rt: T2}).Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Disassemble(word); got != "add $t0, $t1, $t2" {
+		t.Errorf("Disassemble = %q", got)
+	}
+	if got := Disassemble(0xffffffff); !strings.HasPrefix(got, ".word") {
+		t.Errorf("undecodable word rendered as %q", got)
+	}
+}
+
+// TestStringCoversAllFormats just exercises the String path of one op per
+// format so formatting regressions surface.
+func TestStringCoversAllFormats(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	seen := map[Format]bool{}
+	for _, op := range Ops() {
+		if seen[op.Format()] {
+			continue
+		}
+		seen[op.Format()] = true
+		in := randInst(rng, op)
+		if in.String() == "" {
+			t.Errorf("%s renders empty", op)
+		}
+	}
+}

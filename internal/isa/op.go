@@ -1,0 +1,328 @@
+// Package isa defines MR32, the 32-bit MIPS-I-subset instruction set used
+// by the instruction-memory power-encoding experiments. The paper evaluates
+// on SimpleScalar's MIPS-like ISA; MR32 keeps genuine MIPS-I field layouts
+// and opcode assignments so instruction-word bit statistics (and therefore
+// bus-transition behaviour) stay realistic, while remaining small enough to
+// simulate exactly.
+//
+// Supported instruction classes: the full integer ALU/shift/compare set,
+// HI/LO multiply/divide, loads/stores (byte, half, word), branches and
+// jumps, and a single-precision floating-point coprocessor (arithmetic,
+// compare/branch on FCC0, conversions, and moves). Branch delay slots are
+// not modelled: the simulator is a functional front end whose only role is
+// to produce the dynamic fetch stream, and the encoder never relies on
+// delay-slot semantics.
+package isa
+
+import "fmt"
+
+// Op enumerates every MR32 operation.
+type Op uint8
+
+// Integer operations.
+const (
+	OpInvalid Op = iota
+	OpSLL
+	OpSRL
+	OpSRA
+	OpSLLV
+	OpSRLV
+	OpSRAV
+	OpJR
+	OpJALR
+	OpSYSCALL
+	OpBREAK
+	OpMFHI
+	OpMTHI
+	OpMFLO
+	OpMTLO
+	OpMULT
+	OpMULTU
+	OpDIV
+	OpDIVU
+	OpADD
+	OpADDU
+	OpSUB
+	OpSUBU
+	OpAND
+	OpOR
+	OpXOR
+	OpNOR
+	OpSLT
+	OpSLTU
+	OpBLTZ
+	OpBGEZ
+	OpJ
+	OpJAL
+	OpBEQ
+	OpBNE
+	OpBLEZ
+	OpBGTZ
+	OpADDI
+	OpADDIU
+	OpSLTI
+	OpSLTIU
+	OpANDI
+	OpORI
+	OpXORI
+	OpLUI
+	OpLB
+	OpLH
+	OpLW
+	OpLBU
+	OpLHU
+	OpSB
+	OpSH
+	OpSW
+	// Floating point (single precision, coprocessor 1).
+	OpLWC1
+	OpSWC1
+	OpMFC1
+	OpMTC1
+	OpBC1F
+	OpBC1T
+	OpADDS
+	OpSUBS
+	OpMULS
+	OpDIVS
+	OpSQRTS
+	OpABSS
+	OpMOVS
+	OpNEGS
+	OpCVTWS // cvt.w.s: float -> int32 (truncating)
+	OpCVTSW // cvt.s.w: int32 -> float
+	OpCEQS
+	OpCLTS
+	OpCLES
+
+	numOps
+)
+
+// Format describes an operand layout; it drives the assembler, the
+// encoder/decoder and the disassembler.
+type Format uint8
+
+// Operand formats.
+const (
+	FmtR         Format = iota // op rd, rs, rt
+	FmtRShift                  // op rd, rt, shamt
+	FmtRShiftV                 // op rd, rt, rs
+	FmtRJump                   // op rs
+	FmtRJALR                   // op rd, rs
+	FmtRMulDiv                 // op rs, rt
+	FmtRMoveFrom               // op rd        (mfhi/mflo)
+	FmtRMoveTo                 // op rs        (mthi/mtlo)
+	FmtNone                    // op           (syscall/break)
+	FmtI                       // op rt, rs, imm
+	FmtILoad                   // op rt, imm(rs)
+	FmtIStore                  // op rt, imm(rs)
+	FmtIBranch                 // op rs, rt, offset
+	FmtIBranchZ                // op rs, offset (blez/bgtz/regimm)
+	FmtLUI                     // op rt, imm
+	FmtJ                       // op target
+	FmtFPR                     // op fd, fs, ft
+	FmtFPRUnary                // op fd, fs
+	FmtFPCmp                   // op fs, ft
+	FmtFPBranch                // op offset
+	FmtFPMove                  // op rt, fs   (mfc1/mtc1)
+	FmtFPLoad                  // op ft, imm(rs)
+	FmtFPStore                 // op ft, imm(rs)
+	FmtFPCvt                   // op fd, fs
+)
+
+// info is the static description of one operation.
+type info struct {
+	name   string
+	format Format
+	opcode uint8 // primary opcode field (bits 31..26)
+	funct  uint8 // function field for R-type / COP1 arithmetic
+	fmtFld uint8 // COP1 fmt field (bits 25..21) where applicable
+	regimm uint8 // rt field for REGIMM branches
+}
+
+// Primary opcodes shared by several operations.
+const (
+	opcSpecial = 0x00
+	opcRegimm  = 0x01
+	opcCOP1    = 0x11
+	fmtSingle  = 0x10
+	fmtWord    = 0x14
+	fmtBC      = 0x08
+	fmtMFC1    = 0x00
+	fmtMTC1    = 0x04
+)
+
+var opTable = [numOps]info{
+	OpSLL:     {"sll", FmtRShift, opcSpecial, 0x00, 0, 0},
+	OpSRL:     {"srl", FmtRShift, opcSpecial, 0x02, 0, 0},
+	OpSRA:     {"sra", FmtRShift, opcSpecial, 0x03, 0, 0},
+	OpSLLV:    {"sllv", FmtRShiftV, opcSpecial, 0x04, 0, 0},
+	OpSRLV:    {"srlv", FmtRShiftV, opcSpecial, 0x06, 0, 0},
+	OpSRAV:    {"srav", FmtRShiftV, opcSpecial, 0x07, 0, 0},
+	OpJR:      {"jr", FmtRJump, opcSpecial, 0x08, 0, 0},
+	OpJALR:    {"jalr", FmtRJALR, opcSpecial, 0x09, 0, 0},
+	OpSYSCALL: {"syscall", FmtNone, opcSpecial, 0x0c, 0, 0},
+	OpBREAK:   {"break", FmtNone, opcSpecial, 0x0d, 0, 0},
+	OpMFHI:    {"mfhi", FmtRMoveFrom, opcSpecial, 0x10, 0, 0},
+	OpMTHI:    {"mthi", FmtRMoveTo, opcSpecial, 0x11, 0, 0},
+	OpMFLO:    {"mflo", FmtRMoveFrom, opcSpecial, 0x12, 0, 0},
+	OpMTLO:    {"mtlo", FmtRMoveTo, opcSpecial, 0x13, 0, 0},
+	OpMULT:    {"mult", FmtRMulDiv, opcSpecial, 0x18, 0, 0},
+	OpMULTU:   {"multu", FmtRMulDiv, opcSpecial, 0x19, 0, 0},
+	OpDIV:     {"div", FmtRMulDiv, opcSpecial, 0x1a, 0, 0},
+	OpDIVU:    {"divu", FmtRMulDiv, opcSpecial, 0x1b, 0, 0},
+	OpADD:     {"add", FmtR, opcSpecial, 0x20, 0, 0},
+	OpADDU:    {"addu", FmtR, opcSpecial, 0x21, 0, 0},
+	OpSUB:     {"sub", FmtR, opcSpecial, 0x22, 0, 0},
+	OpSUBU:    {"subu", FmtR, opcSpecial, 0x23, 0, 0},
+	OpAND:     {"and", FmtR, opcSpecial, 0x24, 0, 0},
+	OpOR:      {"or", FmtR, opcSpecial, 0x25, 0, 0},
+	OpXOR:     {"xor", FmtR, opcSpecial, 0x26, 0, 0},
+	OpNOR:     {"nor", FmtR, opcSpecial, 0x27, 0, 0},
+	OpSLT:     {"slt", FmtR, opcSpecial, 0x2a, 0, 0},
+	OpSLTU:    {"sltu", FmtR, opcSpecial, 0x2b, 0, 0},
+	OpBLTZ:    {"bltz", FmtIBranchZ, opcRegimm, 0, 0, 0x00},
+	OpBGEZ:    {"bgez", FmtIBranchZ, opcRegimm, 0, 0, 0x01},
+	OpJ:       {"j", FmtJ, 0x02, 0, 0, 0},
+	OpJAL:     {"jal", FmtJ, 0x03, 0, 0, 0},
+	OpBEQ:     {"beq", FmtIBranch, 0x04, 0, 0, 0},
+	OpBNE:     {"bne", FmtIBranch, 0x05, 0, 0, 0},
+	OpBLEZ:    {"blez", FmtIBranchZ, 0x06, 0, 0, 0},
+	OpBGTZ:    {"bgtz", FmtIBranchZ, 0x07, 0, 0, 0},
+	OpADDI:    {"addi", FmtI, 0x08, 0, 0, 0},
+	OpADDIU:   {"addiu", FmtI, 0x09, 0, 0, 0},
+	OpSLTI:    {"slti", FmtI, 0x0a, 0, 0, 0},
+	OpSLTIU:   {"sltiu", FmtI, 0x0b, 0, 0, 0},
+	OpANDI:    {"andi", FmtI, 0x0c, 0, 0, 0},
+	OpORI:     {"ori", FmtI, 0x0d, 0, 0, 0},
+	OpXORI:    {"xori", FmtI, 0x0e, 0, 0, 0},
+	OpLUI:     {"lui", FmtLUI, 0x0f, 0, 0, 0},
+	OpLB:      {"lb", FmtILoad, 0x20, 0, 0, 0},
+	OpLH:      {"lh", FmtILoad, 0x21, 0, 0, 0},
+	OpLW:      {"lw", FmtILoad, 0x23, 0, 0, 0},
+	OpLBU:     {"lbu", FmtILoad, 0x24, 0, 0, 0},
+	OpLHU:     {"lhu", FmtILoad, 0x25, 0, 0, 0},
+	OpSB:      {"sb", FmtIStore, 0x28, 0, 0, 0},
+	OpSH:      {"sh", FmtIStore, 0x29, 0, 0, 0},
+	OpSW:      {"sw", FmtIStore, 0x2b, 0, 0, 0},
+	OpLWC1:    {"lwc1", FmtFPLoad, 0x31, 0, 0, 0},
+	OpSWC1:    {"swc1", FmtFPStore, 0x39, 0, 0, 0},
+	OpMFC1:    {"mfc1", FmtFPMove, opcCOP1, 0, fmtMFC1, 0},
+	OpMTC1:    {"mtc1", FmtFPMove, opcCOP1, 0, fmtMTC1, 0},
+	OpBC1F:    {"bc1f", FmtFPBranch, opcCOP1, 0, fmtBC, 0x00},
+	OpBC1T:    {"bc1t", FmtFPBranch, opcCOP1, 0, fmtBC, 0x01},
+	OpADDS:    {"add.s", FmtFPR, opcCOP1, 0x00, fmtSingle, 0},
+	OpSUBS:    {"sub.s", FmtFPR, opcCOP1, 0x01, fmtSingle, 0},
+	OpMULS:    {"mul.s", FmtFPR, opcCOP1, 0x02, fmtSingle, 0},
+	OpDIVS:    {"div.s", FmtFPR, opcCOP1, 0x03, fmtSingle, 0},
+	OpSQRTS:   {"sqrt.s", FmtFPRUnary, opcCOP1, 0x04, fmtSingle, 0},
+	OpABSS:    {"abs.s", FmtFPRUnary, opcCOP1, 0x05, fmtSingle, 0},
+	OpMOVS:    {"mov.s", FmtFPRUnary, opcCOP1, 0x06, fmtSingle, 0},
+	OpNEGS:    {"neg.s", FmtFPRUnary, opcCOP1, 0x07, fmtSingle, 0},
+	OpCVTWS:   {"cvt.w.s", FmtFPCvt, opcCOP1, 0x24, fmtSingle, 0},
+	OpCVTSW:   {"cvt.s.w", FmtFPCvt, opcCOP1, 0x20, fmtWord, 0},
+	OpCEQS:    {"c.eq.s", FmtFPCmp, opcCOP1, 0x32, fmtSingle, 0},
+	OpCLTS:    {"c.lt.s", FmtFPCmp, opcCOP1, 0x3c, fmtSingle, 0},
+	OpCLES:    {"c.le.s", FmtFPCmp, opcCOP1, 0x3e, fmtSingle, 0},
+}
+
+// byName maps mnemonics to operations for the assembler.
+var byName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op := OpSLL; op < numOps; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// Name returns the assembler mnemonic of the operation.
+func (op Op) Name() string {
+	if op <= OpInvalid || op >= numOps {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// String implements fmt.Stringer.
+func (op Op) String() string { return op.Name() }
+
+// Format returns the operand layout of the operation.
+func (op Op) Format() Format {
+	if op <= OpInvalid || op >= numOps {
+		return FmtNone
+	}
+	return opTable[op].format
+}
+
+// Valid reports whether op is a defined operation.
+func (op Op) Valid() bool { return op > OpInvalid && op < numOps }
+
+// Lookup resolves a mnemonic to its operation. It returns OpInvalid and
+// ok=false for unknown mnemonics.
+func Lookup(name string) (Op, bool) {
+	op, ok := byName[name]
+	return op, ok
+}
+
+// Ops returns all defined operations in enumeration order.
+func Ops() []Op {
+	out := make([]Op, 0, int(numOps)-1)
+	for op := OpSLL; op < numOps; op++ {
+		out = append(out, op)
+	}
+	return out
+}
+
+// IsBranch reports whether op is a conditional branch (PC-relative).
+func (op Op) IsBranch() bool {
+	switch op {
+	case OpBEQ, OpBNE, OpBLEZ, OpBGTZ, OpBLTZ, OpBGEZ, OpBC1F, OpBC1T:
+		return true
+	}
+	return false
+}
+
+// IsJump reports whether op unconditionally redirects the PC.
+func (op Op) IsJump() bool {
+	switch op {
+	case OpJ, OpJAL, OpJR, OpJALR:
+		return true
+	}
+	return false
+}
+
+// IsControl reports whether op can change the PC (branch, jump or the
+// program-terminating syscall, which ends a basic block as well).
+func (op Op) IsControl() bool {
+	return op.IsBranch() || op.IsJump() || op == OpSYSCALL || op == OpBREAK
+}
+
+// IsLoad reports whether op reads data memory.
+func (op Op) IsLoad() bool {
+	switch op {
+	case OpLB, OpLH, OpLW, OpLBU, OpLHU, OpLWC1:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether op writes data memory.
+func (op Op) IsStore() bool {
+	switch op {
+	case OpSB, OpSH, OpSW, OpSWC1:
+		return true
+	}
+	return false
+}
+
+// IsFP reports whether op belongs to the floating-point coprocessor
+// (including FP loads/stores and moves).
+func (op Op) IsFP() bool {
+	switch op {
+	case OpLWC1, OpSWC1, OpMFC1, OpMTC1, OpBC1F, OpBC1T,
+		OpADDS, OpSUBS, OpMULS, OpDIVS, OpSQRTS, OpABSS, OpMOVS, OpNEGS,
+		OpCVTWS, OpCVTSW, OpCEQS, OpCLTS, OpCLES:
+		return true
+	}
+	return false
+}

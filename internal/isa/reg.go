@@ -1,0 +1,99 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Reg identifies one of the 32 integer registers.
+type Reg uint8
+
+// Conventional MIPS register assignments.
+const (
+	Zero Reg = 0 // hardwired zero
+	AT   Reg = 1 // assembler temporary
+	V0   Reg = 2 // result / syscall number
+	V1   Reg = 3
+	A0   Reg = 4 // arguments
+	A1   Reg = 5
+	A2   Reg = 6
+	A3   Reg = 7
+	T0   Reg = 8 // caller-saved temporaries
+	T1   Reg = 9
+	T2   Reg = 10
+	T3   Reg = 11
+	T4   Reg = 12
+	T5   Reg = 13
+	T6   Reg = 14
+	T7   Reg = 15
+	S0   Reg = 16 // callee-saved
+	S1   Reg = 17
+	S2   Reg = 18
+	S3   Reg = 19
+	S4   Reg = 20
+	S5   Reg = 21
+	S6   Reg = 22
+	S7   Reg = 23
+	T8   Reg = 24
+	T9   Reg = 25
+	K0   Reg = 26 // kernel reserved
+	K1   Reg = 27
+	GP   Reg = 28 // global pointer
+	SP   Reg = 29 // stack pointer
+	FP   Reg = 30 // frame pointer
+	RA   Reg = 31 // return address
+)
+
+var regNames = [32]string{
+	"zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+}
+
+// String returns the conventional dollar-name of the register.
+func (r Reg) String() string {
+	if r < 32 {
+		return "$" + regNames[r]
+	}
+	return fmt.Sprintf("$r%d", uint8(r))
+}
+
+// FReg identifies one of the 32 single-precision floating-point registers.
+type FReg uint8
+
+// String returns the conventional name $f0..$f31.
+func (f FReg) String() string { return fmt.Sprintf("$f%d", uint8(f)) }
+
+// ParseReg parses an integer register reference: "$t0", "t0", "$8" or "8".
+func ParseReg(s string) (Reg, error) {
+	orig := s
+	s = strings.TrimPrefix(strings.ToLower(strings.TrimSpace(s)), "$")
+	for i, n := range regNames {
+		if s == n {
+			return Reg(i), nil
+		}
+	}
+	if s == "r0" { // common alias
+		return Zero, nil
+	}
+	if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < 32 {
+		return Reg(n), nil
+	}
+	return 0, fmt.Errorf("isa: unknown register %q", orig)
+}
+
+// ParseFReg parses a floating-point register reference: "$f4" or "f4".
+func ParseFReg(s string) (FReg, error) {
+	orig := s
+	s = strings.TrimPrefix(strings.ToLower(strings.TrimSpace(s)), "$")
+	if !strings.HasPrefix(s, "f") {
+		return 0, fmt.Errorf("isa: unknown FP register %q", orig)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= 32 {
+		return 0, fmt.Errorf("isa: unknown FP register %q", orig)
+	}
+	return FReg(n), nil
+}

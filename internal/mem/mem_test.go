@@ -1,0 +1,179 @@
+package mem
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestByteRoundTrip(t *testing.T) {
+	m := New()
+	m.StoreByte(0x10010000, 0xab)
+	if got := m.LoadByte(0x10010000); got != 0xab {
+		t.Errorf("byte = %#x", got)
+	}
+	if got := m.LoadByte(0x10010001); got != 0 {
+		t.Errorf("untouched byte = %#x", got)
+	}
+}
+
+func TestWordLittleEndian(t *testing.T) {
+	m := New()
+	if err := m.StoreWord(0x1000, 0x11223344); err != nil {
+		t.Fatal(err)
+	}
+	if m.LoadByte(0x1000) != 0x44 || m.LoadByte(0x1003) != 0x11 {
+		t.Error("word not little-endian")
+	}
+	w, err := m.LoadWord(0x1000)
+	if err != nil || w != 0x11223344 {
+		t.Errorf("LoadWord = %#x, %v", w, err)
+	}
+}
+
+func TestHalfRoundTrip(t *testing.T) {
+	m := New()
+	if err := m.StoreHalf(0x2002, 0xbeef); err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.LoadHalf(0x2002)
+	if err != nil || h != 0xbeef {
+		t.Errorf("LoadHalf = %#x, %v", h, err)
+	}
+}
+
+func TestAlignmentErrors(t *testing.T) {
+	m := New()
+	if _, err := m.LoadWord(2); err == nil {
+		t.Error("unaligned word load accepted")
+	}
+	if err := m.StoreWord(1, 0); err == nil {
+		t.Error("unaligned word store accepted")
+	}
+	if _, err := m.LoadHalf(1); err == nil {
+		t.Error("unaligned half load accepted")
+	}
+	if err := m.StoreHalf(3, 0); err == nil {
+		t.Error("unaligned half store accepted")
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := New()
+	// A word whose bytes span a page boundary must still round-trip.
+	addr := uint32(pageSize - 2)
+	if err := m.StoreHalf(addr, 0x1234); err != nil {
+		t.Fatal(err)
+	}
+	h, err := m.LoadHalf(addr)
+	if err != nil || h != 0x1234 {
+		t.Errorf("cross-boundary half = %#x", h)
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	m := New()
+	vals := []float32{0, 1.5, -3.25, float32(math.Pi), float32(math.Inf(1))}
+	for i, v := range vals {
+		addr := DataBase + uint32(4*i)
+		if err := m.StoreFloat(addr, v); err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.LoadFloat(addr)
+		if err != nil || math.Float32bits(got) != math.Float32bits(v) {
+			t.Errorf("float %v round-tripped to %v", v, got)
+		}
+	}
+}
+
+func TestSliceHelpers(t *testing.T) {
+	m := New()
+	ws := []uint32{1, 2, 3, 0xffffffff}
+	if err := m.StoreWords(DataBase, ws); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.LoadWords(DataBase, len(ws))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ws {
+		if got[i] != ws[i] {
+			t.Errorf("word %d = %#x", i, got[i])
+		}
+	}
+	fs := []float32{1, 2.5, -4}
+	if err := m.StoreFloats(DataBase+0x100, fs); err != nil {
+		t.Fatal(err)
+	}
+	gf, err := m.LoadFloats(DataBase+0x100, len(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fs {
+		if gf[i] != fs[i] {
+			t.Errorf("float %d = %v", i, gf[i])
+		}
+	}
+	if err := m.StoreWords(1, ws); err == nil {
+		t.Error("unaligned StoreWords accepted")
+	}
+	if _, err := m.LoadWords(2, 1); err == nil {
+		t.Error("unaligned LoadWords accepted")
+	}
+	if _, err := m.LoadFloats(2, 1); err == nil {
+		t.Error("unaligned LoadFloats accepted")
+	}
+	if err := m.StoreFloats(2, fs); err == nil {
+		t.Error("unaligned StoreFloats accepted")
+	}
+}
+
+func TestLoadString(t *testing.T) {
+	m := New()
+	for i, c := range []byte("hello") {
+		m.StoreByte(DataBase+uint32(i), c)
+	}
+	if got := m.LoadString(DataBase, 100); got != "hello" {
+		t.Errorf("LoadString = %q", got)
+	}
+	if got := m.LoadString(DataBase, 3); got != "hel" {
+		t.Errorf("capped LoadString = %q", got)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var m Memory
+	m.StoreByte(42, 7)
+	if m.LoadByte(42) != 7 {
+		t.Error("zero-value Memory unusable")
+	}
+}
+
+func TestFootprintAndPages(t *testing.T) {
+	m := New()
+	m.StoreByte(0, 1)
+	m.StoreByte(3*pageSize, 1)
+	pages, bytes := m.Footprint()
+	if pages != 2 || bytes != 2*pageSize {
+		t.Errorf("footprint = %d pages %d bytes", pages, bytes)
+	}
+	tp := m.TouchedPages()
+	if len(tp) != 2 || tp[0] != 0 || tp[1] != 3*pageSize {
+		t.Errorf("touched = %v", tp)
+	}
+}
+
+func TestWordQuickProperty(t *testing.T) {
+	m := New()
+	err := quick.Check(func(addr uint32, v uint32) bool {
+		addr &^= 3
+		if err := m.StoreWord(addr, v); err != nil {
+			return false
+		}
+		got, err := m.LoadWord(addr)
+		return err == nil && got == v
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}

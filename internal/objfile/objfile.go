@@ -1,0 +1,140 @@
+// Package objfile serialises the toolchain's two deployment artifacts:
+// assembled programs (text, data, symbols) and encoding deployments (the
+// encoded text image that is written to the instruction memory plus the
+// TT/BBIT contents the firmware uploads to the fetch-side decoder before
+// entering the hot spot). The format is versioned JSON: deployments are
+// small (a program image plus a few hundred table bits), and a textual
+// format keeps them inspectable in firmware repositories.
+package objfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Magic values identify the two artifact kinds.
+const (
+	ProgramMagic    = "imtrans-program"
+	DeploymentMagic = "imtrans-deployment"
+	Version         = 1
+)
+
+// Program is the on-disk form of an assembled MR32 binary.
+type Program struct {
+	Magic    string            `json:"magic"`
+	Version  int               `json:"version"`
+	TextBase uint32            `json:"text_base"`
+	Text     []uint32          `json:"text"`
+	DataBase uint32            `json:"data_base"`
+	Data     []byte            `json:"data,omitempty"`
+	Symbols  map[string]uint32 `json:"symbols,omitempty"`
+}
+
+// TTEntry is the on-disk form of one Transformation Table row. Sel holds
+// the per-line transformation truth tables (4 bits each; the canonical
+// 8-function subset uses only 3-bit selector codes in hardware, but the
+// file stores the function itself so it is self-describing).
+type TTEntry struct {
+	Sel []uint16 `json:"sel"`
+	E   bool     `json:"e"`
+	CT  uint8    `json:"ct"`
+}
+
+// BBITEntry maps a covered basic block's start PC to its first TT row.
+type BBITEntry struct {
+	PC      uint32 `json:"pc"`
+	TTIndex uint16 `json:"tt_index"`
+}
+
+// Deployment is the on-disk form of a planned encoding.
+type Deployment struct {
+	Magic     string      `json:"magic"`
+	Version   int         `json:"version"`
+	BlockSize int         `json:"block_size"`
+	BusWidth  int         `json:"bus_width"`
+	TextBase  uint32      `json:"text_base"`
+	Encoded   []uint32    `json:"encoded_text"`
+	TT        []TTEntry   `json:"tt"`
+	BBIT      []BBITEntry `json:"bbit"`
+}
+
+// SaveProgram writes a program artifact.
+func SaveProgram(w io.Writer, p *Program) error {
+	p.Magic, p.Version = ProgramMagic, Version
+	return encode(w, p)
+}
+
+// LoadProgram reads and validates a program artifact.
+func LoadProgram(r io.Reader) (*Program, error) {
+	var p Program
+	if err := decode(r, &p); err != nil {
+		return nil, err
+	}
+	if p.Magic != ProgramMagic {
+		return nil, fmt.Errorf("objfile: not a program artifact (magic %q)", p.Magic)
+	}
+	if p.Version != Version {
+		return nil, fmt.Errorf("objfile: unsupported program version %d", p.Version)
+	}
+	if len(p.Text) == 0 {
+		return nil, fmt.Errorf("objfile: program has no text segment")
+	}
+	return &p, nil
+}
+
+// SaveDeployment writes a deployment artifact.
+func SaveDeployment(w io.Writer, d *Deployment) error {
+	d.Magic, d.Version = DeploymentMagic, Version
+	return encode(w, d)
+}
+
+// LoadDeployment reads and validates a deployment artifact.
+func LoadDeployment(r io.Reader) (*Deployment, error) {
+	var d Deployment
+	if err := decode(r, &d); err != nil {
+		return nil, err
+	}
+	if d.Magic != DeploymentMagic {
+		return nil, fmt.Errorf("objfile: not a deployment artifact (magic %q)", d.Magic)
+	}
+	if d.Version != Version {
+		return nil, fmt.Errorf("objfile: unsupported deployment version %d", d.Version)
+	}
+	if d.BlockSize < 2 {
+		return nil, fmt.Errorf("objfile: invalid block size %d", d.BlockSize)
+	}
+	if d.BusWidth < 1 || d.BusWidth > 32 {
+		return nil, fmt.Errorf("objfile: invalid bus width %d", d.BusWidth)
+	}
+	for i, e := range d.BBIT {
+		if int(e.TTIndex) >= len(d.TT) {
+			return nil, fmt.Errorf("objfile: BBIT entry %d points past the TT", i)
+		}
+	}
+	for i, e := range d.TT {
+		if len(e.Sel) != d.BusWidth {
+			return nil, fmt.Errorf("objfile: TT entry %d has %d selectors, want %d", i, len(e.Sel), d.BusWidth)
+		}
+		for _, s := range e.Sel {
+			if s > 15 {
+				return nil, fmt.Errorf("objfile: TT entry %d has invalid selector %d", i, s)
+			}
+		}
+	}
+	return &d, nil
+}
+
+func encode(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(v)
+}
+
+func decode(r io.Reader, v interface{}) error {
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("objfile: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package objfile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestProgramRoundTrip(t *testing.T) {
+	in := &Program{
+		TextBase: 0x00400000,
+		Text:     []uint32{0x24080005, 0x0000000c},
+		DataBase: 0x10010000,
+		Data:     []byte{1, 2, 3},
+		Symbols:  map[string]uint32{"main": 0x00400000},
+	}
+	var buf bytes.Buffer
+	if err := SaveProgram(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadProgram(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.TextBase != in.TextBase || len(out.Text) != 2 || out.Text[0] != in.Text[0] {
+		t.Errorf("round trip: %+v", out)
+	}
+	if out.Symbols["main"] != 0x00400000 || !bytes.Equal(out.Data, in.Data) {
+		t.Errorf("payload changed: %+v", out)
+	}
+}
+
+func TestDeploymentRoundTrip(t *testing.T) {
+	in := &Deployment{
+		BlockSize: 5,
+		BusWidth:  2,
+		TextBase:  0x00400000,
+		Encoded:   []uint32{1, 2, 3},
+		TT: []TTEntry{
+			{Sel: []uint16{12, 3}, E: true, CT: 4},
+		},
+		BBIT: []BBITEntry{{PC: 0x00400000, TTIndex: 0}},
+	}
+	var buf bytes.Buffer
+	if err := SaveDeployment(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := LoadDeployment(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.BlockSize != 5 || out.BusWidth != 2 || len(out.TT) != 1 || len(out.BBIT) != 1 {
+		t.Errorf("round trip: %+v", out)
+	}
+	if out.TT[0].Sel[0] != 12 || !out.TT[0].E || out.TT[0].CT != 4 {
+		t.Errorf("TT changed: %+v", out.TT[0])
+	}
+}
+
+func TestCrossLoadingRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveProgram(&buf, &Program{Text: []uint32{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadDeployment(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("program artifact loaded as deployment")
+	}
+	buf.Reset()
+	if err := SaveDeployment(&buf, &Deployment{BlockSize: 5, BusWidth: 32}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadProgram(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("deployment artifact loaded as program")
+	}
+}
+
+func TestSelectorRangeValidation(t *testing.T) {
+	in := `{"magic":"imtrans-deployment","version":1,"block_size":5,"bus_width":1,
+	        "tt":[{"sel":[99],"e":true,"ct":1}]}`
+	if _, err := LoadDeployment(strings.NewReader(in)); err == nil {
+		t.Error("out-of-range selector accepted")
+	}
+}
+
+func TestMalformedJSON(t *testing.T) {
+	if _, err := LoadProgram(strings.NewReader("{")); err == nil {
+		t.Error("truncated JSON accepted")
+	}
+	if _, err := LoadDeployment(strings.NewReader("[1,2]")); err == nil {
+		t.Error("wrong JSON shape accepted")
+	}
+}

@@ -1,0 +1,74 @@
+// Package power converts bus transition counts into energy estimates. The
+// paper reports transitions directly because dynamic bus energy is a linear
+// function of them: each 0<->1 transition of a line charges or discharges
+// the line capacitance, dissipating E = 1/2 C V^2. This package supplies
+// that linear map with capacitance presets for the on-chip and off-chip
+// instruction-memory configurations the paper discusses.
+package power
+
+import "fmt"
+
+// Model describes the electrical parameters of one bus line.
+type Model struct {
+	Name        string
+	Capacitance float64 // per-line capacitance in farads
+	Voltage     float64 // supply voltage in volts
+}
+
+// Presets for the two instruction-memory placements the paper motivates:
+// an on-chip memory/cache bus and an off-chip flash bus whose lines cross
+// the package pins (roughly an order of magnitude more capacitance).
+var (
+	OnChip  = Model{Name: "on-chip", Capacitance: 0.5e-12, Voltage: 1.8}
+	OffChip = Model{Name: "off-chip", Capacitance: 15e-12, Voltage: 3.3}
+)
+
+// EnergyPerTransition returns the energy dissipated by one line transition
+// in joules: 1/2 C V^2.
+func (m Model) EnergyPerTransition() float64 {
+	return 0.5 * m.Capacitance * m.Voltage * m.Voltage
+}
+
+// Energy returns the total bus energy for the given transition count, in
+// joules.
+func (m Model) Energy(transitions uint64) float64 {
+	return float64(transitions) * m.EnergyPerTransition()
+}
+
+// Saved returns the energy saved by reducing baseline transitions to
+// encoded transitions, in joules, together with the percentage reduction.
+func (m Model) Saved(baseline, encoded uint64) (joules float64, percent float64) {
+	if encoded > baseline {
+		return -m.Energy(encoded - baseline), -Reduction(encoded, baseline)
+	}
+	return m.Energy(baseline - encoded), Reduction(baseline, encoded)
+}
+
+// Reduction returns the percentage reduction from baseline to encoded
+// transition counts. A zero baseline yields zero.
+func Reduction(baseline, encoded uint64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 100 * float64(baseline-encoded) / float64(baseline)
+}
+
+// FormatJoules renders an energy value with an engineering prefix.
+func FormatJoules(j float64) string {
+	abs := j
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs >= 1:
+		return fmt.Sprintf("%.3g J", j)
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.3g mJ", j*1e3)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.3g uJ", j*1e6)
+	case abs >= 1e-9:
+		return fmt.Sprintf("%.3g nJ", j*1e9)
+	default:
+		return fmt.Sprintf("%.3g pJ", j*1e12)
+	}
+}

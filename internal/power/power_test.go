@@ -1,0 +1,66 @@
+package power
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEnergyPerTransition(t *testing.T) {
+	m := Model{Capacitance: 2e-12, Voltage: 2}
+	if got := m.EnergyPerTransition(); math.Abs(got-4e-12) > 1e-18 {
+		t.Errorf("E = %g", got)
+	}
+}
+
+func TestEnergyLinear(t *testing.T) {
+	if OnChip.Energy(0) != 0 {
+		t.Error("zero transitions must cost nothing")
+	}
+	if got, want := OnChip.Energy(2), 2*OnChip.EnergyPerTransition(); got != want {
+		t.Errorf("E(2) = %g, want %g", got, want)
+	}
+}
+
+func TestOffChipCostlier(t *testing.T) {
+	if OffChip.EnergyPerTransition() <= OnChip.EnergyPerTransition() {
+		t.Error("off-chip transition must cost more than on-chip")
+	}
+}
+
+func TestSaved(t *testing.T) {
+	j, pct := OnChip.Saved(100, 60)
+	if j <= 0 || math.Abs(pct-40) > 1e-9 {
+		t.Errorf("saved = %g J, %g%%", j, pct)
+	}
+	j, pct = OnChip.Saved(60, 100)
+	if j >= 0 || pct >= 0 {
+		t.Errorf("regression not negative: %g J, %g%%", j, pct)
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if Reduction(0, 10) != 0 {
+		t.Error("zero baseline must yield 0")
+	}
+	if got := Reduction(200, 100); got != 50 {
+		t.Errorf("reduction = %g", got)
+	}
+}
+
+func TestFormatJoules(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{1.5, "J"}, {2e-3, "mJ"}, {3e-6, "uJ"}, {4e-9, "nJ"}, {5e-12, "pJ"},
+	}
+	for _, c := range cases {
+		if got := FormatJoules(c.in); !strings.HasSuffix(got, c.want) {
+			t.Errorf("FormatJoules(%g) = %q", c.in, got)
+		}
+	}
+	if got := FormatJoules(-2e-3); !strings.Contains(got, "-2") {
+		t.Errorf("negative = %q", got)
+	}
+}

@@ -1,0 +1,290 @@
+package rtl
+
+import (
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"imtrans/internal/asm"
+	"imtrans/internal/cfg"
+	"imtrans/internal/core"
+	"imtrans/internal/cpu"
+	"imtrans/internal/hw"
+	"imtrans/internal/transform"
+)
+
+const kernelSrc = `
+	li   $t0, 120
+	li   $t1, 0
+loop:
+	addu $t1, $t1, $t0
+	sll  $t2, $t0, 3
+	xor  $t1, $t1, $t2
+	srl  $t3, $t1, 1
+	or   $t1, $t1, $t3
+	addiu $t0, $t0, -1
+	bgtz $t0, loop
+	li $v0, 10
+	syscall
+`
+
+// buildEncoding assembles, profiles and encodes the kernel.
+func buildEncoding(t *testing.T, cc core.Config) (*cpu.CPU, *core.Encoding, *hw.Decoder) {
+	t.Helper()
+	obj, err := asm.Assemble(kernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := cpu.Program{Base: obj.TextBase, Words: obj.TextWords}
+	c, err := cpu.New(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(obj.TextBase, obj.TextWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := core.Encode(g, c.Profile(), cc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := hw.NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cpu.New(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c2, enc, dec
+}
+
+// rtlModel is a Go transliteration of the emitted always-block, used to
+// prove the generated FSM matches the hw.Decoder reference. Its selector
+// ROM is parsed back out of the generated Verilog text, so the packing
+// logic is validated too.
+type rtlModel struct {
+	k, width, selW int
+	sel            [][]uint8 // [entry][line] selector value
+	e              []bool
+	ct             []int
+	bbit           map[uint32]int
+
+	active  bool
+	ttIdx   int
+	decoded int
+	prevEnc uint32
+	prevDec uint32
+}
+
+func (m *rtlModel) tau(sel uint8, x, y uint8) uint8 {
+	if m.selW == 3 {
+		return transform.FromIndex3(sel).Eval(x, y)
+	}
+	return sel >> (x<<1 | y) & 1
+}
+
+func (m *rtlModel) step(pc, bus uint32) uint32 {
+	bbitIdx, bbitHit := m.bbit[pc]
+	var restored uint32
+	hist := m.prevDec
+	if m.decoded == 0 {
+		hist = m.prevEnc
+	}
+	if m.ttIdx < len(m.sel) {
+		for line := 0; line < m.width; line++ {
+			x := uint8(bus>>uint(line)) & 1
+			y := uint8(hist>>uint(line)) & 1
+			restored |= uint32(m.tau(m.sel[m.ttIdx][line], x, y)) << uint(line)
+		}
+	}
+	instr := bus
+	if m.active {
+		instr = restored
+	}
+	// Sequential update (posedge).
+	if m.active {
+		m.prevEnc, m.prevDec = bus, restored
+		switch {
+		case m.decoded+1 >= m.ct[m.ttIdx] && m.e[m.ttIdx]:
+			m.active = false
+			m.decoded = 0
+		case m.decoded+1 >= m.k-1:
+			m.ttIdx++
+			m.decoded = 0
+		default:
+			m.decoded++
+		}
+	} else if bbitHit {
+		m.active = true
+		m.ttIdx = bbitIdx
+		m.decoded = 0
+		m.prevEnc, m.prevDec = bus, bus
+	}
+	return instr
+}
+
+var ttCaseRe = regexp.MustCompile(`\d+'d(\d+): begin tt_sel = \d+'h([0-9a-f]+); tt_e = 1'b([01]); tt_ct = \d+'d(\d+); end`)
+var bbitCaseRe = regexp.MustCompile(`32'h([0-9a-f]{8}): begin bbit_hit = 1'b1; bbit_idx = \d+'d(\d+); end`)
+
+// parseModel extracts the ROM contents back out of the generated Verilog.
+func parseModel(t *testing.T, verilog string, k, width, selW int) *rtlModel {
+	t.Helper()
+	m := &rtlModel{k: k, width: width, selW: selW, bbit: map[uint32]int{}}
+	for _, match := range ttCaseRe.FindAllStringSubmatch(verilog, -1) {
+		hexStr := match[2]
+		e := match[3] == "1"
+		ct, _ := strconv.Atoi(match[4])
+		// Unpack the hex literal LSB-first into per-line selectors.
+		nbits := width * selW
+		bits := make([]uint8, nbits)
+		for i := 0; i < nbits; i++ {
+			digit := hexStr[len(hexStr)-1-i/4]
+			var v uint8
+			switch {
+			case digit >= '0' && digit <= '9':
+				v = digit - '0'
+			default:
+				v = digit - 'a' + 10
+			}
+			bits[i] = v >> uint(i%4) & 1
+		}
+		sels := make([]uint8, width)
+		for line := 0; line < width; line++ {
+			for b := 0; b < selW; b++ {
+				sels[line] |= bits[line*selW+b] << uint(b)
+			}
+		}
+		m.sel = append(m.sel, sels)
+		m.e = append(m.e, e)
+		m.ct = append(m.ct, ct)
+	}
+	for _, match := range bbitCaseRe.FindAllStringSubmatch(verilog, -1) {
+		pc, err := strconv.ParseUint(match[1], 16, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idx, _ := strconv.Atoi(match[2])
+		m.bbit[uint32(pc)] = idx
+	}
+	if len(m.sel) == 0 || len(m.bbit) == 0 {
+		t.Fatalf("failed to parse ROMs back from generated Verilog")
+	}
+	return m
+}
+
+// TestRTLSemanticsMatchDecoder drives the transliterated RTL FSM (with
+// ROMs parsed from the emitted Verilog) and the hw.Decoder reference with
+// the same real fetch stream; every restored word must agree, and both
+// must equal the original instruction.
+func TestRTLSemanticsMatchDecoder(t *testing.T) {
+	for _, canonical := range []bool{true, false} {
+		cc := core.Config{BlockSize: 5}
+		if !canonical {
+			cc.Funcs = transform.Preferred()
+		}
+		c, enc, dec := buildEncoding(t, cc)
+		verilog, err := Decoder(dec.TT(), dec.BBIT(), enc.Config.BlockSize, enc.Config.BusWidth, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		selW := 3
+		if !canonical {
+			// The preferred-16 set may still pick only canonical gates;
+			// detect from the emitted header.
+			if strings.Contains(verilog, "4-bit selectors") {
+				selW = 4
+			}
+		}
+		model := parseModel(t, verilog, enc.Config.BlockSize, enc.Config.BusWidth, selW)
+		base := c.Program().Base
+		var mism int
+		c.OnFetch = func(pc, word uint32) {
+			bus := enc.EncodedWords[int(pc-base)/4]
+			fromModel := model.step(pc, bus)
+			fromRef, err := dec.OnFetch(pc, bus)
+			if err != nil {
+				t.Errorf("reference decoder: %v", err)
+			}
+			if fromModel != fromRef || fromModel != word {
+				mism++
+			}
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if mism > 0 {
+			t.Errorf("canonical=%v: %d mismatching fetches between RTL model and reference", canonical, mism)
+		}
+	}
+}
+
+func TestDecoderStructure(t *testing.T) {
+	_, enc, dec := buildEncoding(t, core.Config{})
+	v, err := Decoder(dec.TT(), dec.BBIT(), enc.Config.BlockSize, enc.Config.BusWidth,
+		Options{ModuleName: "my_decoder"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module my_decoder (",
+		"endmodule",
+		"function tau",
+		"generate",
+		"assign instr = active ? restored : bus_word;",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("generated Verilog missing %q", want)
+		}
+	}
+	if got := strings.Count(v, "tt_sel = "); got != enc.TTUsed+1 { // +1 default arm
+		t.Errorf("%d TT case arms, want %d", got, enc.TTUsed+1)
+	}
+	if got := len(bbitCaseRe.FindAllString(v, -1)); got != len(enc.Plans) {
+		t.Errorf("%d BBIT case arms, want %d", got, len(enc.Plans))
+	}
+}
+
+func TestDecoderErrors(t *testing.T) {
+	if _, err := Decoder(nil, nil, 5, 32, Options{}); err == nil {
+		t.Error("empty TT accepted")
+	}
+	tt := []hw.TTEntry{{}}
+	if _, err := Decoder(tt, nil, 1, 32, Options{}); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := Decoder(tt, nil, 5, 40, Options{}); err == nil {
+		t.Error("width 40 accepted")
+	}
+	if _, err := Decoder(tt, []hw.BBITEntry{{PC: 4, TTIndex: 7}}, 5, 32, Options{}); err == nil {
+		t.Error("dangling BBIT accepted")
+	}
+}
+
+func TestTestbench(t *testing.T) {
+	vecs := []Vector{
+		{PC: 0x400000, Bus: 0x1234, Want: 0x1234},
+		{PC: 0x400004, Bus: 0x5678, Want: 0x9abc},
+	}
+	tb, err := Testbench("my_decoder", 32, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module my_decoder_tb;",
+		"localparam N = 2;",
+		"v_want[1] = 32'h00009abc;",
+		"$finish;",
+	} {
+		if !strings.Contains(tb, want) {
+			t.Errorf("testbench missing %q", want)
+		}
+	}
+	if _, err := Testbench("x", 32, nil); err == nil {
+		t.Error("empty vectors accepted")
+	}
+}

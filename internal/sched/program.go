@@ -1,0 +1,51 @@
+package sched
+
+import (
+	"imtrans/internal/cfg"
+)
+
+// Stats summarises a whole-program rescheduling pass.
+type Stats struct {
+	Blocks      int // basic blocks examined
+	Rescheduled int // blocks whose order changed
+	Before      int // raw vertical transitions across all blocks, before
+	After       int // and after
+}
+
+// ReductionPercent returns the static transition reduction achieved by
+// scheduling alone.
+func (s Stats) ReductionPercent() float64 {
+	if s.Before == 0 {
+		return 0
+	}
+	return 100 * float64(s.Before-s.After) / float64(s.Before)
+}
+
+// Program reschedules every basic block of a text segment independently
+// and returns the new image. Control-flow structure, block boundaries and
+// program semantics are preserved; only the order of independent
+// instructions inside each block changes.
+func Program(base uint32, words []uint32) ([]uint32, Stats, error) {
+	g, err := cfg.Build(base, words)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	out := append([]uint32(nil), words...)
+	var st Stats
+	for bi := range g.Blocks {
+		b := g.Blocks[bi]
+		res, err := Block(g.Instructions(bi))
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		st.Blocks++
+		st.Before += res.Before
+		st.After += res.After
+		if res.Rescheduled {
+			st.Rescheduled++
+			start := int(b.Start-base) / 4
+			copy(out[start:start+b.Count], res.Words)
+		}
+	}
+	return out, st, nil
+}

@@ -1,0 +1,321 @@
+// Package sched implements transition-aware instruction scheduling: a
+// compiler-side companion to the paper's memory-side encoding. Within each
+// basic block, independent instructions are reordered (respecting data,
+// memory and control dependences) to minimise the Hamming distance between
+// consecutive instruction words — fewer raw bus transitions, and bit
+// streams the functional transformations encode better still. The
+// transformation is semantics-preserving by construction and never makes
+// the raw transition count of a block worse.
+package sched
+
+import (
+	"fmt"
+	"math/bits"
+
+	"imtrans/internal/isa"
+)
+
+// resource identifies an architectural state element an instruction reads
+// or writes. GPRs occupy 0..31, FPRs 32..63, then HI, LO and the FP
+// condition flag.
+type resource int
+
+const (
+	resHI resource = 64 + iota
+	resLO
+	resFCC
+)
+
+func gpr(r isa.Reg) (resource, bool) {
+	if r == isa.Zero {
+		return 0, false // $zero is constant: no dependence
+	}
+	return resource(r), true
+}
+
+func fpr(f isa.FReg) resource { return resource(32 + int(f)) }
+
+// effects describes one instruction's reads and writes.
+type effects struct {
+	uses    []resource
+	defs    []resource
+	load    bool
+	store   bool
+	control bool
+}
+
+// classify derives the dependence-relevant effects of an instruction.
+func classify(in isa.Inst) effects {
+	var e effects
+	use := func(r resource, ok bool) {
+		if ok {
+			e.uses = append(e.uses, r)
+		}
+	}
+	def := func(r resource, ok bool) {
+		if ok {
+			e.defs = append(e.defs, r)
+		}
+	}
+	useG := func(r isa.Reg) { g, ok := gpr(r); use(g, ok) }
+	defG := func(r isa.Reg) { g, ok := gpr(r); def(g, ok) }
+	useF := func(f isa.FReg) { use(fpr(f), true) }
+	defF := func(f isa.FReg) { def(fpr(f), true) }
+
+	e.control = in.Op.IsControl()
+	e.load = in.Op.IsLoad()
+	e.store = in.Op.IsStore()
+
+	switch in.Op.Format() {
+	case isa.FmtR:
+		useG(in.Rs)
+		useG(in.Rt)
+		defG(in.Rd)
+	case isa.FmtRShift:
+		useG(in.Rt)
+		defG(in.Rd)
+	case isa.FmtRShiftV:
+		useG(in.Rt)
+		useG(in.Rs)
+		defG(in.Rd)
+	case isa.FmtRJump:
+		useG(in.Rs)
+	case isa.FmtRJALR:
+		useG(in.Rs)
+		defG(in.Rd)
+	case isa.FmtRMulDiv:
+		useG(in.Rs)
+		useG(in.Rt)
+		def(resHI, true)
+		def(resLO, true)
+	case isa.FmtRMoveFrom:
+		if in.Op == isa.OpMFHI {
+			use(resHI, true)
+		} else {
+			use(resLO, true)
+		}
+		defG(in.Rd)
+	case isa.FmtRMoveTo:
+		useG(in.Rs)
+		if in.Op == isa.OpMTHI {
+			def(resHI, true)
+		} else {
+			def(resLO, true)
+		}
+	case isa.FmtNone:
+		// syscall/break: conservatively reads and writes everything it
+		// might touch; being control, it is pinned anyway.
+	case isa.FmtI:
+		useG(in.Rs)
+		defG(in.Rt)
+	case isa.FmtILoad:
+		useG(in.Rs)
+		defG(in.Rt)
+	case isa.FmtIStore:
+		useG(in.Rs)
+		useG(in.Rt)
+	case isa.FmtIBranch:
+		useG(in.Rs)
+		useG(in.Rt)
+	case isa.FmtIBranchZ:
+		useG(in.Rs)
+	case isa.FmtLUI:
+		defG(in.Rt)
+	case isa.FmtJ:
+		if in.Op == isa.OpJAL {
+			defG(isa.RA)
+		}
+	case isa.FmtFPR:
+		useF(in.Fs)
+		useF(in.Ft)
+		defF(in.Fd)
+	case isa.FmtFPRUnary, isa.FmtFPCvt:
+		useF(in.Fs)
+		defF(in.Fd)
+	case isa.FmtFPCmp:
+		useF(in.Fs)
+		useF(in.Ft)
+		def(resFCC, true)
+	case isa.FmtFPBranch:
+		use(resFCC, true)
+	case isa.FmtFPMove:
+		if in.Op == isa.OpMFC1 {
+			useF(in.Fs)
+			defG(in.Rt)
+		} else {
+			useG(in.Rt)
+			defF(in.Fs)
+		}
+	case isa.FmtFPLoad:
+		useG(in.Rs)
+		defF(in.Ft)
+	case isa.FmtFPStore:
+		useG(in.Rs)
+		useF(in.Ft)
+	}
+	return e
+}
+
+// buildDeps constructs the dependence DAG: deps[j] lists predecessors of
+// j (instructions that must execute before j).
+func buildDeps(insts []isa.Inst) [][]int {
+	n := len(insts)
+	eff := make([]effects, n)
+	for i, in := range insts {
+		eff[i] = classify(in)
+	}
+	deps := make([][]int, n)
+	for j := 1; j < n; j++ {
+		for i := j - 1; i >= 0; i-- {
+			if depends(eff[i], eff[j]) {
+				deps[j] = append(deps[j], i)
+			}
+		}
+		// Control instructions are pinned: everything precedes them and
+		// nothing may move past them (blocks end with at most one).
+		if eff[j].control {
+			for i := 0; i < j; i++ {
+				deps[j] = append(deps[j], i)
+			}
+		}
+		if j > 0 && eff[j-1].control {
+			deps[j] = append(deps[j], j-1)
+		}
+	}
+	return deps
+}
+
+// depends reports whether j (later) must stay after i (earlier).
+func depends(i, j effects) bool {
+	for _, d := range i.defs {
+		for _, u := range j.uses {
+			if d == u {
+				return true // RAW
+			}
+		}
+		for _, d2 := range j.defs {
+			if d == d2 {
+				return true // WAW
+			}
+		}
+	}
+	for _, u := range i.uses {
+		for _, d := range j.defs {
+			if u == d {
+				return true // WAR
+			}
+		}
+	}
+	// Memory: stores conflict with everything; loads commute with loads.
+	if i.store && (j.load || j.store) {
+		return true
+	}
+	if i.load && j.store {
+		return true
+	}
+	return false
+}
+
+// Result describes the outcome of scheduling one block.
+type Result struct {
+	Words       []uint32 // scheduled instruction words
+	Perm        []int    // Perm[newPos] = original index
+	Before      int      // raw transitions of the original order
+	After       int      // raw transitions of the scheduled order
+	Rescheduled bool     // false if the original order was kept
+}
+
+// Block reorders one basic block's instruction words to minimise
+// consecutive Hamming distance, honouring all dependences. The original
+// order is kept whenever the greedy schedule fails to improve on it, so
+// the result is never worse.
+func Block(words []uint32) (Result, error) {
+	n := len(words)
+	res := Result{Words: append([]uint32(nil), words...), Perm: identity(n)}
+	res.Before = rawTransitions(words)
+	res.After = res.Before
+	if n < 3 {
+		return res, nil
+	}
+	insts := make([]isa.Inst, n)
+	for i, w := range words {
+		in, err := isa.Decode(w)
+		if err != nil {
+			return res, fmt.Errorf("sched: word %d: %w", i, err)
+		}
+		insts[i] = in
+	}
+	deps := buildDeps(insts)
+	remaining := make([]int, n) // unscheduled predecessor counts
+	succs := make([][]int, n)
+	for j, ps := range deps {
+		seen := map[int]bool{}
+		for _, p := range ps {
+			if !seen[p] {
+				seen[p] = true
+				remaining[j]++
+				succs[p] = append(succs[p], j)
+			}
+		}
+	}
+	// Greedy list schedule: repeatedly pick the ready instruction whose
+	// word is closest (Hamming) to the last scheduled word, breaking ties
+	// toward original order for determinism.
+	order := make([]int, 0, n)
+	scheduled := make([]bool, n)
+	var last uint32
+	haveLast := false
+	for len(order) < n {
+		best, bestCost := -1, -1
+		for i := 0; i < n; i++ {
+			if scheduled[i] || remaining[i] != 0 {
+				continue
+			}
+			cost := 0
+			if haveLast {
+				cost = bits.OnesCount32(words[i] ^ last)
+			}
+			if best < 0 || cost < bestCost {
+				best, bestCost = i, cost
+			}
+		}
+		if best < 0 {
+			return res, fmt.Errorf("sched: dependence cycle (impossible)")
+		}
+		scheduled[best] = true
+		order = append(order, best)
+		last, haveLast = words[best], true
+		for _, s := range succs[best] {
+			remaining[s]--
+		}
+	}
+	out := make([]uint32, n)
+	for pos, idx := range order {
+		out[pos] = words[idx]
+	}
+	after := rawTransitions(out)
+	if after >= res.Before {
+		return res, nil // keep the original order
+	}
+	res.Words = out
+	res.Perm = order
+	res.After = after
+	res.Rescheduled = true
+	return res, nil
+}
+
+func identity(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+func rawTransitions(words []uint32) int {
+	t := 0
+	for i := 1; i < len(words); i++ {
+		t += bits.OnesCount32(words[i] ^ words[i-1])
+	}
+	return t
+}

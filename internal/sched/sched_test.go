@@ -1,0 +1,204 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"imtrans/internal/asm"
+	"imtrans/internal/cpu"
+	"imtrans/internal/isa"
+	"imtrans/internal/mem"
+	"imtrans/internal/workloads"
+)
+
+func assembleWords(t *testing.T, src string) []uint32 {
+	t.Helper()
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return obj.TextWords
+}
+
+func TestBlockKeepsDependences(t *testing.T) {
+	// t1 depends on t0; t2 on t1. Order must be preserved regardless of
+	// Hamming preferences.
+	words := assembleWords(t, `
+		addiu $t0, $zero, 1
+		addu  $t1, $t0, $t0
+		addu  $t2, $t1, $t1
+	`)
+	res, err := Block(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Perm {
+		if p != i {
+			t.Fatalf("dependent chain reordered: %v", res.Perm)
+		}
+	}
+}
+
+func TestBlockNeverWorse(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ops := isa.Ops()
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(12)
+		words := make([]uint32, 0, n)
+		for len(words) < n {
+			op := ops[rng.Intn(len(ops))]
+			if op.IsControl() {
+				continue // keep it a straight-line block
+			}
+			in := isa.Inst{Op: op}
+			switch op.Format() {
+			case isa.FmtR:
+				in.Rd, in.Rs, in.Rt = isa.Reg(rng.Intn(32)), isa.Reg(rng.Intn(32)), isa.Reg(rng.Intn(32))
+			case isa.FmtRShift:
+				in.Rd, in.Rt, in.Shamt = isa.Reg(rng.Intn(32)), isa.Reg(rng.Intn(32)), uint8(rng.Intn(32))
+			case isa.FmtI, isa.FmtILoad, isa.FmtIStore:
+				in.Rt, in.Rs, in.Imm = isa.Reg(rng.Intn(32)), isa.Reg(rng.Intn(32)), int32(rng.Intn(100))
+				if op == isa.OpANDI || op == isa.OpORI || op == isa.OpXORI {
+					in.Imm = int32(rng.Intn(1 << 16))
+				}
+			case isa.FmtLUI:
+				in.Rt, in.Imm = isa.Reg(rng.Intn(32)), int32(rng.Intn(1<<16))
+			case isa.FmtFPR:
+				in.Fd, in.Fs, in.Ft = isa.FReg(rng.Intn(32)), isa.FReg(rng.Intn(32)), isa.FReg(rng.Intn(32))
+			default:
+				continue
+			}
+			w, err := in.Encode()
+			if err != nil {
+				continue
+			}
+			words = append(words, w)
+		}
+		res, err := Block(words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.After > res.Before {
+			t.Fatalf("schedule made block worse: %d > %d", res.After, res.Before)
+		}
+		// The permutation must be a valid permutation.
+		seen := make([]bool, len(words))
+		for _, p := range res.Perm {
+			if p < 0 || p >= len(words) || seen[p] {
+				t.Fatalf("invalid permutation %v", res.Perm)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestBlockImprovesIndependents(t *testing.T) {
+	// Four independent immediates with alternating bit patterns: the
+	// scheduler should group similar words together.
+	words := assembleWords(t, `
+		addiu $t0, $zero, 0x5555
+		addiu $t1, $zero, 0x2AAA
+		addiu $t2, $zero, 0x5555
+		addiu $t3, $zero, 0x2AAA
+	`)
+	res, err := Block(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rescheduled || res.After >= res.Before {
+		t.Errorf("no improvement: before=%d after=%d resched=%v", res.Before, res.After, res.Rescheduled)
+	}
+}
+
+func TestControlStaysLast(t *testing.T) {
+	words := assembleWords(t, `
+		addiu $t0, $zero, 0x5555
+		addiu $t1, $zero, 0x2AAA
+		addiu $t2, $zero, 0x5555
+		bne   $t9, $zero, 4
+	`)
+	res, err := Block(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Perm[len(res.Perm)-1] != len(words)-1 {
+		t.Fatalf("control instruction moved: %v", res.Perm)
+	}
+}
+
+func TestStoreLoadOrderPreserved(t *testing.T) {
+	words := assembleWords(t, `
+		sw $t0, 0($s0)
+		lw $t1, 0($s1)
+		sw $t2, 4($s0)
+	`)
+	res, err := Block(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Perm {
+		if p != i {
+			t.Fatalf("memory operations reordered: %v", res.Perm)
+		}
+	}
+}
+
+// TestProgramPreservesKernelSemantics reschedules every workload kernel
+// and re-validates it bit-exactly against the golden reference — the
+// strongest possible semantics check for the dependence analysis.
+func TestProgramPreservesKernelSemantics(t *testing.T) {
+	for _, w := range append(workloads.All(), workloads.Extras()...) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			p := w.Fill(w.TestParams)
+			obj, err := asm.Assemble(w.Source(p))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, st, err := Program(obj.TextBase, obj.TextWords)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.After > st.Before {
+				t.Errorf("scheduling regressed: %d > %d", st.After, st.Before)
+			}
+			m := mem.New()
+			for i, b := range obj.Data {
+				m.StoreByte(obj.DataBase+uint32(i), b)
+			}
+			if err := w.Setup(m, p); err != nil {
+				t.Fatal(err)
+			}
+			c, err := cpu.New(cpu.Program{Base: obj.TextBase, Words: out}, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if err := w.Check(c.Mem, p); err != nil {
+				t.Fatalf("rescheduled %s diverged from golden: %v", w.Name, err)
+			}
+			t.Logf("%s: %d/%d blocks rescheduled, %d->%d transitions (%.1f%%)",
+				w.Name, st.Rescheduled, st.Blocks, st.Before, st.After, st.ReductionPercent())
+		})
+	}
+}
+
+func TestZeroRegisterNoDependence(t *testing.T) {
+	// Writes to $zero are architectural no-ops: two of them must not
+	// serialise otherwise-independent instructions.
+	words := assembleWords(t, `
+		addu  $zero, $t0, $t1
+		addiu $t2, $zero, 0x5555
+		addu  $zero, $t3, $t4
+		addiu $t5, $zero, 0x5555
+	`)
+	res, err := Block(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rescheduled {
+		t.Error("independent instructions around $zero writes not rescheduled")
+	}
+}

@@ -1,0 +1,139 @@
+// Package stats holds the small numeric and table-rendering helpers shared
+// by the reproduction harness and the CLI tools.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// MinMax returns the extrema of xs; both are 0 for an empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Millions renders a count as the paper's tables do: millions with one
+// decimal, switching to two significant decimals below one million.
+func Millions(n uint64) string {
+	m := float64(n) / 1e6
+	if m < 1 {
+		return fmt.Sprintf("%.2f", m)
+	}
+	return fmt.Sprintf("%.1f", m)
+}
+
+// Table renders rows as a fixed-width text table. The first row is the
+// header; a separator line follows it. Cells are left-aligned except
+// obviously numeric ones, which align right.
+type Table struct {
+	rows [][]string
+}
+
+// AddRow appends a row of cells.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row formatted from values with %v.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprint(c)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	if len(t.rows) == 0 {
+		return ""
+	}
+	cols := 0
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			c := ""
+			if i < len(r) {
+				c = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if numeric(c) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+				b.WriteString(c)
+			} else {
+				b.WriteString(c)
+				if i < cols-1 {
+					b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+				}
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.rows[0])
+	total := 0
+	for i, w := range widths {
+		if i > 0 {
+			total += 2
+		}
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteString("\n")
+	for _, r := range t.rows[1:] {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func numeric(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9', c == '.', c == '-', c == '+', c == '%', c == 'e':
+		default:
+			return false
+		}
+	}
+	return true
+}

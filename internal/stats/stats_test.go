@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("mean = %g", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 7, 2})
+	if min != -1 || max != 7 {
+		t.Errorf("min=%g max=%g", min, max)
+	}
+	if min, max := MinMax(nil); min != 0 || max != 0 {
+		t.Error("empty minmax")
+	}
+}
+
+func TestMillions(t *testing.T) {
+	if got := Millions(14_000_000); got != "14.0" {
+		t.Errorf("Millions = %q", got)
+	}
+	if got := Millions(200_000); got != "0.20" {
+		t.Errorf("Millions = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var tb Table
+	tb.AddRow("bench", "TR", "red%")
+	tb.AddRowf("mmul", 14.0, 44.0)
+	tb.AddRow("fft", "0.2", "20.6")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "bench") || !strings.HasPrefix(lines[1], "---") {
+		t.Errorf("header/separator wrong:\n%s", out)
+	}
+	if !strings.Contains(lines[2], "mmul") || !strings.Contains(lines[3], "fft") {
+		t.Errorf("rows wrong:\n%s", out)
+	}
+}
+
+func TestTableEmpty(t *testing.T) {
+	var tb Table
+	if tb.String() != "" {
+		t.Error("empty table rendered content")
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	var tb Table
+	tb.AddRow("a", "b")
+	tb.AddRow("long-cell")
+	if out := tb.String(); !strings.Contains(out, "long-cell") {
+		t.Errorf("ragged row lost:\n%s", out)
+	}
+}

@@ -1,0 +1,201 @@
+// Package transform defines the two-input Boolean transformations at the
+// heart of the instruction-memory power-encoding scheme of Petrov &
+// Orailoglu (DATE 2003).
+//
+// A transformation tau maps an encoded bit and one bit of history to an
+// original bit: x_n = tau(x~_n, x_{n-1}). There are exactly 16 Boolean
+// functions of two variables; the paper proves that a fixed subset of 8 of
+// them suffices to reach the globally optimal encoding for every block size
+// up to seven. This package provides the full function space, the canonical
+// 8-function subset, equation solving used by the encoder, and the
+// inversion-symmetry algebra the paper relies on.
+package transform
+
+import "fmt"
+
+// Func identifies one of the 16 Boolean functions of two variables.
+//
+// The value of a Func is its truth table packed into the low four bits:
+// bit (2*x + y) of the value is tau(x, y). This makes evaluation a single
+// shift and mask, exactly the "single two-input logic gate" cost the paper
+// advertises for the fetch-stage decoder.
+type Func uint8
+
+// The 16 two-input Boolean functions, named by their common gate names
+// where one exists. X is the current (encoded) bit, Y the history bit.
+const (
+	Zero  Func = 0b0000 // tau(x,y) = 0
+	NOR   Func = 0b0001 // tau(x,y) = NOT (x OR y)
+	AndNX Func = 0b0010 // tau(x,y) = NOT x AND y
+	NotX  Func = 0b0011 // tau(x,y) = NOT x (inversion)
+	AndNY Func = 0b0100 // tau(x,y) = x AND NOT y
+	NotY  Func = 0b0101 // tau(x,y) = NOT y
+	XOR   Func = 0b0110 // tau(x,y) = x XOR y
+	NAND  Func = 0b0111 // tau(x,y) = NOT (x AND y)
+	AND   Func = 0b1000 // tau(x,y) = x AND y
+	XNOR  Func = 0b1001 // tau(x,y) = NOT (x XOR y)
+	Y     Func = 0b1010 // tau(x,y) = y
+	OrNX  Func = 0b1011 // tau(x,y) = NOT x OR y
+	X     Func = 0b1100 // tau(x,y) = x (identity)
+	OrNY  Func = 0b1101 // tau(x,y) = x OR NOT y
+	OR    Func = 0b1110 // tau(x,y) = x OR y
+	One   Func = 0b1111 // tau(x,y) = 1
+)
+
+// Identity is the transformation that passes the encoded bit through
+// unchanged. Blocks left unencoded (cold basic blocks, overflow beyond the
+// transformation-table budget) use it; it also guarantees the paper's
+// worst-case bound that an encoded stream never has more transitions than
+// the original.
+const Identity = X
+
+// NumFuncs is the size of the full two-variable Boolean function space.
+const NumFuncs = 16
+
+// All lists the full 16-function space in truth-table order.
+func All() []Func {
+	fs := make([]Func, NumFuncs)
+	for i := range fs {
+		fs[i] = Func(i)
+	}
+	return fs
+}
+
+// Preferred returns the full 16-function space in encoder preference order:
+// the canonical eight gates first (identity leading, so ties in transition
+// count resolve toward the paper's published tables and the worst-case
+// guarantee), then the remaining eight in truth-table order.
+func Preferred() []Func {
+	fs := append([]Func(nil), Canonical8...)
+	for i := 0; i < NumFuncs; i++ {
+		f := Func(i)
+		if _, ok := Index3(f); !ok {
+			fs = append(fs, f)
+		}
+	}
+	return fs
+}
+
+// Canonical8 is the unique 8-function subset that the paper shows reaches
+// the globally optimal encoding for every block size up to seven: identity,
+// inversion, the two history projections, XOR, XNOR, NOR and NAND. The set
+// is closed under the global-inversion symmetry (see Conjugate).
+var Canonical8 = []Func{X, NotX, Y, NotY, XOR, XNOR, NOR, NAND}
+
+// Eval computes tau(x, y) for single-bit operands. Operands must be 0 or 1;
+// only the low bit is observed.
+func (f Func) Eval(x, y uint8) uint8 {
+	return uint8(f>>((x&1)<<1|y&1)) & 1
+}
+
+// String returns the analytical form of the function using the paper's
+// notation (x is the encoded bit, y the history bit).
+func (f Func) String() string {
+	switch f {
+	case Zero:
+		return "0"
+	case NOR:
+		return "~(x|y)"
+	case AndNX:
+		return "~x&y"
+	case NotX:
+		return "~x"
+	case AndNY:
+		return "x&~y"
+	case NotY:
+		return "~y"
+	case XOR:
+		return "x^y"
+	case NAND:
+		return "~(x&y)"
+	case AND:
+		return "x&y"
+	case XNOR:
+		return "~(x^y)"
+	case Y:
+		return "y"
+	case OrNX:
+		return "~x|y"
+	case X:
+		return "x"
+	case OrNY:
+		return "x|~y"
+	case OR:
+		return "x|y"
+	case One:
+		return "1"
+	default:
+		return fmt.Sprintf("Func(%#04b)", uint8(f))
+	}
+}
+
+// Valid reports whether f is one of the 16 defined functions.
+func (f Func) Valid() bool { return f < NumFuncs }
+
+// Conjugate returns the transformation tau' with
+// tau'(x, y) = NOT tau(NOT x, NOT y).
+//
+// This is the paper's inversion symmetry: if a code word X~ decodes to X
+// under tau, then the bitwise complement of X~ decodes to the complement of
+// X under Conjugate(tau). It interchanges XOR with XNOR and NOR with NAND
+// while leaving identity and inversion fixed, which is how the paper argues
+// the second half of its code tables by symmetry.
+func (f Func) Conjugate() Func {
+	var g Func
+	for x := uint8(0); x < 2; x++ {
+		for y := uint8(0); y < 2; y++ {
+			v := f.Eval(1-x, 1-y) ^ 1
+			g |= Func(v) << ((x&1)<<1 | y&1)
+		}
+	}
+	return g
+}
+
+// SolveCode returns the possible values of the encoded bit c satisfying
+// tau(c, h) = b for the given history bit h and original bit b. The result
+// holds zero, one or two candidate bits: functions that ignore their first
+// argument (Y, NotY, Zero, One) either admit both values of c or none,
+// which is exactly the freedom the encoder spends on minimizing
+// transitions.
+func (f Func) SolveCode(h, b uint8) []uint8 {
+	var out []uint8
+	for c := uint8(0); c < 2; c++ {
+		if f.Eval(c, h) == b&1 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// DependsOnX reports whether the function's value depends on its first
+// (encoded-bit) argument for at least one history value. Functions that do
+// not are pure history predictors: the decoder can regenerate the original
+// stream regardless of what is stored, so the encoder may store a
+// zero-transition code word.
+func (f Func) DependsOnX() bool {
+	for y := uint8(0); y < 2; y++ {
+		if f.Eval(0, y) != f.Eval(1, y) {
+			return true
+		}
+	}
+	return false
+}
+
+// Index3 returns the 3-bit selector used for f in the 8-function
+// transformation table, and whether f belongs to the canonical subset. The
+// ordering is fixed so that hardware selector values are stable across
+// encoder runs: X=0, NotX=1, Y=2, NotY=3, XOR=4, XNOR=5, NOR=6, NAND=7.
+func Index3(f Func) (uint8, bool) {
+	for i, g := range Canonical8 {
+		if g == f {
+			return uint8(i), true
+		}
+	}
+	return 0, false
+}
+
+// FromIndex3 is the inverse of Index3: it maps a 3-bit hardware selector
+// back to its transformation.
+func FromIndex3(idx uint8) Func {
+	return Canonical8[idx&7]
+}

@@ -1,0 +1,223 @@
+package transform
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEvalTruthTables(t *testing.T) {
+	cases := []struct {
+		f    Func
+		want [4]uint8 // indexed by 2x+y
+	}{
+		{Zero, [4]uint8{0, 0, 0, 0}},
+		{One, [4]uint8{1, 1, 1, 1}},
+		{X, [4]uint8{0, 0, 1, 1}},
+		{NotX, [4]uint8{1, 1, 0, 0}},
+		{Y, [4]uint8{0, 1, 0, 1}},
+		{NotY, [4]uint8{1, 0, 1, 0}},
+		{XOR, [4]uint8{0, 1, 1, 0}},
+		{XNOR, [4]uint8{1, 0, 0, 1}},
+		{AND, [4]uint8{0, 0, 0, 1}},
+		{NAND, [4]uint8{1, 1, 1, 0}},
+		{OR, [4]uint8{0, 1, 1, 1}},
+		{NOR, [4]uint8{1, 0, 0, 0}},
+		{AndNX, [4]uint8{0, 1, 0, 0}},
+		{AndNY, [4]uint8{0, 0, 1, 0}},
+		{OrNX, [4]uint8{1, 1, 0, 1}},
+		{OrNY, [4]uint8{1, 0, 1, 1}},
+	}
+	for _, c := range cases {
+		for x := uint8(0); x < 2; x++ {
+			for y := uint8(0); y < 2; y++ {
+				if got := c.f.Eval(x, y); got != c.want[2*x+y] {
+					t.Errorf("%s.Eval(%d,%d) = %d, want %d", c.f, x, y, got, c.want[2*x+y])
+				}
+			}
+		}
+	}
+}
+
+func TestEvalIgnoresHighBits(t *testing.T) {
+	for _, f := range All() {
+		for x := uint8(0); x < 2; x++ {
+			for y := uint8(0); y < 2; y++ {
+				if f.Eval(x|0xfe, y|0xfe) != f.Eval(x, y) {
+					t.Errorf("%s.Eval sensitive to high operand bits", f)
+				}
+			}
+		}
+	}
+}
+
+func TestAllReturnsSixteenDistinct(t *testing.T) {
+	fs := All()
+	if len(fs) != NumFuncs {
+		t.Fatalf("All() returned %d functions, want %d", len(fs), NumFuncs)
+	}
+	seen := map[Func]bool{}
+	for _, f := range fs {
+		if seen[f] {
+			t.Errorf("duplicate function %s", f)
+		}
+		seen[f] = true
+		if !f.Valid() {
+			t.Errorf("All() returned invalid Func %d", f)
+		}
+	}
+}
+
+func TestPreferredIsPermutationWithCanonicalPrefix(t *testing.T) {
+	fs := Preferred()
+	if len(fs) != NumFuncs {
+		t.Fatalf("Preferred() returned %d functions, want %d", len(fs), NumFuncs)
+	}
+	for i, f := range fs[:len(Canonical8)] {
+		if f != Canonical8[i] {
+			t.Errorf("Preferred()[%d] = %s, want canonical %s", i, f, Canonical8[i])
+		}
+	}
+	seen := map[Func]bool{}
+	for _, f := range fs {
+		if seen[f] {
+			t.Errorf("Preferred() repeats %s", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestCanonical8Membership(t *testing.T) {
+	want := map[Func]bool{X: true, NotX: true, Y: true, NotY: true,
+		XOR: true, XNOR: true, NOR: true, NAND: true}
+	if len(Canonical8) != 8 {
+		t.Fatalf("Canonical8 has %d elements, want 8", len(Canonical8))
+	}
+	for _, f := range Canonical8 {
+		if !want[f] {
+			t.Errorf("unexpected canonical function %s", f)
+		}
+	}
+}
+
+func TestConjugatePairs(t *testing.T) {
+	// The paper: global inversion interchanges XOR with XNOR and NOR with
+	// NAND, leaving identity and inversion intact.
+	pairs := map[Func]Func{
+		X: X, NotX: NotX, Y: Y, NotY: NotY,
+		XOR: XNOR, XNOR: XOR, NOR: NAND, NAND: NOR,
+		Zero: One, One: Zero,
+	}
+	for f, want := range pairs {
+		if got := f.Conjugate(); got != want {
+			t.Errorf("Conjugate(%s) = %s, want %s", f, got, want)
+		}
+	}
+}
+
+func TestConjugateIsInvolution(t *testing.T) {
+	for _, f := range All() {
+		if g := f.Conjugate().Conjugate(); g != f {
+			t.Errorf("Conjugate(Conjugate(%s)) = %s", f, g)
+		}
+	}
+}
+
+func TestConjugateDefinition(t *testing.T) {
+	err := quick.Check(func(fi uint8, x, y bool) bool {
+		f := Func(fi % NumFuncs)
+		bx, by := uint8(0), uint8(0)
+		if x {
+			bx = 1
+		}
+		if y {
+			by = 1
+		}
+		return f.Conjugate().Eval(bx, by) == f.Eval(1-bx, 1-by)^1
+	}, nil)
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCanonical8ClosedUnderConjugation(t *testing.T) {
+	in := map[Func]bool{}
+	for _, f := range Canonical8 {
+		in[f] = true
+	}
+	for _, f := range Canonical8 {
+		if !in[f.Conjugate()] {
+			t.Errorf("Conjugate(%s) = %s escapes the canonical set", f, f.Conjugate())
+		}
+	}
+}
+
+func TestSolveCode(t *testing.T) {
+	for _, f := range All() {
+		for h := uint8(0); h < 2; h++ {
+			for b := uint8(0); b < 2; b++ {
+				sols := f.SolveCode(h, b)
+				if len(sols) > 2 {
+					t.Fatalf("%s.SolveCode(%d,%d) returned %d solutions", f, h, b, len(sols))
+				}
+				for _, c := range sols {
+					if f.Eval(c, h) != b {
+						t.Errorf("%s.SolveCode(%d,%d) returned non-solution %d", f, h, b, c)
+					}
+				}
+				// Completeness: every c satisfying the equation is listed.
+				for c := uint8(0); c < 2; c++ {
+					if f.Eval(c, h) == b {
+						found := false
+						for _, s := range sols {
+							if s == c {
+								found = true
+							}
+						}
+						if !found {
+							t.Errorf("%s.SolveCode(%d,%d) missed solution %d", f, h, b, c)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDependsOnX(t *testing.T) {
+	free := map[Func]bool{Zero: true, One: true, Y: true, NotY: true}
+	for _, f := range All() {
+		if got, want := f.DependsOnX(), !free[f]; got != want {
+			t.Errorf("%s.DependsOnX() = %v, want %v", f, got, want)
+		}
+	}
+}
+
+func TestIndex3RoundTrip(t *testing.T) {
+	for i := uint8(0); i < 8; i++ {
+		f := FromIndex3(i)
+		idx, ok := Index3(f)
+		if !ok || idx != i {
+			t.Errorf("Index3(FromIndex3(%d)) = (%d,%v)", i, idx, ok)
+		}
+	}
+	if _, ok := Index3(AND); ok {
+		t.Error("Index3(AND) reported canonical membership")
+	}
+}
+
+func TestStringUniqueAndNonEmpty(t *testing.T) {
+	seen := map[string]bool{}
+	for _, f := range All() {
+		s := f.String()
+		if s == "" {
+			t.Errorf("empty String for %d", f)
+		}
+		if seen[s] {
+			t.Errorf("duplicate String %q", s)
+		}
+		seen[s] = true
+	}
+	if Func(99).String() == "" {
+		t.Error("invalid Func should still render")
+	}
+}

@@ -1,0 +1,149 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"imtrans/internal/asm"
+	"imtrans/internal/cpu"
+	"imtrans/internal/mem"
+)
+
+// execute assembles, sets up and runs a workload at the given params,
+// returning the CPU for inspection.
+func execute(t testing.TB, w *Workload, p Params) *cpu.CPU {
+	t.Helper()
+	p = w.Fill(p)
+	obj, err := asm.Assemble(w.Source(p))
+	if err != nil {
+		t.Fatalf("%s: assemble: %v", w.Name, err)
+	}
+	m := mem.New()
+	for i, b := range obj.Data {
+		m.StoreByte(obj.DataBase+uint32(i), b)
+	}
+	if err := w.Setup(m, p); err != nil {
+		t.Fatalf("%s: setup: %v", w.Name, err)
+	}
+	c, err := cpu.New(cpu.Program{Base: obj.TextBase, Words: obj.TextWords}, m)
+	if err != nil {
+		t.Fatalf("%s: cpu: %v", w.Name, err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatalf("%s: run: %v", w.Name, err)
+	}
+	return c
+}
+
+// TestKernelsMatchGoldenSmall validates every kernel bit-exactly against
+// its golden reference at test scale.
+func TestKernelsMatchGoldenSmall(t *testing.T) {
+	for _, w := range append(All(), Extras()...) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			c := execute(t, w, w.TestParams)
+			if err := w.Check(c.Mem, w.Fill(w.TestParams)); err != nil {
+				t.Fatal(err)
+			}
+			if c.InstCount == 0 {
+				t.Error("no instructions executed")
+			}
+		})
+	}
+}
+
+// TestKernelsMatchGoldenPaperScale validates the kernels at the paper's
+// problem sizes. Multi-second; skipped in -short runs.
+func TestKernelsMatchGoldenPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale simulation")
+	}
+	for _, w := range append(All(), Extras()...) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			c := execute(t, w, w.Defaults)
+			if err := w.Check(c.Mem, w.Defaults); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: %d instructions", w.Name, c.InstCount)
+		})
+	}
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	// The golden check must actually have teeth: corrupt one output value
+	// and expect a failure.
+	w := MMul()
+	p := w.TestParams
+	c := execute(t, w, p)
+	n := uint32(w.Fill(p).N)
+	addr := dataBase + 8*n*n // first element of C
+	v, err := c.Mem.LoadFloat(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mem.StoreFloat(addr, v+1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Check(c.Mem, p); err == nil {
+		t.Error("corrupted output passed the golden check")
+	} else if !strings.Contains(err.Error(), "differ") {
+		t.Errorf("unexpected error: %v", err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"mmul", "sor", "ej", "fft", "tri", "lu"} {
+		w, err := ByName(name)
+		if err != nil || w.Name != name {
+			t.Errorf("ByName(%q) = %v, %v", name, w, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestFillDefaults(t *testing.T) {
+	w := MMul()
+	p := w.Fill(Params{})
+	if p.N != 100 || p.Iters != 1 {
+		t.Errorf("defaults = %+v", p)
+	}
+	p = w.Fill(Params{N: 4})
+	if p.N != 4 || p.Iters != 1 {
+		t.Errorf("partial fill = %+v", p)
+	}
+}
+
+func TestSourcesHaveLoops(t *testing.T) {
+	// Every kernel must contain at least one backward branch — the hot
+	// loop the paper's technique targets.
+	for _, w := range append(All(), Extras()...) {
+		src := w.Source(w.TestParams)
+		if !strings.Contains(src, "syscall") {
+			t.Errorf("%s: no exit syscall", w.Name)
+		}
+		obj, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if len(obj.TextWords) < 10 {
+			t.Errorf("%s: suspiciously small kernel (%d words)", w.Name, len(obj.TextWords))
+		}
+	}
+}
+
+func TestLCGDeterminism(t *testing.T) {
+	a, b := newLCG(7), newLCG(7)
+	for i := 0; i < 100; i++ {
+		x, y := a.nextFloat(), b.nextFloat()
+		if x != y {
+			t.Fatal("lcg not deterministic")
+		}
+		if x < 0 || x >= 1 {
+			t.Fatalf("lcg out of range: %v", x)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package kernel_test
+
+import (
+	"fmt"
+	"log"
+
+	"imtrans"
+	"imtrans/kernel"
+)
+
+// Example builds a small accumulation kernel programmatically, assembles
+// it with the toolkit and runs it on the simulator.
+func Example() {
+	b := kernel.New()
+	b.WordData("out", 0)
+
+	acc := b.Saved()
+	b.Li(acc, 0)
+	b.Downto("sum", 10, func(i kernel.Reg) {
+		b.Inst("addu", acc, acc, i)
+	})
+	addr := b.Temp()
+	b.La(addr, "out")
+	b.Inst("sw", acc, kernel.Mem(0, addr))
+	b.Exit()
+
+	src, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog, err := imtrans.Assemble(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := imtrans.NewMachine(prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		log.Fatal(err)
+	}
+	v, err := m.Memory().LoadWord(prog.Symbols["out"])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sum 1..10 =", v)
+	// Output:
+	// sum 1..10 = 55
+}

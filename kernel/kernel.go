@@ -1,0 +1,223 @@
+// Package kernel is a small structured builder for MR32 assembly kernels:
+// automatic register allocation, counted-loop scaffolding, and data-
+// section helpers. The hand-written workloads in internal/workloads show
+// what the raw dialect looks like; it exists for programs that are
+// generated — parameter sweeps, synthetic stress kernels, tests that need
+// many structurally-similar loops.
+package kernel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reg is an allocated integer register.
+type Reg struct {
+	name string
+}
+
+// String returns the assembler name, e.g. "$t3".
+func (r Reg) String() string { return r.name }
+
+// FReg is an allocated floating-point register.
+type FReg struct {
+	name string
+}
+
+// String returns the assembler name, e.g. "$f5".
+func (f FReg) String() string { return f.name }
+
+// Builder accumulates a kernel. Methods panic-free: errors are collected
+// and reported by Build, keeping construction code linear.
+type Builder struct {
+	text   strings.Builder
+	data   strings.Builder
+	errs   []error
+	indent string
+
+	freeT  []string // temporaries $t0..$t9
+	freeS  []string // saved $s0..$s7
+	freeF  []string // $f0..$f31
+	labels map[string]int
+}
+
+// New returns an empty builder.
+func New() *Builder {
+	b := &Builder{labels: make(map[string]int)}
+	for i := 9; i >= 0; i-- {
+		b.freeT = append(b.freeT, fmt.Sprintf("$t%d", i))
+	}
+	for i := 7; i >= 0; i-- {
+		b.freeS = append(b.freeS, fmt.Sprintf("$s%d", i))
+	}
+	for i := 31; i >= 0; i-- {
+		b.freeF = append(b.freeF, fmt.Sprintf("$f%d", i))
+	}
+	return b
+}
+
+func (b *Builder) errf(format string, args ...interface{}) {
+	b.errs = append(b.errs, fmt.Errorf(format, args...))
+}
+
+// Temp allocates a caller-saved integer register.
+func (b *Builder) Temp() Reg {
+	if len(b.freeT) == 0 {
+		b.errf("kernel kernels: out of temporary registers")
+		return Reg{"$t0"}
+	}
+	r := b.freeT[len(b.freeT)-1]
+	b.freeT = b.freeT[:len(b.freeT)-1]
+	return Reg{r}
+}
+
+// Saved allocates a callee-saved integer register (used here simply as a
+// long-lived register; kernels have no calling convention to honour).
+func (b *Builder) Saved() Reg {
+	if len(b.freeS) == 0 {
+		b.errf("kernel kernels: out of saved registers")
+		return Reg{"$s0"}
+	}
+	r := b.freeS[len(b.freeS)-1]
+	b.freeS = b.freeS[:len(b.freeS)-1]
+	return Reg{r}
+}
+
+// Float allocates a floating-point register.
+func (b *Builder) Float() FReg {
+	if len(b.freeF) == 0 {
+		b.errf("kernel kernels: out of FP registers")
+		return FReg{"$f0"}
+	}
+	r := b.freeF[len(b.freeF)-1]
+	b.freeF = b.freeF[:len(b.freeF)-1]
+	return FReg{r}
+}
+
+// Release returns an integer register to the pool.
+func (b *Builder) Release(r Reg) {
+	if strings.HasPrefix(r.name, "$t") {
+		b.freeT = append(b.freeT, r.name)
+	} else if strings.HasPrefix(r.name, "$s") {
+		b.freeS = append(b.freeS, r.name)
+	}
+}
+
+// ReleaseFloat returns an FP register to the pool.
+func (b *Builder) ReleaseFloat(f FReg) {
+	b.freeF = append(b.freeF, f.name)
+}
+
+// Label generates a unique label from a stem and emits it.
+func (b *Builder) Label(stem string) string {
+	b.labels[stem]++
+	l := fmt.Sprintf("%s_%d", stem, b.labels[stem])
+	fmt.Fprintf(&b.text, "%s:\n", l)
+	return l
+}
+
+// Inst emits one instruction line verbatim (mnemonic plus operands).
+func (b *Builder) Inst(mnemonic string, operands ...interface{}) {
+	parts := make([]string, len(operands))
+	for i, op := range operands {
+		parts[i] = fmt.Sprint(op)
+	}
+	fmt.Fprintf(&b.text, "\t%s%s %s\n", b.indent, mnemonic, strings.Join(parts, ", "))
+}
+
+// Comment emits an assembly comment.
+func (b *Builder) Comment(format string, args ...interface{}) {
+	fmt.Fprintf(&b.text, "\t%s# %s\n", b.indent, fmt.Sprintf(format, args...))
+}
+
+// Li loads a 32-bit constant.
+func (b *Builder) Li(r Reg, v int64) { b.Inst("li", r, v) }
+
+// La loads a data-segment label's address.
+func (b *Builder) La(r Reg, label string) { b.Inst("la", r, label) }
+
+// Move copies a register.
+func (b *Builder) Move(dst, src Reg) { b.Inst("move", dst, src) }
+
+// Mem renders an "offset(base)" operand.
+func Mem(offset int32, base Reg) string { return fmt.Sprintf("%d(%s)", offset, base) }
+
+// Downto emits a counted loop running the body with the counter taking
+// values n, n-1, ..., 1. The counter register is allocated and released by
+// the builder.
+func (b *Builder) Downto(stem string, n int64, body func(counter Reg)) {
+	c := b.Temp()
+	b.Li(c, n)
+	label := b.Label(stem)
+	inner := b.indent
+	b.indent = inner + "  "
+	body(c)
+	b.indent = inner
+	b.Inst("addiu", c, c, -1)
+	b.Inst("bgtz", c, label)
+	b.Release(c)
+}
+
+// ForRange emits a loop with an index running 0, step, 2*step, ... while
+// index != bound. bound must be a multiple of step.
+func (b *Builder) ForRange(stem string, bound Reg, step int64, body func(index Reg)) {
+	i := b.Temp()
+	b.Li(i, 0)
+	label := b.Label(stem)
+	inner := b.indent
+	b.indent = inner + "  "
+	body(i)
+	b.indent = inner
+	b.Inst("addiu", i, i, step)
+	b.Inst("bne", i, bound, label)
+	b.Release(i)
+}
+
+// Exit emits the program-terminating syscall.
+func (b *Builder) Exit() {
+	b.Inst("li", "$v0", 10)
+	b.Inst("syscall")
+}
+
+// WordData emits a labelled .word sequence in the data segment.
+func (b *Builder) WordData(label string, values ...int64) {
+	fmt.Fprintf(&b.data, "%s:\t.word ", label)
+	parts := make([]string, len(values))
+	for i, v := range values {
+		parts[i] = fmt.Sprint(v)
+	}
+	b.data.WriteString(strings.Join(parts, ", "))
+	b.data.WriteString("\n")
+}
+
+// FloatData emits a labelled .float sequence in the data segment.
+func (b *Builder) FloatData(label string, values ...float32) {
+	fmt.Fprintf(&b.data, "%s:\t.float ", label)
+	parts := make([]string, len(values))
+	for i, v := range values {
+		parts[i] = fmt.Sprintf("%g", v)
+	}
+	b.data.WriteString(strings.Join(parts, ", "))
+	b.data.WriteString("\n")
+}
+
+// SpaceData reserves labelled zeroed bytes in the data segment.
+func (b *Builder) SpaceData(label string, bytes int) {
+	fmt.Fprintf(&b.data, "%s:\t.space %d\n", label, bytes)
+}
+
+// Build renders the complete assembly source, or the first construction
+// error.
+func (b *Builder) Build() (string, error) {
+	if len(b.errs) > 0 {
+		return "", b.errs[0]
+	}
+	var out strings.Builder
+	if b.data.Len() > 0 {
+		out.WriteString("\t.data\n")
+		out.WriteString(b.data.String())
+	}
+	out.WriteString("\t.text\n")
+	out.WriteString(b.text.String())
+	return out.String(), nil
+}

@@ -1,0 +1,219 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"imtrans/internal/asm"
+	"imtrans/internal/cpu"
+	"imtrans/internal/isa"
+	"imtrans/internal/mem"
+)
+
+// buildAndRun assembles the builder's output and executes it.
+func buildAndRun(t *testing.T, b *Builder) *cpu.CPU {
+	t.Helper()
+	src, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v\n%s", err, src)
+	}
+	m := mem.New()
+	for i, by := range obj.Data {
+		m.StoreByte(obj.DataBase+uint32(i), by)
+	}
+	c, err := cpu.New(cpu.Program{Base: obj.TextBase, Words: obj.TextWords}, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatalf("run: %v\n%s", err, src)
+	}
+	return c
+}
+
+func TestSumLoop(t *testing.T) {
+	// sum = 1 + 2 + ... + 100 via Downto.
+	b := New()
+	sum := b.Saved()
+	b.Li(sum, 0)
+	b.Downto("sum", 100, func(c Reg) {
+		b.Inst("addu", sum, sum, c)
+	})
+	out := b.Temp()
+	b.Li(out, 0x10010000)
+	b.Inst("sw", sum, Mem(0, out))
+	b.Exit()
+	c := buildAndRun(t, b)
+	got, err := c.Mem.LoadWord(0x10010000)
+	if err != nil || got != 5050 {
+		t.Errorf("sum = %d, %v", got, err)
+	}
+}
+
+func TestForRangeArrayWalk(t *testing.T) {
+	// Doubles each of 8 words in place.
+	b := New()
+	b.WordData("arr", 1, 2, 3, 4, 5, 6, 7, 8)
+	base := b.Saved()
+	b.La(base, "arr")
+	bound := b.Temp()
+	b.Li(bound, 32)
+	b.ForRange("walk", bound, 4, func(i Reg) {
+		addr := b.Temp()
+		v := b.Temp()
+		b.Inst("addu", addr, base, i)
+		b.Inst("lw", v, Mem(0, addr))
+		b.Inst("addu", v, v, v)
+		b.Inst("sw", v, Mem(0, addr))
+		b.Release(addr)
+		b.Release(v)
+	})
+	b.Exit()
+	c := buildAndRun(t, b)
+	for i := 0; i < 8; i++ {
+		got, err := c.Mem.LoadWord(0x10010000 + uint32(4*i))
+		if err != nil || got != uint32(2*(i+1)) {
+			t.Errorf("arr[%d] = %d", i, got)
+		}
+	}
+}
+
+func TestFloatKernel(t *testing.T) {
+	// saxpy over 4 elements: y = 2.5*x + y.
+	b := New()
+	b.FloatData("x", 1, 2, 3, 4)
+	b.FloatData("y", 10, 20, 30, 40)
+	xb, yb := b.Saved(), b.Saved()
+	b.La(xb, "x")
+	b.La(yb, "y")
+	a := b.Float()
+	b.Inst("li.s", a, 2.5)
+	bound := b.Temp()
+	b.Li(bound, 16)
+	b.ForRange("saxpy", bound, 4, func(i Reg) {
+		xa, ya := b.Temp(), b.Temp()
+		fx, fy := b.Float(), b.Float()
+		b.Inst("addu", xa, xb, i)
+		b.Inst("addu", ya, yb, i)
+		b.Inst("l.s", fx, Mem(0, xa))
+		b.Inst("l.s", fy, Mem(0, ya))
+		b.Inst("mul.s", fx, fx, a)
+		b.Inst("add.s", fy, fy, fx)
+		b.Inst("s.s", fy, Mem(0, ya))
+		b.Release(xa)
+		b.Release(ya)
+		b.ReleaseFloat(fx)
+		b.ReleaseFloat(fy)
+	})
+	b.Exit()
+	c := buildAndRun(t, b)
+	want := []float32{12.5, 25, 37.5, 50}
+	got, err := c.Mem.LoadFloats(0x10010000+16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("y[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRegisterExhaustion(t *testing.T) {
+	b := New()
+	for i := 0; i < 11; i++ {
+		b.Temp() // only 10 temporaries exist
+	}
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "out of temporary") {
+		t.Errorf("err = %v", err)
+	}
+	b2 := New()
+	for i := 0; i < 9; i++ {
+		b2.Saved()
+	}
+	if _, err := b2.Build(); err == nil {
+		t.Error("saved-register exhaustion not reported")
+	}
+	b3 := New()
+	for i := 0; i < 33; i++ {
+		b3.Float()
+	}
+	if _, err := b3.Build(); err == nil {
+		t.Error("FP-register exhaustion not reported")
+	}
+}
+
+func TestReleaseRecycles(t *testing.T) {
+	b := New()
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		r := b.Temp()
+		seen[r.String()] = true
+		b.Release(r)
+	}
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("release did not recycle: %v", err)
+	}
+	if len(seen) != 1 {
+		t.Errorf("expected stable recycling, saw %d registers", len(seen))
+	}
+}
+
+func TestUniqueLabels(t *testing.T) {
+	b := New()
+	l1 := b.Label("loop")
+	l2 := b.Label("loop")
+	if l1 == l2 {
+		t.Errorf("labels not unique: %s", l1)
+	}
+}
+
+func TestCommentAndSpaceData(t *testing.T) {
+	b := New()
+	b.SpaceData("buf", 64)
+	b.Comment("hello %d", 42)
+	b.Exit()
+	src, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "# hello 42") || !strings.Contains(src, ".space 64") {
+		t.Errorf("source:\n%s", src)
+	}
+	if _, err := asm.Assemble(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedKernelIsEncodable(t *testing.T) {
+	// End-to-end sanity: a generated kernel flows through the ISA decode
+	// path cleanly (every word decodable), which the encoder pipeline
+	// requires.
+	b := New()
+	acc := b.Saved()
+	b.Li(acc, 0)
+	b.Downto("outer", 10, func(i Reg) {
+		b.Downto("inner", 5, func(j Reg) {
+			b.Inst("addu", acc, acc, j)
+			b.Inst("xor", acc, acc, i)
+		})
+	})
+	b.Exit()
+	src, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, w := range obj.TextWords {
+		if _, err := isa.Decode(w); err != nil {
+			t.Fatalf("word %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package imtrans
+
+import (
+	"fmt"
+
+	"imtrans/internal/rtl"
+)
+
+// Verilog renders the deployment's fetch-side decoder as a synthesizable
+// Verilog module: the TT and BBIT as ROMs, the per-line gate mux, the
+// history registers and the E/CT sequencing FSM. moduleName defaults to
+// "imtrans_decoder".
+func (d *Deployment) Verilog(moduleName string) (string, error) {
+	return rtl.Decoder(d.tt, d.bbit, d.BlockSize, d.BusWidth, rtl.Options{ModuleName: moduleName})
+}
+
+// VerilogTestbench renders a self-checking testbench for the deployment's
+// decoder. Test vectors — fetch address, encoded bus word, expected
+// restored instruction — are captured from an actual simulation of the
+// program (capped at maxVectors; 0 means 1000), so a Verilog simulator
+// reproduces exactly the behaviour measured by this library.
+func (d *Deployment) VerilogTestbench(p *Program, setup func(Memory) error, moduleName string, maxVectors int) (string, error) {
+	if d.TextBase != p.TextBase || len(d.Encoded) != len(p.Text) {
+		return "", fmt.Errorf("imtrans: deployment does not match program layout")
+	}
+	if maxVectors <= 0 {
+		maxVectors = 1000
+	}
+	m, err := newMachine(p, setup)
+	if err != nil {
+		return "", err
+	}
+	var vectors []rtl.Vector
+	m.OnFetch = func(pc, word uint32) {
+		if len(vectors) >= maxVectors {
+			return
+		}
+		vectors = append(vectors, rtl.Vector{
+			PC:   pc,
+			Bus:  d.Encoded[int(pc-d.TextBase)/4],
+			Want: word,
+		})
+	}
+	if err := m.Run(); err != nil {
+		return "", fmt.Errorf("imtrans: vector capture run: %w", err)
+	}
+	return rtl.Testbench(moduleName, d.BusWidth, vectors)
+}

@@ -1,0 +1,41 @@
+package imtrans
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeploymentVerilog(t *testing.T) {
+	p, err := Assemble(testLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewMachine(p)
+	run, err := m.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := BuildDeployment(p, run.Profile, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := d.Verilog("dec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(v, "module dec (") || !strings.Contains(v, "endmodule") {
+		t.Error("module structure missing")
+	}
+	tb, err := d.VerilogTestbench(p, nil, "dec", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb, "module dec_tb;") || !strings.Contains(tb, "localparam N = 64;") {
+		t.Errorf("testbench structure missing")
+	}
+	// Layout mismatch must be rejected.
+	other, _ := Assemble("nop\nli $v0, 10\nsyscall")
+	if _, err := d.VerilogTestbench(other, nil, "dec", 10); err == nil {
+		t.Error("layout mismatch accepted")
+	}
+}

@@ -1,0 +1,43 @@
+package imtrans
+
+import "testing"
+
+func TestRescheduleProgramFacade(t *testing.T) {
+	b, err := BenchmarkByName("fft")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b = b.WithScale(16, 0)
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, st, err := RescheduleProgram(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Blocks == 0 || st.After > st.Before {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.ReductionPercent() < 0 {
+		t.Errorf("negative reduction: %+v", st)
+	}
+	if len(p2.Text) != len(p.Text) {
+		t.Fatal("text length changed")
+	}
+	// Golden check on the rescheduled program.
+	if _, err := b.RunProgram(p2); err != nil {
+		t.Fatal(err)
+	}
+	// Measurement on the modified program works end to end.
+	ms, err := b.MeasureModified(p2, Config{BlockSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms[0].Encoded > ms[0].Baseline {
+		t.Errorf("encoding regressed on rescheduled program: %+v", ms[0])
+	}
+	if _, _, err := RescheduleProgram(nil); err == nil {
+		t.Error("nil program accepted")
+	}
+}
