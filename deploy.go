@@ -132,13 +132,25 @@ func LoadDeployment(r io.Reader) (*Deployment, error) {
 		TextBase:  f.TextBase,
 		Encoded:   f.Encoded,
 	}
-	for _, e := range f.TT {
+	if f.BusWidth < 1 || f.BusWidth > 32 {
+		return nil, fmt.Errorf("imtrans: deployment bus width %d out of range [1, 32]", f.BusWidth)
+	}
+	for i, e := range f.TT {
+		// objfile validates these on load; re-check here so a Deployment
+		// can never be built from a malformed table, whatever the source.
+		if len(e.Sel) != f.BusWidth {
+			return nil, fmt.Errorf("imtrans: TT entry %d has %d selectors, want bus width %d", i, len(e.Sel), f.BusWidth)
+		}
 		var he hw.TTEntry
 		for line := range he.Sel {
 			he.Sel[line] = transform.Identity
 		}
-		for line := 0; line < f.BusWidth && line < len(e.Sel); line++ {
-			he.Sel[line] = transform.Func(e.Sel[line])
+		for line := 0; line < f.BusWidth; line++ {
+			fn := transform.Func(e.Sel[line])
+			if !fn.Valid() {
+				return nil, fmt.Errorf("imtrans: TT entry %d line %d has invalid selector %d", i, line, e.Sel[line])
+			}
+			he.Sel[line] = fn
 		}
 		he.E, he.CT = e.E, e.CT
 		d.tt = append(d.tt, he)
@@ -166,20 +178,35 @@ func (d *Deployment) Verify(p *Program, setup func(Memory) error) error {
 	if err != nil {
 		return err
 	}
-	var hookErr error
+	// Keep verifying after the first failure: the mismatch count separates
+	// a single flipped table bit (every covered fetch corrupt) from a
+	// localised image defect, which is diagnostic gold for a firmware
+	// build pipeline.
+	var mismatches uint64
+	var firstErr error
 	m.OnFetch = func(pc, word uint32) {
 		busWord := d.Encoded[int(pc-d.TextBase)/4]
 		restored, err := dec.OnFetch(pc, busWord)
-		if err != nil && hookErr == nil {
-			hookErr = err
+		if err != nil {
+			mismatches++
+			if firstErr == nil {
+				firstErr = err
+			}
+			return
 		}
-		if restored != word && hookErr == nil {
-			hookErr = fmt.Errorf("imtrans: deployment restored %#08x at pc %#x, want %#08x",
-				restored, pc, word)
+		if restored != word {
+			mismatches++
+			if firstErr == nil {
+				firstErr = fmt.Errorf("imtrans: deployment restored %#08x at pc %#x, want %#08x",
+					restored, pc, word)
+			}
 		}
 	}
 	if err := m.Run(); err != nil {
 		return fmt.Errorf("imtrans: deployment verification run: %w", err)
 	}
-	return hookErr
+	if mismatches > 0 {
+		return fmt.Errorf("imtrans: deployment verification: %d corrupted fetches (first: %w)", mismatches, firstErr)
+	}
+	return nil
 }

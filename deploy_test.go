@@ -2,6 +2,7 @@ package imtrans
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -133,8 +134,20 @@ func TestDeploymentVerifyCatchesCorruption(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad.Encoded[3] ^= 1 << 7
-	if err := bad.Verify(p, nil); err == nil {
-		t.Error("corrupted image passed verification")
+	err = bad.Verify(p, nil)
+	if err == nil {
+		t.Fatal("corrupted image passed verification")
+	}
+	// Verification keeps running past the first failure and reports how
+	// many fetches were corrupted; a word inside a hot loop is fetched
+	// once per iteration, so the count must exceed one.
+	msg := err.Error()
+	if !strings.Contains(msg, "corrupted fetches") {
+		t.Errorf("error does not carry the mismatch count: %v", err)
+	}
+	var count int
+	if _, scanErr := fmt.Sscanf(msg[strings.Index(msg, "verification: ")+len("verification: "):], "%d", &count); scanErr != nil || count <= 1 {
+		t.Errorf("mismatch count %d not accumulated: %v", count, err)
 	}
 	// Mismatched layout must be rejected up front.
 	other, _ := Assemble("nop\nli $v0, 10\nsyscall")

@@ -1,0 +1,379 @@
+package fault
+
+import (
+	"bytes"
+	"fmt"
+
+	"imtrans/internal/cpu"
+	"imtrans/internal/hw"
+	"imtrans/internal/isa"
+	"imtrans/internal/mem"
+	"imtrans/internal/objfile"
+	"imtrans/internal/transform"
+)
+
+// Target binds one deployment to one workload: the original program (which
+// doubles as the recovery image), its memory setup, and the encoded image
+// plus decoder tables under test. The campaign re-executes the workload
+// once per fault with a fresh decoder, so runs never contaminate each
+// other.
+type Target struct {
+	TextBase uint32
+	Text     []uint32 // original instruction words — also the recovery image
+	DataBase uint32
+	Data     []byte
+	Setup    func(*mem.Memory) error
+	// MaxInstructions caps each run; 0 keeps the simulator default.
+	MaxInstructions uint64
+
+	Encoded   []uint32
+	TT        []hw.TTEntry
+	BBIT      []hw.BBITEntry
+	BlockSize int
+	BusWidth  int
+	// Protected arms the decoder's parity/scrub/fallback machinery for
+	// every run of the campaign.
+	Protected bool
+}
+
+func (t *Target) newCPU() (*cpu.CPU, error) {
+	m := mem.New()
+	for i, b := range t.Data {
+		m.StoreByte(t.DataBase+uint32(i), b)
+	}
+	if t.Setup != nil {
+		if err := t.Setup(m); err != nil {
+			return nil, fmt.Errorf("fault: workload setup: %w", err)
+		}
+	}
+	c, err := cpu.New(cpu.Program{Base: t.TextBase, Words: t.Text}, m)
+	if err != nil {
+		return nil, err
+	}
+	c.MaxInstructions = t.MaxInstructions
+	return c, nil
+}
+
+func (t *Target) newDecoder() (*hw.Decoder, error) {
+	dec, err := hw.NewDecoderFromTables(t.TT, t.BBIT, t.BlockSize, t.BusWidth)
+	if err != nil {
+		return nil, err
+	}
+	if t.Protected {
+		dec.EnableProtection()
+	}
+	return dec, nil
+}
+
+// artifact serialises the target's deployment exactly as Deployment.Save
+// would, giving the campaign the at-rest byte image the CRC-32 protects.
+func (t *Target) artifact() ([]byte, error) {
+	f := &objfile.Deployment{
+		BlockSize: t.BlockSize,
+		BusWidth:  t.BusWidth,
+		TextBase:  t.TextBase,
+		Encoded:   t.Encoded,
+	}
+	for _, e := range t.TT {
+		fe := objfile.TTEntry{Sel: make([]uint16, t.BusWidth), E: e.E, CT: e.CT}
+		for line := 0; line < t.BusWidth; line++ {
+			fe.Sel[line] = uint16(e.Sel[line])
+		}
+		f.TT = append(f.TT, fe)
+	}
+	for _, e := range t.BBIT {
+		f.BBIT = append(f.BBIT, objfile.BBITEntry{PC: e.PC, TTIndex: e.TTIndex})
+	}
+	var buf bytes.Buffer
+	if err := objfile.SaveDeployment(&buf, f); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Golden runs the workload through an unfaulted decoder, checks that every
+// fetch restores the original word, and returns the dynamic fetch count —
+// both the campaign's sanity gate and the denominator for history-fault
+// scheduling.
+func (t *Target) Golden() (uint64, error) {
+	if len(t.Encoded) != len(t.Text) {
+		return 0, fmt.Errorf("fault: encoded image has %d words, text has %d", len(t.Encoded), len(t.Text))
+	}
+	dec, err := t.newDecoder()
+	if err != nil {
+		return 0, err
+	}
+	c, err := t.newCPU()
+	if err != nil {
+		return 0, err
+	}
+	var fetches, bad uint64
+	c.OnFetch = func(pc, word uint32) {
+		fetches++
+		r := dec.Fetch(pc, t.Encoded[int(pc-t.TextBase)/4])
+		restored := r.Word
+		if r.Fallback {
+			restored = word
+		}
+		if r.Err != nil || restored != word {
+			bad++
+		}
+	}
+	if err := c.Run(); err != nil {
+		return 0, fmt.Errorf("fault: golden run: %w", err)
+	}
+	if bad > 0 {
+		return 0, fmt.Errorf("fault: golden run corrupted %d fetches — deployment does not match workload", bad)
+	}
+	if det := dec.Counters().DetectedFaults(); det > 0 {
+		return 0, fmt.Errorf("fault: golden run raised %d detections on a clean decoder", det)
+	}
+	return fetches, nil
+}
+
+// Spec derives the target's fault space. It executes the golden run to
+// size the dynamic dimension, so it also validates the deployment.
+func (t *Target) Spec() (Spec, error) {
+	fetches, err := t.Golden()
+	if err != nil {
+		return Spec{}, err
+	}
+	art, err := t.artifact()
+	if err != nil {
+		return Spec{}, err
+	}
+	return Spec{
+		ImageWords:    len(t.Encoded),
+		TTRows:        len(t.TT),
+		BBITRows:      len(t.BBIT),
+		BusWidth:      t.BusWidth,
+		CTBits:        bitsFor(t.BlockSize - 1),
+		IndexBits:     bitsFor(maxInt(len(t.TT)-1, 1)),
+		Fetches:       fetches,
+		ArtifactBytes: len(art),
+	}, nil
+}
+
+// Run executes the campaign: one workload run per fault, each on a fresh
+// decoder and machine, classified independently.
+func (t *Target) Run(faults []Fault) (*Report, error) {
+	rep := &Report{Protected: t.Protected}
+	for _, f := range faults {
+		res, err := t.runOne(f)
+		if err != nil {
+			return nil, fmt.Errorf("fault: %v: %w", f, err)
+		}
+		rep.Results = append(rep.Results, res)
+	}
+	return rep, nil
+}
+
+// Campaign is the one-call form: derive the fault space, plan perSite
+// faults per applicable site under the seed, and run them all.
+func (t *Target) Campaign(seed int64, perSite int) (*Report, error) {
+	sp, err := t.Spec()
+	if err != nil {
+		return nil, err
+	}
+	return t.Run(Plan(sp, seed, perSite))
+}
+
+func (t *Target) runOne(f Fault) (Result, error) {
+	if f.Site == SiteArtifact {
+		return t.runArtifact(f)
+	}
+	res := Result{Fault: f}
+	dec, err := t.newDecoder()
+	if err != nil {
+		return res, err
+	}
+	enc := t.Encoded
+	switch f.Site {
+	case SiteImage:
+		if f.Row < 0 || f.Row >= len(enc) {
+			return res, fmt.Errorf("image word %d out of range", f.Row)
+		}
+		enc = append([]uint32(nil), enc...)
+		enc[f.Row] = uint32(applyBits(uint64(enc[f.Row]), f))
+	case SiteTTSel:
+		err = dec.MutateTT(f.Row, func(e *hw.TTEntry) {
+			e.Sel[f.Line] = transform.Func(applyBits(uint64(e.Sel[f.Line]), f) & 0xf)
+		})
+	case SiteTTE:
+		err = dec.MutateTT(f.Row, func(e *hw.TTEntry) {
+			switch f.Kind {
+			case KindStuck0:
+				e.E = false
+			case KindStuck1:
+				e.E = true
+			default:
+				e.E = !e.E
+			}
+		})
+	case SiteTTCT:
+		err = dec.MutateTT(f.Row, func(e *hw.TTEntry) {
+			e.CT = uint8(applyBits(uint64(e.CT), f))
+		})
+	case SiteBBITPC:
+		err = dec.MutateBBIT(f.Row, func(e *hw.BBITEntry) {
+			e.PC = uint32(applyBits(uint64(e.PC), f))
+		})
+	case SiteBBITIndex:
+		err = dec.MutateBBIT(f.Row, func(e *hw.BBITEntry) {
+			e.TTIndex = uint16(applyBits(uint64(e.TTIndex), f))
+		})
+	case SiteHistory:
+		// Applied mid-run, below.
+	default:
+		return res, fmt.Errorf("unhandled site %v", f.Site)
+	}
+	if err != nil {
+		return res, err
+	}
+
+	histMask := uint32(0)
+	if f.Site == SiteHistory {
+		histMask = 1 << uint(f.Line)
+		if f.Kind == KindDoubleFlip {
+			histMask |= 1 << uint(f.Bit2)
+		}
+	}
+
+	c, err := t.newCPU()
+	if err != nil {
+		return res, err
+	}
+	var fetches uint64
+	illegal := false
+	c.OnFetch = func(pc, word uint32) {
+		if histMask != 0 && fetches == f.At {
+			dec.CorruptHistory(histMask)
+		}
+		fetches++
+		r := dec.Fetch(pc, enc[int(pc-t.TextBase)/4])
+		restored := r.Word
+		if r.Fallback {
+			// Degradation path: the fetch unit replays the access from
+			// the recovery (unencoded) image.
+			res.Fallbacks++
+			restored = word
+		}
+		if r.Err != nil {
+			res.Mismatches++
+			if res.Detail == "" {
+				res.Detail = r.Err.Error()
+			}
+			return
+		}
+		if restored != word {
+			res.Mismatches++
+			if _, derr := isa.Decode(restored); derr != nil {
+				illegal = true
+				if res.Detail == "" {
+					res.Detail = fmt.Sprintf("illegal word %#08x at pc %#x", restored, pc)
+				}
+			} else if res.Detail == "" {
+				res.Detail = fmt.Sprintf("silent corruption %#08x at pc %#x, want %#08x", restored, pc, word)
+			}
+		}
+	}
+	runErr := c.Run()
+	detected := dec.Counters().DetectedFaults() > 0
+
+	// The simulated pipeline executes the pre-verified original text, so a
+	// fault's architectural effect is judged from the fetch stream the
+	// decoder produced: an undecodable word would trap the core, any other
+	// mismatch is silent corruption — unless a detector fired first and the
+	// stream stayed clean.
+	switch {
+	case runErr != nil:
+		res.Outcome = Crash
+		if res.Detail == "" {
+			res.Detail = runErr.Error()
+		}
+	case illegal:
+		res.Outcome = Crash
+	case res.Mismatches > 0:
+		res.Outcome = SDC
+	case detected:
+		res.Outcome = Detected
+		if res.Detail == "" {
+			res.Detail = fmt.Sprintf("decoder counters: %v", dec.Counters().Stats())
+		}
+	default:
+		res.Outcome = Masked
+	}
+	return res, nil
+}
+
+// runArtifact injects into the serialised deployment at rest and attempts
+// to load it — the CRC-32's protection domain. Detection here is the load
+// stage rejecting the artifact; silent acceptance of changed content would
+// be SDC.
+func (t *Target) runArtifact(f Fault) (Result, error) {
+	res := Result{Fault: f}
+	data, err := t.artifact()
+	if err != nil {
+		return res, err
+	}
+	if f.Row < 0 || f.Row >= len(data) {
+		return res, fmt.Errorf("artifact byte %d out of range", f.Row)
+	}
+	goodSum := objfile.DeploymentChecksum(mustParse(data))
+	nb := byte(applyBits(uint64(data[f.Row]), f))
+	if nb == data[f.Row] {
+		res.Outcome = Masked
+		res.Detail = "stuck-at matched stored value"
+		return res, nil
+	}
+	data = append([]byte(nil), data...)
+	data[f.Row] = nb
+	loaded, err := objfile.LoadDeployment(bytes.NewReader(data))
+	if err != nil {
+		res.Outcome = Detected
+		res.Detail = err.Error()
+		return res, nil
+	}
+	if objfile.DeploymentChecksum(loaded) == goodSum {
+		res.Outcome = Masked
+		res.Detail = "flip landed in semantically dead bytes"
+		return res, nil
+	}
+	res.Outcome = SDC
+	res.Detail = "changed artifact accepted by load stage"
+	return res, nil
+}
+
+// mustParse re-reads a known-good artifact; it cannot fail because the
+// bytes were produced by SaveDeployment moments earlier.
+func mustParse(data []byte) *objfile.Deployment {
+	d, err := objfile.LoadDeployment(bytes.NewReader(data))
+	if err != nil {
+		panic(fmt.Sprintf("fault: pristine artifact unreadable: %v", err))
+	}
+	return d
+}
+
+// applyBits applies the fault mechanism to a field value.
+func applyBits(v uint64, f Fault) uint64 {
+	switch f.Kind {
+	case KindFlip:
+		return v ^ 1<<uint(f.Bit)
+	case KindDoubleFlip:
+		return v ^ 1<<uint(f.Bit) ^ 1<<uint(f.Bit2)
+	case KindStuck0:
+		return v &^ (1 << uint(f.Bit))
+	case KindStuck1:
+		return v | 1<<uint(f.Bit)
+	}
+	return v
+}
+
+// bitsFor returns the number of bits needed to represent values 0..n.
+func bitsFor(n int) int {
+	b := 0
+	for v := uint(n); v > 0; v >>= 1 {
+		b++
+	}
+	return maxInt(b, 1)
+}

@@ -1,0 +1,367 @@
+// Package fault is the fault-injection harness for the deployment
+// pipeline. The encoding scheme funnels the entire hot loop's instruction
+// stream through a few hundred table bits (TT selectors, block delimiters,
+// BBIT tags) plus the encoded flash image and the decoder's history
+// flip-flops; a single-event upset in any of them corrupts every covered
+// fetch downstream. This package enumerates those fault sites, injects
+// single- and multi-bit flips and stuck-at defects under a deterministic
+// seed, executes the workload per fault, and classifies the outcome —
+// masked, detected, silent data corruption, or crash — so the reproduction
+// can state not just how much power the encoding saves but what
+// reliability it costs and, with protection enabled, recovers.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Site identifies where a fault strikes.
+type Site uint8
+
+const (
+	// SiteImage is a bit of the encoded text image (flash / instruction
+	// memory) hit after the load-time integrity check.
+	SiteImage Site = iota
+	// SiteTTSel is a bit of a Transformation Table selector nibble.
+	SiteTTSel
+	// SiteTTE is a Transformation Table row's end-of-block flag.
+	SiteTTE
+	// SiteTTCT is a bit of a Transformation Table row's tail counter.
+	SiteTTCT
+	// SiteBBITPC is a bit of a BBIT row's block-start address tag.
+	SiteBBITPC
+	// SiteBBITIndex is a bit of a BBIT row's TT index field.
+	SiteBBITIndex
+	// SiteHistory is a decoder history flip-flop upset mid-run.
+	SiteHistory
+	// SiteArtifact is a bit of the serialised deployment artifact at
+	// rest, before LoadDeployment — the CRC-32's protection domain.
+	SiteArtifact
+	numSites
+)
+
+// Sites lists every fault site in declaration order.
+func Sites() []Site {
+	out := make([]Site, numSites)
+	for i := range out {
+		out[i] = Site(i)
+	}
+	return out
+}
+
+func (s Site) String() string {
+	switch s {
+	case SiteImage:
+		return "image"
+	case SiteTTSel:
+		return "tt.sel"
+	case SiteTTE:
+		return "tt.e"
+	case SiteTTCT:
+		return "tt.ct"
+	case SiteBBITPC:
+		return "bbit.pc"
+	case SiteBBITIndex:
+		return "bbit.index"
+	case SiteHistory:
+		return "history"
+	case SiteArtifact:
+		return "artifact"
+	default:
+		return fmt.Sprintf("site(%d)", uint8(s))
+	}
+}
+
+// TableSite reports whether the site lives in the decoder's TT/BBIT SRAM —
+// the parity protection domain.
+func (s Site) TableSite() bool {
+	switch s {
+	case SiteTTSel, SiteTTE, SiteTTCT, SiteBBITPC, SiteBBITIndex:
+		return true
+	}
+	return false
+}
+
+// Kind is the fault mechanism.
+type Kind uint8
+
+const (
+	// KindFlip is a single-event upset: one bit inverts.
+	KindFlip Kind = iota
+	// KindDoubleFlip inverts two bits of the same row/word — the
+	// multi-bit upset that defeats single-bit parity.
+	KindDoubleFlip
+	// KindStuck0 forces a line to 0 (masked when it already reads 0).
+	KindStuck0
+	// KindStuck1 forces a line to 1.
+	KindStuck1
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindFlip:
+		return "flip"
+	case KindDoubleFlip:
+		return "flip2"
+	case KindStuck0:
+		return "stuck0"
+	case KindStuck1:
+		return "stuck1"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// SingleBit reports whether the fault touches at most one bit.
+func (k Kind) SingleBit() bool { return k != KindDoubleFlip }
+
+// Fault is one injectable defect.
+type Fault struct {
+	Site Site
+	Kind Kind
+	Row  int    // image word index, TT row, BBIT row, or artifact byte
+	Line int    // bus line (TT selector and history faults)
+	Bit  int    // bit position within the targeted field
+	Bit2 int    // second bit for KindDoubleFlip
+	At   uint64 // fetch ordinal for history faults
+}
+
+func (f Fault) String() string {
+	loc := fmt.Sprintf("%s[%d]", f.Site, f.Row)
+	switch f.Site {
+	case SiteTTSel:
+		loc = fmt.Sprintf("%s[%d].line%d", f.Site, f.Row, f.Line)
+	case SiteHistory:
+		loc = fmt.Sprintf("%s.line%d@fetch%d", f.Site, f.Line, f.At)
+	}
+	switch f.Kind {
+	case KindDoubleFlip:
+		return fmt.Sprintf("%s %s bits %d,%d", loc, f.Kind, f.Bit, f.Bit2)
+	default:
+		return fmt.Sprintf("%s %s bit %d", loc, f.Kind, f.Bit)
+	}
+}
+
+// Spec describes the fault space of one deployment + workload pair.
+type Spec struct {
+	ImageWords    int
+	TTRows        int
+	BBITRows      int
+	BusWidth      int
+	CTBits        int    // meaningful bits of the CT field (from block size)
+	IndexBits     int    // meaningful bits of the BBIT TT-index field
+	Fetches       uint64 // dynamic fetch count of the golden run
+	ArtifactBytes int    // serialised artifact length; 0 skips SiteArtifact
+}
+
+// applicable reports whether the spec has any bits for the site.
+func (sp Spec) applicable(s Site) bool {
+	switch s {
+	case SiteImage:
+		return sp.ImageWords > 0
+	case SiteTTSel, SiteTTE, SiteTTCT:
+		return sp.TTRows > 0
+	case SiteBBITPC, SiteBBITIndex:
+		return sp.BBITRows > 0
+	case SiteHistory:
+		return sp.Fetches > 0 && sp.BusWidth > 0
+	case SiteArtifact:
+		return sp.ArtifactBytes > 0
+	}
+	return false
+}
+
+// Plan samples a deterministic fault campaign: perSite faults for every
+// applicable site, drawn from a seeded generator. The kind mix is fixed —
+// mostly single-bit flips, with stuck-at and double-bit faults sprinkled
+// in to exercise masking and the limits of single-bit parity.
+func Plan(sp Spec, seed int64, perSite int) []Fault {
+	rng := rand.New(rand.NewSource(seed))
+	kinds := []Kind{KindFlip, KindFlip, KindStuck0, KindFlip, KindDoubleFlip, KindFlip, KindStuck1, KindFlip}
+	var out []Fault
+	for _, site := range Sites() {
+		if !sp.applicable(site) {
+			continue
+		}
+		for i := 0; i < perSite; i++ {
+			f := Fault{Site: site, Kind: kinds[i%len(kinds)]}
+			switch site {
+			case SiteImage:
+				f.Row = rng.Intn(sp.ImageWords)
+				f.Bit = rng.Intn(32)
+				f.Bit2 = rng.Intn(32)
+			case SiteTTSel:
+				f.Row = rng.Intn(sp.TTRows)
+				f.Line = rng.Intn(sp.BusWidth)
+				f.Bit = rng.Intn(4)
+				f.Bit2 = rng.Intn(4)
+			case SiteTTE:
+				f.Row = rng.Intn(sp.TTRows)
+				if f.Kind == KindDoubleFlip {
+					f.Kind = KindFlip // the E field has a single bit
+				}
+			case SiteTTCT:
+				f.Row = rng.Intn(sp.TTRows)
+				f.Bit = rng.Intn(maxInt(sp.CTBits, 1))
+				f.Bit2 = rng.Intn(maxInt(sp.CTBits, 1))
+			case SiteBBITPC:
+				f.Row = rng.Intn(sp.BBITRows)
+				f.Bit = 2 + rng.Intn(30) // word-aligned address tag
+				f.Bit2 = 2 + rng.Intn(30)
+			case SiteBBITIndex:
+				f.Row = rng.Intn(sp.BBITRows)
+				f.Bit = rng.Intn(maxInt(sp.IndexBits, 1))
+				f.Bit2 = rng.Intn(maxInt(sp.IndexBits, 1))
+			case SiteHistory:
+				f.Line = rng.Intn(sp.BusWidth)
+				f.At = uint64(rng.Int63n(int64(sp.Fetches)))
+				if f.Kind == KindDoubleFlip {
+					f.Bit2 = rng.Intn(sp.BusWidth)
+				}
+			case SiteArtifact:
+				f.Row = rng.Intn(sp.ArtifactBytes)
+				f.Bit = rng.Intn(8)
+				f.Bit2 = rng.Intn(8)
+			}
+			if f.Kind == KindDoubleFlip && f.Bit2 == f.Bit {
+				f.Bit2 = (f.Bit + 1) % maxInt(bitSpace(site, sp), 2)
+				if site == SiteBBITPC && f.Bit2 < 2 {
+					f.Bit2 = 2 + (f.Bit-1)%30
+				}
+			}
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// bitSpace returns the width of the targeted bit field for double-flip
+// deduplication.
+func bitSpace(s Site, sp Spec) int {
+	switch s {
+	case SiteImage:
+		return 32
+	case SiteTTSel:
+		return 4
+	case SiteTTCT:
+		return sp.CTBits
+	case SiteBBITPC:
+		return 32
+	case SiteBBITIndex:
+		return sp.IndexBits
+	case SiteHistory:
+		return sp.BusWidth
+	case SiteArtifact:
+		return 8
+	}
+	return 1
+}
+
+// Outcome classifies what one injected fault did to the workload.
+type Outcome uint8
+
+const (
+	// Masked: execution completed, every fetched word correct, nothing
+	// detected — the fault landed in dead bits.
+	Masked Outcome = iota
+	// Detected: a protection mechanism (parity, CRC, stream check)
+	// flagged the fault and execution stayed correct, degraded at most to
+	// the zero-savings recovery path.
+	Detected
+	// SDC: silent data corruption — at least one corrupted but decodable
+	// instruction word reached the pipeline with no detection.
+	SDC
+	// Crash: a corrupted word was architecturally illegal (or the run
+	// aborted) — the fault would trap the processor.
+	Crash
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Masked:
+		return "masked"
+	case Detected:
+		return "detected"
+	case SDC:
+		return "sdc"
+	case Crash:
+		return "crash"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// Result records one injection run.
+type Result struct {
+	Fault      Fault
+	Outcome    Outcome
+	Mismatches uint64 // corrupted words that reached the pipeline
+	Fallbacks  uint64 // fetches served from the recovery path
+	Detail     string
+}
+
+// Report is a completed campaign.
+type Report struct {
+	Protected bool
+	Results   []Result
+}
+
+// SiteSummary aggregates one fault site's outcomes.
+type SiteSummary struct {
+	Site                         Site
+	Total                        int
+	Masked, Detected, SDC, Crash int
+	SingleBitTableSDC            int // parity-domain single-bit faults that still corrupted silently
+}
+
+// Summaries aggregates the report per fault site, in site order.
+func (r *Report) Summaries() []SiteSummary {
+	idx := map[Site]int{}
+	var out []SiteSummary
+	for _, s := range Sites() {
+		idx[s] = -1
+		_ = s
+	}
+	for _, res := range r.Results {
+		i, ok := idx[res.Fault.Site]
+		if !ok || i < 0 {
+			idx[res.Fault.Site] = len(out)
+			out = append(out, SiteSummary{Site: res.Fault.Site})
+			i = len(out) - 1
+		}
+		s := &out[i]
+		s.Total++
+		switch res.Outcome {
+		case Masked:
+			s.Masked++
+		case Detected:
+			s.Detected++
+		case SDC:
+			s.SDC++
+		case Crash:
+			s.Crash++
+		}
+		if res.Outcome == SDC && res.Fault.Site.TableSite() && res.Fault.Kind.SingleBit() {
+			s.SingleBitTableSDC++
+		}
+	}
+	return out
+}
+
+// SingleBitTableSDC counts parity-domain single-bit faults that ended in
+// silent corruption; the hardened decoder's acceptance gate is zero.
+func (r *Report) SingleBitTableSDC() int {
+	n := 0
+	for _, s := range r.Summaries() {
+		n += s.SingleBitTableSDC
+	}
+	return n
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,261 @@
+package fault
+
+import (
+	"testing"
+
+	"imtrans/internal/asm"
+	"imtrans/internal/cfg"
+	"imtrans/internal/core"
+	"imtrans/internal/cpu"
+	"imtrans/internal/hw"
+)
+
+const kernelSrc = `
+	li   $t0, 120
+	li   $t1, 0
+	li   $t2, 0
+loop:
+	addu $t1, $t1, $t0
+	sll  $t3, $t0, 3
+	xor  $t2, $t2, $t3
+	srl  $t4, $t1, 1
+	or   $t2, $t2, $t4
+	addiu $t0, $t0, -1
+	bgtz $t0, loop
+	li $v0, 10
+	syscall
+`
+
+// newTarget assembles, profiles and encodes the kernel, then packages it
+// as a campaign target.
+func newTarget(t *testing.T, protected bool) *Target {
+	t.Helper()
+	obj, err := asm.Assemble(kernelSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := cpu.Program{Base: obj.TextBase, Words: obj.TextWords}
+	c, err := cpu.New(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(obj.TextBase, obj.TextWords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := core.Encode(g, c.Profile(), core.Config{BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := hw.NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Target{
+		TextBase:  obj.TextBase,
+		Text:      obj.TextWords,
+		Encoded:   enc.EncodedWords,
+		TT:        dec.TT(),
+		BBIT:      dec.BBIT(),
+		BlockSize: enc.Config.BlockSize,
+		BusWidth:  enc.Config.BusWidth,
+		Protected: protected,
+	}
+}
+
+func TestGoldenRun(t *testing.T) {
+	for _, protected := range []bool{false, true} {
+		tg := newTarget(t, protected)
+		fetches, err := tg.Golden()
+		if err != nil {
+			t.Fatalf("protected=%v: %v", protected, err)
+		}
+		if fetches < 100 {
+			t.Fatalf("protected=%v: implausible fetch count %d", protected, fetches)
+		}
+	}
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	tg := newTarget(t, false)
+	sp, err := tg.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Plan(sp, 7, 6)
+	b := Plan(sp, 7, 6)
+	if len(a) == 0 {
+		t.Fatal("empty plan")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("plan not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Plan(sp, 8, 6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical plans")
+	}
+	// Every applicable site is represented.
+	seen := map[Site]int{}
+	for _, f := range a {
+		seen[f.Site]++
+	}
+	for _, s := range Sites() {
+		if sp.applicable(s) && seen[s] != 6 {
+			t.Errorf("site %v: %d faults, want 6", s, seen[s])
+		}
+	}
+}
+
+func TestUnprotectedCampaignShowsExposure(t *testing.T) {
+	tg := newTarget(t, false)
+	rep, err := tg.Campaign(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, r := range rep.Results {
+		if r.Fault.Site.TableSite() && (r.Outcome == SDC || r.Outcome == Crash) {
+			corrupted++
+		}
+	}
+	if corrupted == 0 {
+		t.Error("no table fault corrupted the unprotected stream — fault injection is inert")
+	}
+}
+
+func TestProtectedCampaignZeroSingleBitTableSDC(t *testing.T) {
+	tg := newTarget(t, true)
+	rep, err := tg.Campaign(1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := rep.SingleBitTableSDC(); n != 0 {
+		for _, r := range rep.Results {
+			if r.Outcome == SDC && r.Fault.Site.TableSite() && r.Fault.Kind.SingleBit() {
+				t.Logf("escaped: %v (%s)", r.Fault, r.Detail)
+			}
+		}
+		t.Fatalf("%d single-bit table faults caused SDC under protection", n)
+	}
+	detected := 0
+	for _, r := range rep.Results {
+		if !r.Fault.Site.TableSite() {
+			continue
+		}
+		switch r.Outcome {
+		case Detected:
+			detected++
+			if r.Fault.Kind.SingleBit() && r.Fallbacks == 0 {
+				t.Errorf("%v detected but no recovery fetches served", r.Fault)
+			}
+		case Crash:
+			if r.Fault.Kind.SingleBit() {
+				t.Errorf("single-bit table fault crashed under protection: %v (%s)", r.Fault, r.Detail)
+			}
+		}
+	}
+	if detected == 0 {
+		t.Error("protection never fired across the table-fault campaign")
+	}
+}
+
+func TestArtifactFaultsNeverSilent(t *testing.T) {
+	tg := newTarget(t, false)
+	sp, err := tg.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults []Fault
+	for _, f := range Plan(sp, 3, 48) {
+		if f.Site == SiteArtifact {
+			faults = append(faults, f)
+		}
+	}
+	rep, err := tg.Run(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := 0
+	for _, r := range rep.Results {
+		switch r.Outcome {
+		case SDC, Crash:
+			t.Errorf("artifact fault escaped the load stage: %v (%s)", r.Fault, r.Detail)
+		case Detected:
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Error("no artifact fault was rejected — CRC check is inert")
+	}
+}
+
+func TestHistoryFaultIsResidualExposure(t *testing.T) {
+	// A mid-run history upset is outside the parity domain; it may corrupt
+	// a bounded window of one block. The campaign must classify it without
+	// error, and in protected mode it must never masquerade as a table
+	// detection gone wrong (crash with zero mismatches, say).
+	tg := newTarget(t, true)
+	sp, err := tg.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var faults []Fault
+	for _, f := range Plan(sp, 5, 24) {
+		if f.Site == SiteHistory {
+			faults = append(faults, f)
+		}
+	}
+	rep, err := tg.Run(faults)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != len(faults) {
+		t.Fatalf("ran %d of %d history faults", len(rep.Results), len(faults))
+	}
+	for _, r := range rep.Results {
+		if r.Outcome == SDC && r.Mismatches == 0 {
+			t.Errorf("SDC with zero mismatches: %v", r.Fault)
+		}
+	}
+}
+
+func TestSummariesAggregate(t *testing.T) {
+	rep := &Report{Results: []Result{
+		{Fault: Fault{Site: SiteTTSel, Kind: KindFlip}, Outcome: Detected},
+		{Fault: Fault{Site: SiteTTSel, Kind: KindFlip}, Outcome: SDC},
+		{Fault: Fault{Site: SiteTTSel, Kind: KindDoubleFlip}, Outcome: SDC},
+		{Fault: Fault{Site: SiteImage, Kind: KindFlip}, Outcome: Masked},
+	}}
+	sums := rep.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("got %d summaries", len(sums))
+	}
+	sel := sums[0]
+	if sel.Site != SiteTTSel || sel.Total != 3 || sel.Detected != 1 || sel.SDC != 2 {
+		t.Errorf("tt.sel summary wrong: %+v", sel)
+	}
+	if sel.SingleBitTableSDC != 1 {
+		t.Errorf("single-bit table SDC = %d, want 1 (double flip excluded)", sel.SingleBitTableSDC)
+	}
+	if rep.SingleBitTableSDC() != 1 {
+		t.Errorf("report-level gate = %d", rep.SingleBitTableSDC())
+	}
+	if sums[1].Site != SiteImage || sums[1].Masked != 1 {
+		t.Errorf("image summary wrong: %+v", sums[1])
+	}
+}

@@ -44,7 +44,7 @@ func (d *Decoder) Overhead() Overhead {
 		TTEntries:        len(d.tt),
 		SelectorBits:     selBits,
 		CTBits:           bitsFor(d.k - 1),
-		BBITEntries:      len(d.bbit),
+		BBITEntries:      len(d.rows),
 		GatesPerLine:     gates,
 		HistoryFlipFlops: 2 * d.width,
 	}

@@ -5,10 +5,18 @@
 // and the decoder datapath — one two-input logic gate per bus line selected
 // by a 3-bit index, with single-bit history — that restores original
 // instruction words from the encoded bus stream at fetch time.
+//
+// The scheme concentrates reliability risk: every fetched instruction of a
+// covered block is reconstructed through a handful of table bits, so a
+// single upset in the TT or BBIT silently corrupts the whole hot loop. The
+// protection mode (see EnableProtection) adds per-row parity, a boot-time
+// scrub and graceful degradation to an identity recovery path, turning
+// silent corruption into counted, survivable detections.
 package hw
 
 import (
 	"fmt"
+	"sort"
 
 	"imtrans/internal/core"
 	"imtrans/internal/transform"
@@ -28,24 +36,63 @@ type BBITEntry struct {
 	TTIndex uint16
 }
 
+// FetchResult is the outcome of one bus transfer through the decoder.
+type FetchResult struct {
+	// Word is the restored instruction word. When Fallback is set the
+	// decoder could not restore it and Word holds the raw bus word; the
+	// fetch unit must replay the access from the recovery (unencoded)
+	// image instead of executing Word.
+	Word uint32
+	// Fallback reports that this fetch is served through the degradation
+	// path: identity pass-through from the recovery image, zero savings,
+	// correct execution.
+	Fallback bool
+	// Detected reports that a fault was detected at this fetch.
+	Detected bool
+	// Err is set only in Strict mode without protection: stream-assumption
+	// violations and table-range faults surface as errors there instead of
+	// degrading gracefully.
+	Err error
+}
+
+// pcRange is a covered block's fetch-address range [lo, hi).
+type pcRange struct{ lo, hi uint32 }
+
 // Decoder is the runtime model of the fetch-stage restore logic. It is
 // driven with every fetch, exactly as the hardware sits on the instruction
 // bus, and reproduces the original instruction words.
 type Decoder struct {
 	tt    []TTEntry
-	bbit  map[uint32]uint16
+	rows  []BBITEntry       // BBIT contents in programming order
+	bbit  map[uint32]uint16 // derived start-PC -> first TT row lookup
 	k     int
 	width int
 
 	// Strict makes the decoder verify fetch-stream assumptions (covered
 	// blocks entered only at their first instruction, sequential PCs
 	// while a block decodes). The hardware cannot check these; the model
-	// can, and the simulator integration turns it on.
+	// can, and the simulator integration turns it on. With protection
+	// enabled, violations degrade gracefully instead of erroring.
 	Strict bool
 
 	// masks[entry] groups bus lines by transformation so a fetch costs a
 	// handful of word-wide gate evaluations instead of 32 bit operations.
 	masks [][]tauMask
+
+	// covered holds the fetch-address ranges of the covered blocks,
+	// sorted by start PC, for the Strict mid-block-entry check and the
+	// protected-mode stream consistency check.
+	covered []pcRange
+
+	// Protection state; see protect.go.
+	protected  bool
+	scrubbed   bool
+	ttParity   []uint8 // parity stored when the row was programmed
+	bbitParity []uint8
+	ttBad      []bool // rows whose live parity mismatches the stored one
+	bbitBad    []bool
+	bbitPoison bool // any BBIT row untrusted: no CAM miss can be believed
+	counters   FaultCounters
 
 	active   bool
 	ttIdx    int    // current TT entry
@@ -53,6 +100,9 @@ type Decoder struct {
 	expectPC uint32 // next PC while active
 	prevEnc  uint32 // last encoded word seen on the bus
 	prevDec  uint32 // last decoded (original) word
+
+	fallback   bool   // serving a faulted block from the recovery path
+	fallbackPC uint32 // next sequential PC expected while degraded
 }
 
 type tauMask struct {
@@ -78,6 +128,7 @@ func NewDecoder(enc *core.Encoding) (*Decoder, error) {
 		if p.TTStart > 0xffff {
 			return nil, fmt.Errorf("hw: TT index overflow")
 		}
+		d.rows = append(d.rows, BBITEntry{PC: p.StartPC, TTIndex: uint16(p.TTStart)})
 		d.bbit[p.StartPC] = uint16(p.TTStart)
 		for e := 0; e < p.TTCount; e++ {
 			var ent TTEntry
@@ -97,11 +148,12 @@ func NewDecoder(enc *core.Encoding) (*Decoder, error) {
 		}
 	}
 	d.buildMasks()
+	d.computeCovered()
 	return d, nil
 }
 
 // NewDecoderFromTables programs a decoder directly from raw TT/BBIT
-// contents; used by tests and the failure-injection suite.
+// contents; used by tests and the fault-injection suite.
 func NewDecoderFromTables(tt []TTEntry, bbit []BBITEntry, k, width int) (*Decoder, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("hw: block size %d", k)
@@ -109,7 +161,13 @@ func NewDecoderFromTables(tt []TTEntry, bbit []BBITEntry, k, width int) (*Decode
 	if width < 1 || width > 32 {
 		return nil, fmt.Errorf("hw: bus width %d", width)
 	}
-	d := &Decoder{tt: append([]TTEntry(nil), tt...), bbit: make(map[uint32]uint16), k: k, width: width}
+	d := &Decoder{
+		tt:    append([]TTEntry(nil), tt...),
+		rows:  append([]BBITEntry(nil), bbit...),
+		bbit:  make(map[uint32]uint16),
+		k:     k,
+		width: width,
+	}
 	for _, e := range bbit {
 		if int(e.TTIndex) >= len(tt) {
 			return nil, fmt.Errorf("hw: BBIT entry %#x points past TT", e.PC)
@@ -117,43 +175,84 @@ func NewDecoderFromTables(tt []TTEntry, bbit []BBITEntry, k, width int) (*Decode
 		d.bbit[e.PC] = e.TTIndex
 	}
 	d.buildMasks()
+	d.computeCovered()
 	return d, nil
 }
 
 func (d *Decoder) buildMasks() {
 	d.masks = make([][]tauMask, len(d.tt))
-	for i, ent := range d.tt {
-		perFn := map[transform.Func]uint32{}
-		for line := 0; line < d.width; line++ {
-			perFn[ent.Sel[line]] |= 1 << uint(line)
-		}
-		// Lines above the modelled width pass through.
-		if d.width < 32 {
-			perFn[transform.Identity] |= ^uint32(0) << uint(d.width)
-		}
-		for fn, m := range perFn {
-			d.masks[i] = append(d.masks[i], tauMask{fn, m})
-		}
+	for i := range d.tt {
+		d.buildMaskRow(i)
 	}
+}
+
+// buildMaskRow recomputes the word-wide gate masks for one TT row; called
+// at programming time and again when a fault is injected into the row.
+func (d *Decoder) buildMaskRow(i int) {
+	ent := d.tt[i]
+	perFn := map[transform.Func]uint32{}
+	for line := 0; line < d.width; line++ {
+		perFn[ent.Sel[line]] |= 1 << uint(line)
+	}
+	// Lines above the modelled width pass through.
+	if d.width < 32 {
+		perFn[transform.Identity] |= ^uint32(0) << uint(d.width)
+	}
+	d.masks[i] = nil
+	for fn, m := range perFn {
+		d.masks[i] = append(d.masks[i], tauMask{fn, m})
+	}
+}
+
+// computeCovered rebuilds the covered-block address ranges by walking each
+// BBIT row's TT chain to its E entry, mirroring the decode loop: one raw
+// first word, k-1 words per non-tail row, CT words under the tail row.
+func (d *Decoder) computeCovered() {
+	d.covered = d.covered[:0]
+	for _, r := range d.rows {
+		words := 1
+		for i := int(r.TTIndex); i < len(d.tt); i++ {
+			if d.tt[i].E {
+				words += int(d.tt[i].CT)
+				break
+			}
+			words += d.k - 1
+		}
+		d.covered = append(d.covered, pcRange{lo: r.PC, hi: r.PC + uint32(words)*4})
+	}
+	sort.Slice(d.covered, func(i, j int) bool { return d.covered[i].lo < d.covered[j].lo })
+}
+
+// coveredInterior reports whether pc falls strictly inside a covered block
+// (past its first instruction) — an address the decoder must never see
+// while inactive on a well-formed fetch stream.
+func (d *Decoder) coveredInterior(pc uint32) bool {
+	i := sort.Search(len(d.covered), func(i int) bool { return d.covered[i].lo >= pc })
+	// Candidate is the last range starting at or before pc.
+	if i < len(d.covered) && d.covered[i].lo == pc {
+		return false // block start, not interior
+	}
+	if i == 0 {
+		return false
+	}
+	r := d.covered[i-1]
+	return pc > r.lo && pc < r.hi
 }
 
 // TT returns a copy of the transformation table contents.
 func (d *Decoder) TT() []TTEntry { return append([]TTEntry(nil), d.tt...) }
 
-// BBIT returns the basic-block identification table contents.
-func (d *Decoder) BBIT() []BBITEntry {
-	out := make([]BBITEntry, 0, len(d.bbit))
-	for pc, idx := range d.bbit {
-		out = append(out, BBITEntry{PC: pc, TTIndex: idx})
-	}
-	return out
-}
+// BBIT returns the basic-block identification table contents in
+// programming order (deterministic across runs).
+func (d *Decoder) BBIT() []BBITEntry { return append([]BBITEntry(nil), d.rows...) }
 
-// Reset clears the runtime state (not the tables).
+// Reset clears the runtime state (not the tables, nor any protection
+// bookkeeping — detected faults stay detected).
 func (d *Decoder) Reset() {
 	d.active = false
 	d.ttIdx, d.decoded = 0, 0
 	d.expectPC, d.prevEnc, d.prevDec = 0, 0, 0
+	d.fallback, d.fallbackPC = false, 0
 }
 
 // wordEval applies a two-input Boolean function bitwise across words:
@@ -181,14 +280,53 @@ func wordEval(fn transform.Func, x, y uint32) uint32 {
 // fetch-stream assumptions, never occur on a correctly programmed decoder,
 // and leave the decoder inactive.
 func (d *Decoder) OnFetch(pc, busWord uint32) (uint32, error) {
+	r := d.Fetch(pc, busWord)
+	return r.Word, r.Err
+}
+
+// Fetch consumes one bus transfer. It is OnFetch plus the protection
+// semantics: with EnableProtection active, detected faults degrade to the
+// recovery path (FetchResult.Fallback) instead of corrupting the stream or
+// erroring, and detection events are tallied in Counters.
+func (d *Decoder) Fetch(pc, busWord uint32) FetchResult {
+	if d.protected && !d.scrubbed {
+		d.scrub()
+	}
+	if d.protected && d.bbitPoison {
+		// A poisoned BBIT CAM can false-miss as well as false-hit, so no
+		// lookup can be trusted; every fetch rides the recovery path until
+		// the firmware re-uploads the tables.
+		d.active = false
+		d.counters.FallbackFetches++
+		return FetchResult{Word: busWord, Fallback: true, Detected: true}
+	}
 	if d.active {
-		if d.Strict && pc != d.expectPC {
-			d.active = false
-			return busWord, fmt.Errorf("hw: non-sequential fetch %#x inside covered block (expected %#x)", pc, d.expectPC)
+		if pc != d.expectPC {
+			if d.protected {
+				// Stream inconsistency: the decoder thought the block was
+				// still running. Deactivate and re-dispatch this fetch.
+				d.counters.StreamViolations++
+				d.active = false
+				return d.dispatchInactive(pc, busWord, true)
+			}
+			if d.Strict {
+				d.active = false
+				return FetchResult{Word: busWord, Err: fmt.Errorf("hw: non-sequential fetch %#x inside covered block (expected %#x)", pc, d.expectPC)}
+			}
 		}
 		if d.ttIdx >= len(d.tt) {
 			d.active = false
-			return busWord, fmt.Errorf("hw: TT index %d out of range", d.ttIdx)
+			if d.protected {
+				d.counters.TableRange++
+				return d.enterFallback(pc, busWord)
+			}
+			return FetchResult{Word: busWord, Err: fmt.Errorf("hw: TT index %d out of range", d.ttIdx)}
+		}
+		if d.protected && d.ttBad[d.ttIdx] {
+			// The row this word decodes under failed parity: abandon the
+			// block before the corrupted selectors touch the stream.
+			d.active = false
+			return d.enterFallback(pc, busWord)
 		}
 		ent := &d.tt[d.ttIdx]
 		hist := d.prevDec
@@ -210,18 +348,63 @@ func (d *Decoder) OnFetch(pc, busWord uint32) (uint32, error) {
 			d.ttIdx++
 			d.decoded = 0
 		}
-		return dec, nil
+		return FetchResult{Word: dec}
 	}
+	if d.fallback {
+		if _, ok := d.bbit[pc]; !ok && pc == d.fallbackPC {
+			// Still walking the degraded block sequentially.
+			d.fallbackPC = pc + 4
+			d.counters.FallbackFetches++
+			return FetchResult{Word: busWord, Fallback: true}
+		}
+		// A block entry or a branch ends the degraded region.
+		d.fallback = false
+	}
+	return d.dispatchInactive(pc, busWord, false)
+}
+
+// dispatchInactive handles a fetch with the decoder idle: BBIT lookup,
+// activation, and the stream-assumption checks on misses. violated marks a
+// re-dispatch after a protected-mode stream inconsistency.
+func (d *Decoder) dispatchInactive(pc, busWord uint32, violated bool) FetchResult {
 	if idx, ok := d.bbit[pc]; ok {
+		if d.protected && (int(idx) >= len(d.tt) || d.ttBad[idx]) {
+			// The block's first TT row is quarantined; serve the whole
+			// block from the recovery image.
+			return d.enterFallback(pc, busWord)
+		}
 		// First instruction of a covered block is stored unencoded.
 		d.active = true
 		d.ttIdx = int(idx)
 		d.decoded = 0
 		d.expectPC = pc + 4
 		d.prevEnc, d.prevDec = busWord, busWord
-		return busWord, nil
+		return FetchResult{Word: busWord, Detected: violated}
 	}
-	return busWord, nil
+	if d.coveredInterior(pc) {
+		if d.protected {
+			// Entering a covered block past its raw first word means the
+			// bus carries encoded bits the decoder cannot chain into;
+			// degrade rather than pass them through.
+			d.counters.StreamViolations++
+			return d.enterFallback(pc, busWord)
+		}
+		if d.Strict {
+			return FetchResult{Word: busWord, Err: fmt.Errorf("hw: mid-block entry at %#x (covered block interior)", pc)}
+		}
+	}
+	return FetchResult{Word: busWord, Detected: violated}
+}
+
+// enterFallback switches the decoder into the degradation path for the
+// region starting at pc: the fetch unit replays accesses from the recovery
+// image until the next block entry or branch.
+func (d *Decoder) enterFallback(pc, busWord uint32) FetchResult {
+	d.fallback = true
+	d.fallbackPC = pc + 4
+	d.counters.FallbackBlocks++
+	d.counters.FallbackFetches++
+	return FetchResult{Word: busWord, Fallback: true, Detected: true}
 }
 
 // Active reports whether the decoder is inside a covered basic block.

@@ -263,6 +263,221 @@ func TestDecoderStrictNonSequentialFetch(t *testing.T) {
 	}
 }
 
+func TestDecoderStrictMidBlockEntry(t *testing.T) {
+	_, enc := prepare(t, core.Config{})
+	dec, err := NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Strict = true
+	p := enc.Plans[0]
+	// Jumping straight into the second instruction of a covered block,
+	// without the BBIT activating, must be flagged: the bus word there is
+	// encoded and the decoder has no history to chain into.
+	if _, err := dec.OnFetch(p.StartPC+4, 0); err == nil {
+		t.Error("mid-block entry not detected")
+	}
+	// The block start itself is fine (raw first word).
+	start := int(p.StartPC-enc.Graph.Base) / 4
+	if _, err := dec.OnFetch(p.StartPC, enc.EncodedWords[start]); err != nil {
+		t.Errorf("block start rejected: %v", err)
+	}
+}
+
+// runProtected executes the kernel with a protected decoder in the fetch
+// path, applying corrupt to the decoder first. Fallback fetches are served
+// from the original words, as the recovery path would. It returns the
+// number of corrupted words that would have reached the pipeline and the
+// decoder's fault counters.
+func runProtected(t *testing.T, c *cpu.CPU, enc *core.Encoding, corrupt func(d *Decoder)) (int, FaultCounters) {
+	t.Helper()
+	dec, err := NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.EnableProtection()
+	if corrupt != nil {
+		corrupt(dec)
+	}
+	base := c.Program().Base
+	mismatches := 0
+	c.OnFetch = func(pc, word uint32) {
+		busWord := enc.EncodedWords[int(pc-base)/4]
+		r := dec.Fetch(pc, busWord)
+		executed := r.Word
+		if r.Fallback {
+			executed = word
+		}
+		if executed != word {
+			mismatches++
+		}
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return mismatches, dec.Counters()
+}
+
+func TestProtectedCleanRunIsTransparent(t *testing.T) {
+	c, enc := prepare(t, core.Config{})
+	mismatches, ctr := runProtected(t, c, enc, nil)
+	if mismatches != 0 {
+		t.Errorf("%d mismatches on a clean protected run", mismatches)
+	}
+	if ctr.DetectedFaults() != 0 || ctr.FallbackFetches != 0 {
+		t.Errorf("spurious detections on a clean run: %+v", ctr)
+	}
+}
+
+func TestProtectedTTParityFallback(t *testing.T) {
+	c, enc := prepare(t, core.Config{})
+	mismatches, ctr := runProtected(t, c, enc, func(d *Decoder) {
+		if err := d.MutateTT(0, func(e *TTEntry) { e.Sel[0] ^= 0b0001 }); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if ctr.TTParity == 0 {
+		t.Error("TT parity fault not detected")
+	}
+	if ctr.FallbackFetches == 0 {
+		t.Error("no fetches served from the recovery path")
+	}
+	if mismatches != 0 {
+		t.Errorf("%d corrupted words reached the pipeline despite protection", mismatches)
+	}
+}
+
+func TestProtectedTTDelimiterFallback(t *testing.T) {
+	c, enc := prepare(t, core.Config{})
+	// Corrupt the block-delimiter fields rather than a selector: parity
+	// covers E and CT too.
+	mismatches, ctr := runProtected(t, c, enc, func(d *Decoder) {
+		if err := d.MutateTT(len(d.TT())-1, func(e *TTEntry) { e.E = !e.E }); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if ctr.TTParity == 0 || mismatches != 0 {
+		t.Errorf("E-bit fault: detections %+v, mismatches %d", ctr, mismatches)
+	}
+}
+
+func TestProtectedBBITPoisonFallback(t *testing.T) {
+	c, enc := prepare(t, core.Config{})
+	mismatches, ctr := runProtected(t, c, enc, func(d *Decoder) {
+		if err := d.MutateBBIT(0, func(e *BBITEntry) { e.PC ^= 1 << 4 }); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if ctr.BBITParity == 0 {
+		t.Error("BBIT parity fault not detected")
+	}
+	if mismatches != 0 {
+		t.Errorf("%d corrupted words reached the pipeline despite protection", mismatches)
+	}
+	if ctr.FallbackFetches == 0 {
+		t.Error("poisoned BBIT did not engage the recovery path")
+	}
+}
+
+func TestUnprotectedBBITFaultCorruptsStream(t *testing.T) {
+	// The same BBIT fault without protection: the block misses its
+	// activation and encoded words execute raw — the silent corruption the
+	// hardening exists to prevent.
+	c, enc := prepare(t, core.Config{})
+	dec, err := NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.MutateBBIT(0, func(e *BBITEntry) { e.PC ^= 1 << 4 }); err != nil {
+		t.Fatal(err)
+	}
+	base := c.Program().Base
+	mismatches := 0
+	c.OnFetch = func(pc, word uint32) {
+		restored, _ := dec.OnFetch(pc, enc.EncodedWords[int(pc-base)/4])
+		if restored != word {
+			mismatches++
+		}
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if mismatches == 0 {
+		t.Error("unprotected BBIT fault was silently masked")
+	}
+}
+
+func TestCorruptHistoryMidBlock(t *testing.T) {
+	_, enc := prepare(t, core.Config{})
+	dec, err := NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := enc.Plans[0]
+	start := int(p.StartPC-enc.Graph.Base) / 4
+	if _, err := dec.OnFetch(p.StartPC, enc.EncodedWords[start]); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a history bit between the first and second fetch; the second
+	// word must now restore incorrectly iff its line consults history.
+	clean, err := NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean.OnFetch(p.StartPC, enc.EncodedWords[start])
+	dec.CorruptHistory(1 << 0)
+	got, _ := dec.OnFetch(p.StartPC+4, enc.EncodedWords[start+1])
+	want, _ := clean.OnFetch(p.StartPC+4, enc.EncodedWords[start+1])
+	if got == want {
+		t.Skip("line 0 of this row ignores history; corruption masked")
+	}
+}
+
+func TestMutateValidation(t *testing.T) {
+	_, enc := prepare(t, core.Config{})
+	dec, err := NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dec.MutateTT(-1, nil); err == nil {
+		t.Error("negative TT row accepted")
+	}
+	if err := dec.MutateTT(len(dec.TT()), nil); err == nil {
+		t.Error("TT row past table accepted")
+	}
+	if err := dec.MutateBBIT(len(dec.BBIT()), nil); err == nil {
+		t.Error("BBIT row past table accepted")
+	}
+}
+
+func TestFaultCountersStats(t *testing.T) {
+	ctr := FaultCounters{TTParity: 2, FallbackFetches: 7}
+	s := ctr.Stats()
+	if s.Get("tt-parity") != 2 || s.Get("fallback-fetches") != 7 {
+		t.Errorf("stats surface wrong: %s", s)
+	}
+	if ctr.DetectedFaults() != 2 {
+		t.Errorf("detected = %d", ctr.DetectedFaults())
+	}
+}
+
+func TestBBITOrderDeterministic(t *testing.T) {
+	_, enc := prepare(t, core.Config{})
+	dec, err := NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := dec.BBIT()
+	for i, p := range enc.Plans {
+		if i >= len(rows) {
+			break
+		}
+		if rows[i].PC != p.StartPC {
+			t.Fatalf("BBIT row %d = %#x, want plan order %#x", i, rows[i].PC, p.StartPC)
+		}
+	}
+}
+
 func TestNewDecoderFromTablesValidation(t *testing.T) {
 	if _, err := NewDecoderFromTables(nil, []BBITEntry{{PC: 4, TTIndex: 0}}, 5, 32); err == nil {
 		t.Error("BBIT past TT accepted")

@@ -1,0 +1,172 @@
+package hw
+
+import (
+	"fmt"
+	"math/bits"
+
+	"imtrans/internal/stats"
+)
+
+// Protection model. The TT and BBIT are tiny SRAM arrays written once by
+// the firmware before the hot spot; a single-event upset in either corrupts
+// every subsequent fetch of the affected blocks. The hardened decoder
+// stores one even-parity bit per table row at programming time and checks
+// it whenever a row is used, plus a scrub pass over both tables at reset:
+//
+//   - a TT row failing parity is quarantined: blocks reaching it degrade
+//     to the recovery path (identity fetch of the original word — zero
+//     savings, correct execution) instead of decoding through corrupted
+//     selectors;
+//   - a BBIT row failing parity poisons the whole CAM: a corrupted tag can
+//     false-miss (leaving encoded words to execute raw) as well as
+//     false-hit, so no lookup is trustworthy and every fetch rides the
+//     recovery path until the firmware re-uploads the tables;
+//   - stream inconsistencies (non-sequential PC inside a block, entry into
+//     a block interior) likewise degrade instead of erroring.
+//
+// Every event is tallied in FaultCounters so firmware can observe the
+// fault rate and schedule a table re-upload.
+
+// FaultCounters tallies the protection events of one decoder instance.
+type FaultCounters struct {
+	TTParity         uint64 // TT rows failing parity at the scrub pass
+	BBITParity       uint64 // BBIT rows failing parity at the scrub pass
+	TableRange       uint64 // TT index walked past the table at run time
+	StreamViolations uint64 // fetch-stream assumptions violated at run time
+	FallbackBlocks   uint64 // block regions degraded to the recovery path
+	FallbackFetches  uint64 // fetches served from the recovery image
+}
+
+// DetectedFaults returns the number of distinct fault-detection events
+// (parity, range and stream checks; fallback service counts are separate).
+func (c FaultCounters) DetectedFaults() uint64 {
+	return c.TTParity + c.BBITParity + c.TableRange + c.StreamViolations
+}
+
+// Stats renders the counters as an ordered stats.Counters set, the form
+// the reporting layer consumes.
+func (c FaultCounters) Stats() *stats.Counters {
+	var s stats.Counters
+	s.Add("tt-parity", c.TTParity)
+	s.Add("bbit-parity", c.BBITParity)
+	s.Add("tt-range", c.TableRange)
+	s.Add("stream-violation", c.StreamViolations)
+	s.Add("fallback-blocks", c.FallbackBlocks)
+	s.Add("fallback-fetches", c.FallbackFetches)
+	return &s
+}
+
+// ttRowParity computes the even-parity bit over a TT row's stored fields:
+// the selector nibbles of the modelled bus lines, the E flag and the CT
+// counter — exactly the bits an upset can touch.
+func ttRowParity(e TTEntry, width int) uint8 {
+	n := 0
+	for line := 0; line < width; line++ {
+		n += bits.OnesCount8(uint8(e.Sel[line]) & 0xf)
+	}
+	if e.E {
+		n++
+	}
+	n += bits.OnesCount8(e.CT)
+	return uint8(n & 1)
+}
+
+// bbitRowParity computes the even-parity bit over a BBIT row: the 30-bit
+// word address tag and the TT index field.
+func bbitRowParity(e BBITEntry) uint8 {
+	n := bits.OnesCount32(e.PC>>2) + bits.OnesCount16(e.TTIndex)
+	return uint8(n & 1)
+}
+
+// EnableProtection arms the hardened decoder: parity bits are generated
+// for every TT and BBIT row from their current (presumed good) contents,
+// the fault counters are cleared, and a scrub pass is scheduled for the
+// next fetch. Faults injected afterwards via MutateTT/MutateBBIT leave the
+// stored parity stale, which is precisely what the checks catch.
+func (d *Decoder) EnableProtection() {
+	d.protected = true
+	d.scrubbed = false
+	d.bbitPoison = false
+	d.counters = FaultCounters{}
+	d.ttParity = make([]uint8, len(d.tt))
+	d.ttBad = make([]bool, len(d.tt))
+	for i, e := range d.tt {
+		d.ttParity[i] = ttRowParity(e, d.width)
+	}
+	d.bbitParity = make([]uint8, len(d.rows))
+	d.bbitBad = make([]bool, len(d.rows))
+	for i, e := range d.rows {
+		d.bbitParity[i] = bbitRowParity(e)
+	}
+}
+
+// Protected reports whether the parity/fallback protection is armed.
+func (d *Decoder) Protected() bool { return d.protected }
+
+// Counters returns the protection event tallies.
+func (d *Decoder) Counters() FaultCounters { return d.counters }
+
+// scrub is the boot-time pass over both tables: every row's live parity is
+// compared against the stored bit. TT mismatches quarantine the row; any
+// BBIT mismatch poisons the CAM (see package comment).
+func (d *Decoder) scrub() {
+	d.scrubbed = true
+	for i := range d.tt {
+		if d.ttBad[i] {
+			d.counters.TTParity++
+		}
+	}
+	for i := range d.rows {
+		if d.bbitBad[i] {
+			d.counters.BBITParity++
+			d.bbitPoison = true
+		}
+	}
+}
+
+// MutateTT applies fn to the live contents of TT row i — modelling an
+// in-SRAM upset after the firmware upload — and rebuilds the decode masks
+// without refreshing the stored parity, exactly as a radiation event
+// would. The protection checks then see a row whose parity no longer
+// matches.
+func (d *Decoder) MutateTT(i int, fn func(*TTEntry)) error {
+	if i < 0 || i >= len(d.tt) {
+		return fmt.Errorf("hw: TT row %d out of range (%d rows)", i, len(d.tt))
+	}
+	fn(&d.tt[i])
+	d.buildMaskRow(i)
+	d.computeCovered()
+	if d.protected {
+		d.ttBad[i] = ttRowParity(d.tt[i], d.width) != d.ttParity[i]
+		d.scrubbed = false
+	}
+	return nil
+}
+
+// MutateBBIT applies fn to the live contents of BBIT row i, rebuilding the
+// lookup structures while leaving the stored parity stale.
+func (d *Decoder) MutateBBIT(i int, fn func(*BBITEntry)) error {
+	if i < 0 || i >= len(d.rows) {
+		return fmt.Errorf("hw: BBIT row %d out of range (%d rows)", i, len(d.rows))
+	}
+	fn(&d.rows[i])
+	d.bbit = make(map[uint32]uint16, len(d.rows))
+	for _, e := range d.rows {
+		d.bbit[e.PC] = e.TTIndex
+	}
+	d.computeCovered()
+	if d.protected {
+		d.bbitBad[i] = bbitRowParity(d.rows[i]) != d.bbitParity[i]
+		d.scrubbed = false
+	}
+	return nil
+}
+
+// CorruptHistory flips the given bus lines of the decoder's history
+// registers — a mid-run upset in the per-line history flip-flops. The
+// history is not parity-protected (it changes every cycle), so these
+// faults are the scheme's residual exposure; the campaign quantifies it.
+func (d *Decoder) CorruptHistory(mask uint32) {
+	d.prevDec ^= mask
+	d.prevEnc ^= mask
+}

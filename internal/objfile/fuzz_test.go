@@ -1,0 +1,94 @@
+package objfile
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzz corpora: valid artifacts plus truncated, corrupted and wrong-magic
+// variants. The property under test is total robustness: arbitrary input
+// must produce an error or a fully validated artifact, never a panic.
+
+func fuzzSeedProgram(f *testing.F) {
+	var buf bytes.Buffer
+	if err := SaveProgram(&buf, &Program{
+		TextBase: 0x00400000,
+		Text:     []uint32{0x24080005, 0x0000000c},
+		DataBase: 0x10010000,
+		Data:     []byte{1, 2, 3},
+		Symbols:  map[string]uint32{"main": 0x00400000},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/3] ^= 0x20
+	f.Add(corrupt)
+	f.Add([]byte(`{"magic":"wrong","version":1,"text":[0]}`))
+	f.Add([]byte("{"))
+	f.Add([]byte(""))
+	f.Add([]byte("[1,2]"))
+}
+
+func FuzzLoadProgram(f *testing.F) {
+	fuzzSeedProgram(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := LoadProgram(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever loads must satisfy the artifact invariants.
+		if p.Magic != ProgramMagic || p.Version != ProgramVersion {
+			t.Fatalf("invalid envelope accepted: %+v", p)
+		}
+		if len(p.Text) == 0 || p.TextBase%4 != 0 {
+			t.Fatalf("invalid layout accepted: %+v", p)
+		}
+	})
+}
+
+func FuzzLoadDeployment(f *testing.F) {
+	var buf bytes.Buffer
+	if err := SaveDeployment(&buf, &Deployment{
+		BlockSize: 5, BusWidth: 2, TextBase: 0x00400000,
+		Encoded: []uint32{1, 2, 3},
+		TT:      []TTEntry{{Sel: []uint16{12, 6}, E: true, CT: 4}},
+		BBIT:    []BBITEntry{{PC: 0x00400000, TTIndex: 0}},
+	}); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/2] ^= 0x01
+	f.Add(corrupt)
+	f.Add([]byte(`{"magic":"imtrans-deployment","version":2,"block_size":5,"bus_width":33}`))
+	f.Add([]byte(`{"magic":"imtrans-deployment","version":2,"block_size":5,"bus_width":1,"tt":[{"sel":[99]}]}`))
+	f.Add([]byte("{"))
+	f.Add([]byte("null"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := LoadDeployment(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if d.BusWidth < 1 || d.BusWidth > 32 || d.BlockSize < 2 {
+			t.Fatalf("invalid geometry accepted: %+v", d)
+		}
+		if DeploymentChecksum(d) != d.Checksum {
+			t.Fatalf("checksum mismatch accepted")
+		}
+		for _, e := range d.BBIT {
+			if int(e.TTIndex) >= len(d.TT) {
+				t.Fatalf("dangling BBIT index accepted")
+			}
+		}
+		for _, e := range d.TT {
+			if len(e.Sel) != d.BusWidth {
+				t.Fatalf("ragged TT row accepted")
+			}
+		}
+	})
+}

@@ -5,11 +5,19 @@
 // entering the hot spot). The format is versioned JSON: deployments are
 // small (a program image plus a few hundred table bits), and a textual
 // format keeps them inspectable in firmware repositories.
+//
+// Deployment artifacts carry a CRC-32 over the encoded text and table
+// sections. The deployment is the single point of failure of the scheme —
+// a flipped bit in the stored image or tables corrupts every covered fetch
+// at run time — so corruption of the artifact at rest or in transit must
+// be caught at load time, before the tables reach the decoder.
 package objfile
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -17,8 +25,21 @@ import (
 const (
 	ProgramMagic    = "imtrans-program"
 	DeploymentMagic = "imtrans-deployment"
-	Version         = 1
+	// ProgramVersion is the current program artifact format.
+	ProgramVersion = 1
+	// DeploymentVersion is the current deployment artifact format.
+	// Version 2 added the mandatory CRC-32 integrity checksum.
+	DeploymentVersion = 2
 )
+
+// Version is the program artifact version; kept for callers that predate
+// the per-kind version split.
+const Version = ProgramVersion
+
+// MaxBlockSize bounds the block-size field of a deployment; the paper
+// evaluates k up to 7 and the CT field is a byte, so anything larger than
+// 64 indicates a corrupted or hand-forged artifact.
+const MaxBlockSize = 64
 
 // Program is the on-disk form of an assembled MR32 binary.
 type Program struct {
@@ -57,11 +78,54 @@ type Deployment struct {
 	Encoded   []uint32    `json:"encoded_text"`
 	TT        []TTEntry   `json:"tt"`
 	BBIT      []BBITEntry `json:"bbit"`
+	// Checksum is a CRC-32 (IEEE) over the header fields, the encoded
+	// text image and both table sections; see DeploymentChecksum.
+	Checksum uint32 `json:"crc32"`
+}
+
+// DeploymentChecksum computes the artifact's integrity checksum: CRC-32
+// (IEEE) over a canonical little-endian serialisation of the layout header,
+// the encoded text image, and the TT/BBIT sections. The Magic, Version and
+// Checksum fields are excluded so the value is stable across format
+// revisions that only touch the envelope.
+func DeploymentChecksum(d *Deployment) uint32 {
+	h := crc32.NewIEEE()
+	var w [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(w[:], v)
+		h.Write(w[:])
+	}
+	put(uint32(d.BlockSize))
+	put(uint32(d.BusWidth))
+	put(d.TextBase)
+	put(uint32(len(d.Encoded)))
+	for _, word := range d.Encoded {
+		put(word)
+	}
+	put(uint32(len(d.TT)))
+	for _, e := range d.TT {
+		put(uint32(len(e.Sel)))
+		for _, s := range e.Sel {
+			put(uint32(s))
+		}
+		if e.E {
+			put(1)
+		} else {
+			put(0)
+		}
+		put(uint32(e.CT))
+	}
+	put(uint32(len(d.BBIT)))
+	for _, e := range d.BBIT {
+		put(e.PC)
+		put(uint32(e.TTIndex))
+	}
+	return h.Sum32()
 }
 
 // SaveProgram writes a program artifact.
 func SaveProgram(w io.Writer, p *Program) error {
-	p.Magic, p.Version = ProgramMagic, Version
+	p.Magic, p.Version = ProgramMagic, ProgramVersion
 	return encode(w, p)
 }
 
@@ -74,55 +138,98 @@ func LoadProgram(r io.Reader) (*Program, error) {
 	if p.Magic != ProgramMagic {
 		return nil, fmt.Errorf("objfile: not a program artifact (magic %q)", p.Magic)
 	}
-	if p.Version != Version {
+	if p.Version != ProgramVersion {
 		return nil, fmt.Errorf("objfile: unsupported program version %d", p.Version)
 	}
 	if len(p.Text) == 0 {
 		return nil, fmt.Errorf("objfile: program has no text segment")
 	}
+	if p.TextBase%4 != 0 {
+		return nil, fmt.Errorf("objfile: text base %#x is not word-aligned", p.TextBase)
+	}
 	return &p, nil
 }
 
-// SaveDeployment writes a deployment artifact.
+// SaveDeployment writes a deployment artifact, stamping the current
+// version and the integrity checksum.
 func SaveDeployment(w io.Writer, d *Deployment) error {
-	d.Magic, d.Version = DeploymentMagic, Version
+	d.Magic, d.Version = DeploymentMagic, DeploymentVersion
+	d.Checksum = DeploymentChecksum(d)
 	return encode(w, d)
 }
 
-// LoadDeployment reads and validates a deployment artifact.
+// LoadDeployment reads and validates a deployment artifact: envelope
+// (magic, version), integrity (CRC-32 over image and tables) and every
+// structural field. Malformed artifacts are rejected with a descriptive
+// error — never clamped or partially loaded — because a deployment that
+// loads is assumed safe to put on the instruction bus.
 func LoadDeployment(r io.Reader) (*Deployment, error) {
 	var d Deployment
 	if err := decode(r, &d); err != nil {
 		return nil, err
 	}
+	if err := VerifyDeployment(&d); err != nil {
+		return nil, err
+	}
+	return &d, nil
+}
+
+// VerifyDeployment validates an in-memory deployment artifact exactly as
+// LoadDeployment does; the fault-injection harness uses it to confirm that
+// artifact-level corruption is caught before the tables reach hardware.
+func VerifyDeployment(d *Deployment) error {
 	if d.Magic != DeploymentMagic {
-		return nil, fmt.Errorf("objfile: not a deployment artifact (magic %q)", d.Magic)
+		return fmt.Errorf("objfile: not a deployment artifact (magic %q)", d.Magic)
 	}
-	if d.Version != Version {
-		return nil, fmt.Errorf("objfile: unsupported deployment version %d", d.Version)
+	if d.Version != DeploymentVersion {
+		return fmt.Errorf("objfile: unsupported deployment version %d", d.Version)
 	}
-	if d.BlockSize < 2 {
-		return nil, fmt.Errorf("objfile: invalid block size %d", d.BlockSize)
+	if d.BlockSize < 2 || d.BlockSize > MaxBlockSize {
+		return fmt.Errorf("objfile: invalid block size %d", d.BlockSize)
 	}
 	if d.BusWidth < 1 || d.BusWidth > 32 {
-		return nil, fmt.Errorf("objfile: invalid bus width %d", d.BusWidth)
+		return fmt.Errorf("objfile: invalid bus width %d", d.BusWidth)
 	}
+	if d.TextBase%4 != 0 {
+		return fmt.Errorf("objfile: text base %#x is not word-aligned", d.TextBase)
+	}
+	if len(d.Encoded) == 0 {
+		return fmt.Errorf("objfile: deployment has no encoded text image")
+	}
+	if got := DeploymentChecksum(d); got != d.Checksum {
+		return fmt.Errorf("objfile: checksum mismatch (artifact %#08x, computed %#08x): corrupted artifact", d.Checksum, got)
+	}
+	end := d.TextBase + uint32(len(d.Encoded))*4
+	seen := make(map[uint32]bool, len(d.BBIT))
 	for i, e := range d.BBIT {
 		if int(e.TTIndex) >= len(d.TT) {
-			return nil, fmt.Errorf("objfile: BBIT entry %d points past the TT", i)
+			return fmt.Errorf("objfile: BBIT entry %d points past the TT (index %d, %d rows)", i, e.TTIndex, len(d.TT))
 		}
+		if e.PC%4 != 0 {
+			return fmt.Errorf("objfile: BBIT entry %d PC %#x is not word-aligned", i, e.PC)
+		}
+		if e.PC < d.TextBase || e.PC >= end {
+			return fmt.Errorf("objfile: BBIT entry %d PC %#x outside the text image [%#x, %#x)", i, e.PC, d.TextBase, end)
+		}
+		if seen[e.PC] {
+			return fmt.Errorf("objfile: duplicate BBIT entry for PC %#x", e.PC)
+		}
+		seen[e.PC] = true
 	}
 	for i, e := range d.TT {
 		if len(e.Sel) != d.BusWidth {
-			return nil, fmt.Errorf("objfile: TT entry %d has %d selectors, want %d", i, len(e.Sel), d.BusWidth)
+			return fmt.Errorf("objfile: TT entry %d has %d selectors, want %d", i, len(e.Sel), d.BusWidth)
 		}
 		for _, s := range e.Sel {
 			if s > 15 {
-				return nil, fmt.Errorf("objfile: TT entry %d has invalid selector %d", i, s)
+				return fmt.Errorf("objfile: TT entry %d has invalid selector %d", i, s)
 			}
 		}
+		if int(e.CT) > d.BlockSize {
+			return fmt.Errorf("objfile: TT entry %d has CT %d beyond block size %d", i, e.CT, d.BlockSize)
+		}
 	}
-	return &d, nil
+	return nil
 }
 
 func encode(w io.Writer, v interface{}) error {

@@ -74,11 +74,98 @@ func TestCrossLoadingRejected(t *testing.T) {
 	}
 }
 
+// saveDeployment round-trips d through SaveDeployment so the envelope and
+// checksum are valid; validation failures then isolate the field under test.
+func saveDeployment(t *testing.T, d *Deployment) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveDeployment(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 func TestSelectorRangeValidation(t *testing.T) {
-	in := `{"magic":"imtrans-deployment","version":1,"block_size":5,"bus_width":1,
-	        "tt":[{"sel":[99],"e":true,"ct":1}]}`
-	if _, err := LoadDeployment(strings.NewReader(in)); err == nil {
+	in := saveDeployment(t, &Deployment{
+		BlockSize: 5, BusWidth: 1, Encoded: []uint32{1},
+		TT: []TTEntry{{Sel: []uint16{99}, E: true, CT: 1}},
+	})
+	if _, err := LoadDeployment(bytes.NewReader(in)); err == nil {
 		t.Error("out-of-range selector accepted")
+	}
+}
+
+func TestDeploymentFieldValidation(t *testing.T) {
+	base := func() *Deployment {
+		return &Deployment{
+			BlockSize: 5, BusWidth: 2, TextBase: 0x00400000,
+			Encoded: []uint32{1, 2, 3},
+			TT:      []TTEntry{{Sel: []uint16{12, 3}, E: true, CT: 4}},
+			BBIT:    []BBITEntry{{PC: 0x00400000, TTIndex: 0}},
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Deployment)
+	}{
+		{"bus width 40", func(d *Deployment) { d.BusWidth = 40 }},
+		{"block size 1", func(d *Deployment) { d.BlockSize = 1 }},
+		{"block size huge", func(d *Deployment) { d.BlockSize = 1000 }},
+		{"unaligned text base", func(d *Deployment) { d.TextBase = 0x00400001; d.BBIT = nil }},
+		{"empty image", func(d *Deployment) { d.Encoded = nil }},
+		{"extra selectors", func(d *Deployment) { d.TT[0].Sel = []uint16{12, 3, 6} }},
+		{"missing selectors", func(d *Deployment) { d.TT[0].Sel = []uint16{12} }},
+		{"CT beyond block", func(d *Deployment) { d.TT[0].CT = 99 }},
+		{"BBIT past TT", func(d *Deployment) { d.BBIT[0].TTIndex = 5 }},
+		{"BBIT unaligned PC", func(d *Deployment) { d.BBIT[0].PC = 0x00400002 }},
+		{"BBIT PC outside image", func(d *Deployment) { d.BBIT[0].PC = 0x00500000 }},
+		{"duplicate BBIT PC", func(d *Deployment) {
+			d.BBIT = append(d.BBIT, BBITEntry{PC: 0x00400000, TTIndex: 0})
+		}},
+	}
+	for _, c := range cases {
+		d := base()
+		c.mutate(d)
+		in := saveDeployment(t, d)
+		if _, err := LoadDeployment(bytes.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	// The unmutated base must load.
+	if _, err := LoadDeployment(bytes.NewReader(saveDeployment(t, base()))); err != nil {
+		t.Errorf("valid deployment rejected: %v", err)
+	}
+}
+
+func TestChecksumCatchesCorruption(t *testing.T) {
+	d := &Deployment{
+		BlockSize: 5, BusWidth: 2, TextBase: 0x00400000,
+		Encoded: []uint32{0x11111111, 0x22222222},
+		TT:      []TTEntry{{Sel: []uint16{12, 6}, E: true, CT: 4}},
+		BBIT:    []BBITEntry{{PC: 0x00400000, TTIndex: 0}},
+	}
+	in := saveDeployment(t, d)
+	// Corrupt the stored image by editing the JSON payload: 0x22222222
+	// prints as 572662306 in decimal; flip one digit.
+	bad := strings.Replace(string(in), "572662306", "572662307", 1)
+	if bad == string(in) {
+		t.Fatal("corruption did not apply")
+	}
+	_, err := LoadDeployment(strings.NewReader(bad))
+	if err == nil {
+		t.Fatal("corrupted artifact accepted")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corruption not attributed to the checksum: %v", err)
+	}
+}
+
+func TestOldDeploymentVersionRejected(t *testing.T) {
+	in := `{"magic":"imtrans-deployment","version":1,"block_size":5,"bus_width":1,
+	        "encoded_text":[1],"tt":[],"bbit":[]}`
+	_, err := LoadDeployment(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("unchecksummed v1 artifact accepted: %v", err)
 	}
 }
 

@@ -7,6 +7,58 @@ import (
 	"strings"
 )
 
+// Percent returns part as a percentage of whole, or 0 when whole is 0.
+func Percent(part, whole uint64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * float64(part) / float64(whole)
+}
+
+// Counters is an ordered set of named event counters. The fault-tolerance
+// layer uses it to surface decoder detection and fallback counts; insertion
+// order is preserved so reports render deterministically.
+type Counters struct {
+	order []string
+	v     map[string]uint64
+}
+
+// Add increments the named counter by n, creating it on first use.
+func (c *Counters) Add(name string, n uint64) {
+	if c.v == nil {
+		c.v = make(map[string]uint64)
+	}
+	if _, ok := c.v[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.v[name] += n
+}
+
+// Get returns the named counter's value (0 if never added).
+func (c *Counters) Get(name string) uint64 { return c.v[name] }
+
+// Names returns the counter names in insertion order.
+func (c *Counters) Names() []string { return append([]string(nil), c.order...) }
+
+// Total sums all counters.
+func (c *Counters) Total() uint64 {
+	var t uint64
+	for _, n := range c.order {
+		t += c.v[n]
+	}
+	return t
+}
+
+// String renders the counters as a two-column table.
+func (c *Counters) String() string {
+	var t Table
+	t.AddRow("counter", "count")
+	for _, n := range c.order {
+		t.AddRowf(n, c.v[n])
+	}
+	return t.String()
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

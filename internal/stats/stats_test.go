@@ -58,6 +58,36 @@ func TestTableEmpty(t *testing.T) {
 	}
 }
 
+func TestPercent(t *testing.T) {
+	if Percent(1, 0) != 0 {
+		t.Error("divide by zero")
+	}
+	if got := Percent(1, 4); got != 25 {
+		t.Errorf("Percent = %g", got)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var c Counters
+	c.Add("tt-parity", 2)
+	c.Add("fallback", 5)
+	c.Add("tt-parity", 1)
+	if c.Get("tt-parity") != 3 || c.Get("fallback") != 5 || c.Get("missing") != 0 {
+		t.Errorf("values: %v %v", c.Get("tt-parity"), c.Get("fallback"))
+	}
+	if c.Total() != 8 {
+		t.Errorf("total = %d", c.Total())
+	}
+	names := c.Names()
+	if len(names) != 2 || names[0] != "tt-parity" || names[1] != "fallback" {
+		t.Errorf("order: %v", names)
+	}
+	out := c.String()
+	if !strings.Contains(out, "tt-parity") || !strings.Contains(out, "5") {
+		t.Errorf("rendering:\n%s", out)
+	}
+}
+
 func TestTableRaggedRows(t *testing.T) {
 	var tb Table
 	tb.AddRow("a", "b")
