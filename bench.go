@@ -2,6 +2,7 @@ package imtrans
 
 import (
 	"fmt"
+	"sync"
 
 	"imtrans/internal/workloads"
 )
@@ -14,7 +15,17 @@ type Benchmark struct {
 	N           int // problem size (0 = paper default)
 	Iters       int // sweeps/repetitions where applicable (0 = default)
 
-	w *workloads.Workload
+	w    *workloads.Workload
+	prog *progMemo
+}
+
+// progMemo holds the lazily assembled program for one (kernel, scale).
+// Benchmark has value semantics, so the memo is a shared pointer; WithScale
+// swaps in a fresh one whenever the scale actually changes.
+type progMemo struct {
+	once sync.Once
+	p    *Program
+	err  error
 }
 
 // Benchmarks returns the six paper benchmarks in the paper's column order:
@@ -29,6 +40,7 @@ func Benchmarks() []Benchmark {
 			N:           w.Defaults.N,
 			Iters:       w.Defaults.Iters,
 			w:           w,
+			prog:        &progMemo{},
 		}
 	}
 	return out
@@ -48,6 +60,7 @@ func ExtraBenchmarks() []Benchmark {
 			N:           w.Defaults.N,
 			Iters:       w.Defaults.Iters,
 			w:           w,
+			prog:        &progMemo{},
 		}
 	}
 	return out
@@ -65,31 +78,51 @@ func BenchmarkByName(name string) (Benchmark, error) {
 		N:           w.Defaults.N,
 		Iters:       w.Defaults.Iters,
 		w:           w,
+		prog:        &progMemo{},
 	}, nil
 }
 
 // WithScale returns a copy of the benchmark at a different problem size
 // and repetition count (zero keeps the current value).
 func (b Benchmark) WithScale(n, iters int) Benchmark {
+	old := b
 	if n != 0 {
 		b.N = n
 	}
 	if iters != 0 {
 		b.Iters = iters
 	}
+	if b.N != old.N || b.Iters != old.Iters {
+		b.prog = &progMemo{}
+	}
 	return b
+}
+
+// captureSalt names the (kernel, scale) identity in the fetch-trace cache
+// key, so distinct benchmarks that happen to assemble to identical images
+// but differ in memory setup never share a capture.
+func (b Benchmark) captureSalt() string {
+	return fmt.Sprintf("%s n=%d iters=%d", b.Name, b.N, b.Iters)
 }
 
 func (b Benchmark) params() workloads.Params {
 	return b.w.Fill(workloads.Params{N: b.N, Iters: b.Iters})
 }
 
-// Program renders and assembles the benchmark kernel.
+// Program renders and assembles the benchmark kernel. The result is
+// memoised per (kernel, scale): repeated measurements of one benchmark
+// assemble once and share the *Program.
 func (b Benchmark) Program() (*Program, error) {
 	if b.w == nil {
 		return nil, fmt.Errorf("imtrans: use Benchmarks or BenchmarkByName to obtain benchmarks")
 	}
-	return Assemble(b.w.Source(b.params()))
+	if b.prog == nil {
+		return Assemble(b.w.Source(b.params()))
+	}
+	b.prog.once.Do(func() {
+		b.prog.p, b.prog.err = Assemble(b.w.Source(b.params()))
+	})
+	return b.prog.p, b.prog.err
 }
 
 // setup initialises data memory for the kernel.
@@ -141,7 +174,27 @@ func (b Benchmark) MeasureWithCache(cache CacheConfig, enc Config) (*CacheMeasur
 // Figure 6. Every restored instruction word is verified against the
 // original during the measurement run; use Run to additionally validate
 // the kernel's numerical output against its golden reference.
+//
+// Measure goes through the capture/replay engine: the benchmark is
+// simulated once per (kernel, scale) across the whole process and every
+// configuration is replayed from the cached fetch trace, bit-identical to
+// MeasureProgram (see ReplayMeasure). Use SimulateMeasure to force the
+// two-run reference pipeline.
 func (b Benchmark) Measure(cfgs ...Config) ([]Measurement, error) {
+	p, err := b.Program()
+	if err != nil {
+		return nil, err
+	}
+	ms, err := replayMeasure(p, b.setup, b.captureSalt(), cfgs...)
+	if err != nil {
+		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
+	}
+	return ms, nil
+}
+
+// SimulateMeasure is Measure without the capture/replay engine: the
+// reference two-run MeasureProgram pipeline, simulating the kernel anew.
+func (b Benchmark) SimulateMeasure(cfgs ...Config) ([]Measurement, error) {
 	p, err := b.Program()
 	if err != nil {
 		return nil, err

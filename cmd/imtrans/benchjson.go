@@ -1,0 +1,206 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"imtrans"
+)
+
+// sweepReport is the machine-readable record of one sweep benchmark: the
+// serial simulate-per-call baseline timed against the capture/replay +
+// parallel sweep pipeline on an identical (benchmark, config) grid, with
+// the results of the two paths verified equal before the report is
+// written.
+type sweepReport struct {
+	GeneratedAt string `json:"generated_at"`
+	GoMaxProcs  int    `json:"gomaxprocs"`
+	Parallelism int    `json:"parallelism"`
+
+	Configs    []string     `json:"configs"`
+	Benchmarks []sweepBench `json:"benchmarks"`
+
+	Measurements        int     `json:"measurements"`
+	SerialSimulateNs    int64   `json:"serial_simulate_ns"`
+	SerialNsPerMeasure  int64   `json:"serial_ns_per_measurement"`
+	SweepReplayNs       int64   `json:"sweep_replay_ns"`
+	SweepNsPerMeasure   int64   `json:"sweep_ns_per_measurement"`
+	Speedup             float64 `json:"speedup"`
+	CaptureCacheHits    uint64  `json:"capture_cache_hits"`
+	CaptureCacheMisses  uint64  `json:"capture_cache_misses"`
+
+	Grid []sweepCell `json:"grid"`
+}
+
+type sweepBench struct {
+	Name         string  `json:"name"`
+	N            int     `json:"n"`
+	Iters        int     `json:"iters"`
+	Instructions uint64  `json:"instructions"`
+	SimulateNs   int64   `json:"simulate_ns"` // one two-run MeasureProgram call
+	InstPerSec   float64 `json:"instructions_per_sec"`
+}
+
+type sweepCell struct {
+	Bench    string  `json:"bench"`
+	Config   string  `json:"config"`
+	Baseline uint64  `json:"baseline_transitions"`
+	Encoded  uint64  `json:"encoded_transitions"`
+	Percent  float64 `json:"reduction_percent"`
+}
+
+// sweepScale shrinks a paper benchmark to the reduced problem sizes the
+// small-scale reproduction uses, so the sweep benchmark finishes in
+// seconds.
+func sweepScale(b imtrans.Benchmark) imtrans.Benchmark {
+	switch b.Name {
+	case "mmul":
+		return b.WithScale(24, 0)
+	case "sor":
+		return b.WithScale(32, 2)
+	case "ej":
+		return b.WithScale(24, 4)
+	case "fft":
+		return b.WithScale(64, 0)
+	case "tri":
+		return b.WithScale(32, 10)
+	case "lu":
+		return b.WithScale(24, 0)
+	}
+	return b
+}
+
+// benchSweepJSON times the multi-config sweep both ways and writes the
+// report to path. names narrows the suite (empty = all six paper
+// kernels); n/iters override every benchmark's scale when nonzero.
+func benchSweepJSON(path string, parallelism int, names []string, n, iters int) error {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	imtrans.SetParallelism(parallelism)
+
+	var benches []imtrans.Benchmark
+	if len(names) == 0 {
+		for _, b := range imtrans.Benchmarks() {
+			benches = append(benches, sweepScale(b))
+		}
+	} else {
+		for _, nm := range names {
+			b, err := imtrans.BenchmarkByName(nm)
+			if err != nil {
+				return err
+			}
+			benches = append(benches, sweepScale(b))
+		}
+	}
+	if n != 0 || iters != 0 {
+		for i := range benches {
+			benches[i] = benches[i].WithScale(n, iters)
+		}
+	}
+	cfgs := []imtrans.Config{
+		{BlockSize: 4}, {BlockSize: 5}, {BlockSize: 6}, {BlockSize: 7},
+	}
+	total := len(benches) * len(cfgs)
+
+	// Phase 1: the serial baseline — one two-run simulate pipeline per
+	// (benchmark, config) call, the cost every figure paid before the
+	// replay engine existed.
+	serial := make([][]imtrans.Measurement, len(benches))
+	info := make([]sweepBench, len(benches))
+	serialStart := time.Now()
+	for bi, b := range benches {
+		serial[bi] = make([]imtrans.Measurement, len(cfgs))
+		for ci, c := range cfgs {
+			t0 := time.Now()
+			ms, err := b.SimulateMeasure(c)
+			if err != nil {
+				return err
+			}
+			el := time.Since(t0)
+			serial[bi][ci] = ms[0]
+			if ci == 0 {
+				info[bi] = sweepBench{
+					Name:         b.Name,
+					N:            b.N,
+					Iters:        b.Iters,
+					Instructions: ms[0].Instructions,
+					SimulateNs:   el.Nanoseconds(),
+					// the simulate pipeline executes the kernel twice
+					InstPerSec: 2 * float64(ms[0].Instructions) / el.Seconds(),
+				}
+			}
+		}
+	}
+	serialNs := time.Since(serialStart).Nanoseconds()
+
+	// Phase 2: the same grid through capture/replay + the parallel sweep,
+	// from a cold capture cache so the single profiling run per kernel is
+	// paid inside the measured interval.
+	imtrans.ClearCaptureCache()
+	sweepStart := time.Now()
+	grid, err := imtrans.SweepMeasure(benches, cfgs, parallelism)
+	if err != nil {
+		return err
+	}
+	sweepNs := time.Since(sweepStart).Nanoseconds()
+	hits, misses := imtrans.CaptureCacheStats()
+
+	var cells []sweepCell
+	for bi, b := range benches {
+		for ci, c := range cfgs {
+			got, want := grid[bi][ci], serial[bi][ci]
+			if got.Baseline != want.Baseline || got.Encoded != want.Encoded {
+				return fmt.Errorf("sweep/simulate mismatch for %s %v: replay %d/%d, simulate %d/%d",
+					b.Name, c, got.Baseline, got.Encoded, want.Baseline, want.Encoded)
+			}
+			cells = append(cells, sweepCell{
+				Bench:    b.Name,
+				Config:   c.String(),
+				Baseline: got.Baseline,
+				Encoded:  got.Encoded,
+				Percent:  got.Percent,
+			})
+		}
+	}
+
+	rep := sweepReport{
+		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:         runtime.GOMAXPROCS(0),
+		Parallelism:        parallelism,
+		Benchmarks:         info,
+		Measurements:       total,
+		SerialSimulateNs:   serialNs,
+		SerialNsPerMeasure: serialNs / int64(total),
+		SweepReplayNs:      sweepNs,
+		SweepNsPerMeasure:  sweepNs / int64(total),
+		Speedup:            float64(serialNs) / float64(sweepNs),
+		CaptureCacheHits:   hits,
+		CaptureCacheMisses: misses,
+		Grid:               cells,
+	}
+	for _, c := range cfgs {
+		rep.Configs = append(rep.Configs, c.String())
+	}
+
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%d measurements (%d kernels x %d configs), -j %d\n",
+		total, len(benches), len(cfgs), parallelism)
+	fmt.Printf("serial simulate-per-call: %8.1f ms (%6.2f ms/measurement)\n",
+		float64(serialNs)/1e6, float64(rep.SerialNsPerMeasure)/1e6)
+	fmt.Printf("capture/replay sweep:     %8.1f ms (%6.2f ms/measurement)\n",
+		float64(sweepNs)/1e6, float64(rep.SweepNsPerMeasure)/1e6)
+	fmt.Printf("speedup: %.1fx (results verified identical); report written to %s\n",
+		rep.Speedup, path)
+	return nil
+}

@@ -75,6 +75,9 @@ commands:
   measure <file.s>    measure encoded vs baseline transitions
   bench <name>        run the pipeline on a built-in benchmark
                       (mmul, sor, ej, fft, tri, lu)
+  bench -json [name...]  time the serial simulate-per-call baseline against
+                      the capture/replay parallel sweep on a config grid
+                      and write BENCH_sweep.json (-o path, -j parallelism)
   encode <file.s>     profile, encode and write a deployment artifact
                       (-o out.imtd: encoded image + TT/BBIT contents)
   verify <file.s> <out.imtd>
@@ -256,8 +259,14 @@ func cmdBench(args []string) error {
 	cfg := configFlags(fs)
 	n := fs.Int("n", 0, "problem size (0 = paper default)")
 	iters := fs.Int("iters", 0, "iterations/sweeps (0 = default)")
+	jsonFlag := fs.Bool("json", false, "benchmark the sweep pipeline and write a JSON report instead")
+	out := fs.String("o", "BENCH_sweep.json", "report path for -json")
+	jobs := fs.Int("j", 0, "sweep parallelism for -json (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jsonFlag {
+		return benchSweepJSON(*out, *jobs, fs.Args(), *n, *iters)
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("bench wants one benchmark name")

@@ -10,24 +10,37 @@
 //	reproduce -what claims     # Section 5.2 subset search + Section 6 randoms
 //	reproduce -what ablations  # greedy-vs-exact, 8-vs-16 funcs, TT sweep, bus-invert
 //	reproduce -scale small     # reduced problem sizes (seconds instead of minutes)
+//	reproduce -small           # shorthand for -scale small
+//	reproduce -j 4             # bound the measurement worker pools
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"imtrans"
 	"imtrans/internal/stats"
 )
 
+// jobs is the sweep/encode parallelism bound, from -j (0 = GOMAXPROCS).
+var jobs int
+
 func main() {
 	what := flag.String("what", "all", "artifact to regenerate: fig2|fig3|fig4|fig6|fig7|claims|ablations|history|cache|addrbus|extras|phased|sched|lines|all")
 	scale := flag.String("scale", "paper", "problem sizes: paper|small")
+	smallFlag := flag.Bool("small", false, "shorthand for -scale small")
+	flag.IntVar(&jobs, "j", 0, "measurement parallelism (0 = GOMAXPROCS)")
 	flag.Parse()
 
-	small := *scale == "small"
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	imtrans.SetParallelism(jobs)
+
+	small := *scale == "small" || *smallFlag
 	var err error
 	switch *what {
 	case "fig2":
@@ -36,9 +49,9 @@ func main() {
 		err = figure3()
 	case "fig4":
 		err = figure4()
-	case "fig6":
+	case "fig6", "figure6":
 		err = figure6(small)
-	case "fig7":
+	case "fig7", "figure7":
 		err = figure7(small)
 	case "claims":
 		err = claims()
@@ -159,27 +172,33 @@ var figure6Memo = map[bool]struct {
 }{}
 
 // figure6Data measures all benchmarks at block sizes 4..7 with a 16-entry
-// TT, the paper's Figure 6 experiment.
+// TT, the paper's Figure 6 experiment. The whole grid goes through one
+// SweepMeasure call: each kernel is simulated once for its cached fetch
+// trace and the 24 encode+replay evaluations run -j wide.
 func figure6Data(small bool) ([]string, map[string][]imtrans.Measurement, error) {
 	if memo, ok := figure6Memo[small]; ok {
 		return memo.names, memo.results, nil
 	}
-	var names []string
-	results := make(map[string][]imtrans.Measurement)
 	cfgs := []imtrans.Config{
 		{BlockSize: 4}, {BlockSize: 5}, {BlockSize: 6}, {BlockSize: 7},
 	}
-	for _, b := range imtrans.Benchmarks() {
+	benches := imtrans.Benchmarks()
+	var names []string
+	for i, b := range benches {
 		if small {
-			b = smallScale(b)
-		}
-		fmt.Fprintf(os.Stderr, "  measuring %s (N=%d, iters=%d)...\n", b.Name, b.N, b.Iters)
-		ms, err := b.Measure(cfgs...)
-		if err != nil {
-			return nil, nil, err
+			benches[i] = smallScale(b)
 		}
 		names = append(names, b.Name)
-		results[b.Name] = ms
+	}
+	fmt.Fprintf(os.Stderr, "  measuring %s (%d configs, -j %d)...\n",
+		strings.Join(names, " "), len(cfgs), jobs)
+	grid, err := imtrans.SweepMeasure(benches, cfgs, jobs)
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make(map[string][]imtrans.Measurement)
+	for i, n := range names {
+		results[n] = grid[i]
 	}
 	figure6Memo[small] = struct {
 		names   []string

@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
-	"sync"
 
 	"imtrans/internal/transform"
 )
@@ -92,42 +91,40 @@ func feasibleTau(c, b uint32, k int, funcs []transform.Func) (transform.Func, bo
 	return 0, false
 }
 
-// candidateOrder returns all written values of width k with the given bit 0,
-// ordered by (transition count ascending, written value ascending). This is
-// the deterministic search order that reproduces the code-word choices of
-// the paper's Figures 2 and 4. Orders are cached per (k, bit0): block
-// encoding runs this on every chain block of every bus line.
-func candidateOrder(k int, bit0 uint8) []uint32 {
-	key := k<<1 | int(bit0&1)
-	candCacheMu.RLock()
-	cands := candCache[key]
-	candCacheMu.RUnlock()
-	if cands != nil {
-		return cands
-	}
-	cands = make([]uint32, 0, 1<<uint(k-1))
-	for v := uint32(0); v < 1<<uint(k); v++ {
-		if uint8(v)&1 == bit0&1 {
-			cands = append(cands, v)
+// candTable[k][bit0] holds all written values of width k with the given
+// bit 0, ordered by (transition count ascending, written value ascending).
+// This is the deterministic search order that reproduces the code-word
+// choices of the paper's Figures 2 and 4. All orders up to MaxBlockSize are
+// precomputed at init (about 128K words in total), so the hot block-search
+// loop reads an immutable table with no synchronisation.
+var candTable [MaxBlockSize + 1][2][]uint32
+
+func init() {
+	for k := 1; k <= MaxBlockSize; k++ {
+		for b0 := uint32(0); b0 < 2; b0++ {
+			cands := make([]uint32, 0, 1<<uint(k-1))
+			for v := uint32(0); v < 1<<uint(k); v++ {
+				if v&1 == b0 {
+					cands = append(cands, v)
+				}
+			}
+			sort.Slice(cands, func(i, j int) bool {
+				ti, tj := transitionsOf(cands[i], k), transitionsOf(cands[j], k)
+				if ti != tj {
+					return ti < tj
+				}
+				return cands[i] < cands[j]
+			})
+			candTable[k][b0] = cands
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		ti, tj := transitionsOf(cands[i], k), transitionsOf(cands[j], k)
-		if ti != tj {
-			return ti < tj
-		}
-		return cands[i] < cands[j]
-	})
-	candCacheMu.Lock()
-	candCache[key] = cands
-	candCacheMu.Unlock()
-	return cands
 }
 
-var (
-	candCacheMu sync.RWMutex
-	candCache   = map[int][]uint32{}
-)
+// candidateOrder returns the precomputed search order for (k, bit0). The
+// returned slice is shared and must not be mutated.
+func candidateOrder(k int, bit0 uint8) []uint32 {
+	return candTable[k][bit0&1]
+}
 
 // EncodeBlock finds the minimal-transition code word for a single block.
 //
@@ -156,10 +153,19 @@ func EncodeBlock(orig []uint8, c0 uint8, funcs []transform.Func) (BlockResult, b
 	if k == 1 {
 		return BlockResult{Code: []uint8{c0 & 1}, Tau: transform.Identity}, true
 	}
-	b := blockValue(orig)
+	c, tau, trans, ok := encodeBlockPacked(blockValue(orig), k, c0, funcs)
+	if !ok {
+		return BlockResult{}, false
+	}
+	return BlockResult{Code: blockBits(c, k), Tau: tau, Transitions: trans}, true
+}
+
+// encodeBlockPacked is EncodeBlock on packed written values: b is the
+// original block, the winning code word is returned packed, and nothing is
+// allocated. This is the innermost loop of the whole encoder.
+func encodeBlockPacked(b uint32, k int, c0 uint8, funcs []transform.Func) (code uint32, tau transform.Func, trans int, ok bool) {
 	cands := candidateOrder(k, c0)
 	bestTrans := -1
-	var best BlockResult
 	for _, f := range funcs {
 		for _, c := range cands {
 			t := transitionsOf(c, k)
@@ -167,7 +173,7 @@ func EncodeBlock(orig []uint8, c0 uint8, funcs []transform.Func) (BlockResult, b
 				break // candidates are sorted; this func cannot improve
 			}
 			if feasible(f, c, b, k) {
-				best = BlockResult{Code: blockBits(c, k), Tau: f, Transitions: t}
+				code, tau, trans = c, f, t
 				bestTrans = t
 				break
 			}
@@ -176,24 +182,21 @@ func EncodeBlock(orig []uint8, c0 uint8, funcs []transform.Func) (BlockResult, b
 			break
 		}
 	}
-	return best, bestTrans >= 0
+	return code, tau, trans, bestTrans >= 0
 }
 
-// encodeBlockPerLastBit returns, for each desired final code bit value, the
-// best feasible block encoding (fewest transitions, then search order). The
-// two results may be infeasible independently; feas reports which are.
-func encodeBlockPerLastBit(orig []uint8, c0 uint8, funcs []transform.Func) (res [2]BlockResult, feas [2]bool) {
-	k := len(orig)
-	if k == 0 || k > MaxBlockSize {
-		return res, feas
-	}
+// encodeBlockPerLastBitPacked returns, for each desired final code bit
+// value, the best feasible block encoding (fewest transitions, then search
+// order) as packed written values. The two results may be infeasible
+// independently; feas reports which are.
+func encodeBlockPerLastBitPacked(b uint32, k int, c0 uint8, funcs []transform.Func) (codes [2]uint32, taus [2]transform.Func, trans [2]int, feas [2]bool) {
 	if k == 1 {
 		idx := c0 & 1
-		res[idx] = BlockResult{Code: []uint8{c0 & 1}, Tau: transform.Identity}
+		codes[idx] = uint32(idx)
+		taus[idx] = transform.Identity
 		feas[idx] = true
-		return res, feas
+		return codes, taus, trans, feas
 	}
-	b := blockValue(orig)
 	cands := candidateOrder(k, c0)
 	bestTrans := [2]int{-1, -1}
 	for _, f := range funcs {
@@ -204,13 +207,13 @@ func encodeBlockPerLastBit(orig []uint8, c0 uint8, funcs []transform.Func) (res 
 				continue
 			}
 			if feasible(f, c, b, k) {
-				res[last] = BlockResult{Code: blockBits(c, k), Tau: f, Transitions: t}
+				codes[last], taus[last], trans[last] = c, f, t
 				bestTrans[last] = t
 				feas[last] = true
 			}
 		}
 	}
-	return res, feas
+	return codes, taus, trans, feas
 }
 
 // DecodeBlock restores the original block bits from a code block. code[0]
@@ -312,21 +315,31 @@ func EncodeChain(stream []uint8, k int, funcs []transform.Func, strat Strategy) 
 	}
 }
 
+// writeBlockBits unpacks a written value into dst in transmission order —
+// the only point where a winning packed code word is expanded to bits.
+func writeBlockBits(dst []uint8, v uint32) {
+	for i := range dst {
+		dst[i] = uint8(v>>uint(i)) & 1
+	}
+}
+
 func encodeChainGreedy(ch Chain, stream []uint8, k int, funcs []transform.Func) (Chain, error) {
 	n := len(stream)
-	c0 := stream[0] & 1
-	ch.Code[0] = c0
+	ch.Code[0] = stream[0] & 1
+	if nb := NumBlocks(n, k); cap(ch.Taus)-len(ch.Taus) < nb {
+		ch.Taus = make([]transform.Func, 0, nb)
+	}
 	for p := 0; p < n-1; p += k - 1 {
 		end := p + k
 		if end > n {
 			end = n
 		}
-		res, ok := EncodeBlock(stream[p:end], ch.Code[p], funcs)
+		c, tau, _, ok := encodeBlockPacked(blockValue(stream[p:end]), end-p, ch.Code[p], funcs)
 		if !ok {
 			return Chain{}, fmt.Errorf("code: no feasible transformation for block at offset %d", p)
 		}
-		copy(ch.Code[p:end], res.Code)
-		ch.Taus = append(ch.Taus, res.Tau)
+		writeBlockBits(ch.Code[p:end], c)
+		ch.Taus = append(ch.Taus, tau)
 	}
 	return ch, nil
 }
@@ -334,7 +347,8 @@ func encodeChainGreedy(ch Chain, stream []uint8, k int, funcs []transform.Func) 
 func encodeChainExact(ch Chain, stream []uint8, k int, funcs []transform.Func) (Chain, error) {
 	n := len(stream)
 	type choice struct {
-		res  BlockResult
+		code uint32 // packed code word of this block
+		tau  transform.Func
 		prev uint8 // overlap-state value this choice extends
 	}
 	// starts[m] is the stream offset of block m's overlap bit.
@@ -355,6 +369,7 @@ func encodeChainExact(ch Chain, stream []uint8, k int, funcs []transform.Func) (
 		if end > n {
 			end = n
 		}
+		b := blockValue(stream[p:end])
 		nextCost := [2]int{inf, inf}
 		var nextFeas [2]bool
 		var nextBack [2]choice
@@ -362,16 +377,16 @@ func encodeChainExact(ch Chain, stream []uint8, k int, funcs []transform.Func) (
 			if !feasState[s] {
 				continue
 			}
-			res, feas := encodeBlockPerLastBit(stream[p:end], s, funcs)
+			codes, taus, trans, feas := encodeBlockPerLastBitPacked(b, end-p, s, funcs)
 			for last := uint8(0); last < 2; last++ {
 				if !feas[last] {
 					continue
 				}
-				c := cost[s] + res[last].Transitions
+				c := cost[s] + trans[last]
 				if c < nextCost[last] {
 					nextCost[last] = c
 					nextFeas[last] = true
-					nextBack[last] = choice{res: res[last], prev: s}
+					nextBack[last] = choice{code: codes[last], tau: taus[last], prev: s}
 				}
 			}
 		}
@@ -392,8 +407,12 @@ func encodeChainExact(ch Chain, stream []uint8, k int, funcs []transform.Func) (
 	for m := len(starts) - 1; m >= 0; m-- {
 		cho := back[m][s]
 		p := starts[m]
-		copy(ch.Code[p:p+len(cho.res.Code)], cho.res.Code)
-		ch.Taus[m] = cho.res.Tau
+		end := p + k
+		if end > n {
+			end = n
+		}
+		writeBlockBits(ch.Code[p:end], cho.code)
+		ch.Taus[m] = cho.tau
 		s = cho.prev
 	}
 	return ch, nil

@@ -8,12 +8,36 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"imtrans/internal/bitline"
 	"imtrans/internal/cfg"
 	"imtrans/internal/code"
 	"imtrans/internal/transform"
 )
+
+// encodeParallelism bounds the worker pool that fans the independent
+// vertical bit-line encodings of each basic block out across cores. The
+// default is the machine's parallelism; SetParallelism(1) forces the fully
+// serial path.
+var encodeParallelism atomic.Int32
+
+func init() { encodeParallelism.Store(int32(runtime.GOMAXPROCS(0))) }
+
+// SetParallelism bounds the number of workers Encode may use for the
+// per-bus-line chain encodings. Values below 1 are treated as 1. Results
+// are bit-identical at every setting; only wall time changes.
+func SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	encodeParallelism.Store(int32(n))
+}
+
+// Parallelism returns the current Encode worker bound.
+func Parallelism() int { return int(encodeParallelism.Load()) }
 
 // Selection chooses how basic blocks compete for Transformation Table
 // capacity.
@@ -319,9 +343,33 @@ func encodeBlock(g *cfg.Graph, bi int, c Config) (Plan, error) {
 	for e := range plan.Taus {
 		plan.Taus[e] = make([]transform.Func, c.BusWidth)
 	}
+	// The vertical streams are fully independent, so their chain encodings
+	// fan out over a bounded worker pool; the merge below runs in line
+	// order, keeping results and error selection deterministic at any
+	// parallelism.
+	chains := make([]code.Chain, c.BusWidth)
+	chainErrs := make([]error, c.BusWidth)
+	encodeLines := func(first, stride int) {
+		for line := first; line < c.BusWidth; line += stride {
+			chains[line], chainErrs[line] = code.EncodeChain(streams[line], k, c.Funcs, c.Strategy)
+		}
+	}
+	if workers := min(Parallelism(), c.BusWidth); workers > 1 {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				encodeLines(w, workers)
+			}(w)
+		}
+		wg.Wait()
+	} else {
+		encodeLines(0, 1)
+	}
 	encodedStreams := make([][]uint8, c.BusWidth)
 	for line, stream := range streams {
-		ch, err := code.EncodeChain(stream, k, c.Funcs, c.Strategy)
+		ch, err := chains[line], chainErrs[line]
 		if err != nil {
 			return Plan{}, fmt.Errorf("core: block %d line %d: %w", bi, line, err)
 		}

@@ -409,3 +409,35 @@ func (d *Decoder) enterFallback(pc, busWord uint32) FetchResult {
 
 // Active reports whether the decoder is inside a covered basic block.
 func (d *Decoder) Active() bool { return d.active }
+
+// StreamState is the decoder's runtime stream state: everything that the
+// fetch sequence influences. Two decoders (or one decoder at two points of
+// a fetch stream) with equal StreamState produce identical outputs for
+// identical subsequent fetch sequences, which is what lets the replay
+// engine fast-forward periodic regions of a trace.
+type StreamState struct {
+	Active     bool
+	TTIdx      int
+	Decoded    int
+	ExpectPC   uint32
+	PrevEnc    uint32
+	PrevDec    uint32
+	Fallback   bool
+	FallbackPC uint32
+}
+
+// StreamState returns the current runtime stream state. Table contents and
+// protection bookkeeping are not included: they never change during a
+// fault-free run.
+func (d *Decoder) StreamState() StreamState {
+	return StreamState{
+		Active:     d.active,
+		TTIdx:      d.ttIdx,
+		Decoded:    d.decoded,
+		ExpectPC:   d.expectPC,
+		PrevEnc:    d.prevEnc,
+		PrevDec:    d.prevDec,
+		Fallback:   d.fallback,
+		FallbackPC: d.fallbackPC,
+	}
+}

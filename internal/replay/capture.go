@@ -1,0 +1,111 @@
+package replay
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+)
+
+// Key identifies a capture: a content hash of the program image plus any
+// caller-supplied salt (benchmark identity and scale, for instance).
+type Key [sha256.Size]byte
+
+// ProgramKey hashes a program image and a salt into a cache key. Two
+// programs with the same key are assumed to produce the same fetch stream,
+// which holds whenever the run's memory setup is a deterministic function
+// of the salted identity — the same contract MeasureProgram already
+// imposes on its setup callback.
+func ProgramKey(textBase uint32, text []uint32, dataBase uint32, data []byte, salt string) Key {
+	h := sha256.New()
+	var word [4]byte
+	binary.LittleEndian.PutUint32(word[:], textBase)
+	h.Write(word[:])
+	for _, w := range text {
+		binary.LittleEndian.PutUint32(word[:], w)
+		h.Write(word[:])
+	}
+	binary.LittleEndian.PutUint32(word[:], dataBase)
+	h.Write(word[:])
+	h.Write(data)
+	h.Write([]byte(salt))
+	var k Key
+	h.Sum(k[:0])
+	return k
+}
+
+// Capture is everything one profiling run of a program yields: the
+// compressed fetch trace, the execution profile, and the stream statistics
+// that do not depend on the encoding configuration (baseline bus, the
+// bus-invert and dictionary comparators). Replaying a capture against an
+// encoding reproduces MeasureProgram's output bit for bit without running
+// the CPU again.
+type Capture struct {
+	Key   Key
+	Base  uint32   // text base address
+	Words []uint32 // original text image
+
+	Trace        *Trace
+	Profile      []uint64
+	Instructions uint64
+
+	BaselineTotal   uint64
+	BaselinePerLine []uint64
+	BusInvertTotal  uint64
+	DictionaryTotal uint64
+	DictionaryBits  int
+}
+
+// Cache is an in-process capture cache with per-key single-flight: any
+// number of goroutines may ask for the same program concurrently and
+// exactly one profiling run happens.
+type Cache struct {
+	mu sync.Mutex
+	m  map[Key]*cacheEntry
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	once sync.Once
+	cap  *Capture
+	err  error
+}
+
+// NewCache returns an empty capture cache.
+func NewCache() *Cache { return &Cache{m: make(map[Key]*cacheEntry)} }
+
+// Shared is the process-wide capture cache used by the imtrans facade.
+var Shared = NewCache()
+
+// GetOrCapture returns the cached capture for key, running capture exactly
+// once per key to produce it. A failed capture is cached too: determinism
+// means retrying cannot help, and callers get the same error.
+func (c *Cache) GetOrCapture(key Key, capture func() (*Capture, error)) (*Capture, error) {
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &cacheEntry{}
+		c.m[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.cap, e.err = capture() })
+	return e.cap, e.err
+}
+
+// Stats reports cache hits and misses (misses equal profiling runs).
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Clear drops every cached capture and resets the statistics.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[Key]*cacheEntry)
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,246 @@
+package replay
+
+import (
+	"fmt"
+	"math/bits"
+
+	"imtrans/internal/core"
+	"imtrans/internal/hw"
+)
+
+// Result is the configuration-dependent half of a measurement, replayed
+// from a capture: the encoded-bus transition counts that MeasureProgram
+// would have produced with this encoding's sink in its fetch hook.
+type Result struct {
+	Encoded        uint64
+	PerLineEncoded []uint64
+}
+
+// Measure replays a captured fetch trace against one encoding. The
+// decoder must be freshly built from enc (Strict, unprotected); it is
+// driven through every covered-block fetch exactly as it would sit on the
+// instruction bus, and every restored word is checked against the original
+// image. Encoded-stream transition totals for uncovered regions are not
+// accumulated fetch by fetch: a sequential run through uncovered text is a
+// range sum over precomputed per-image transition prefixes, and repeat
+// groups whose decoder/bus state proves periodic are fast-forwarded
+// arithmetically. The output is bit-identical to the simulate path at any
+// of these shortcuts, because each one replaces iteration of a
+// deterministic state machine over inputs it has already seen.
+func Measure(cap *Capture, enc *core.Encoding, dec *hw.Decoder) (Result, error) {
+	n := len(cap.Words)
+	if len(enc.EncodedWords) != n {
+		return Result{}, fmt.Errorf("replay: encoded image has %d words, capture has %d", len(enc.EncodedWords), n)
+	}
+	if cap.Trace == nil || cap.Trace.N == 0 {
+		return Result{}, fmt.Errorf("replay: empty trace")
+	}
+	r := &replayer{
+		base: cap.Base,
+		orig: cap.Words,
+		encW: enc.EncodedWords,
+		dec:  dec,
+	}
+	r.buildPrefixes()
+	r.buildCoverage(enc)
+	r.step(cap.Trace.First)
+	r.runOps(cap.Trace.Ops)
+	if r.err != nil {
+		return Result{}, r.err
+	}
+	per := make([]uint64, 32)
+	copy(per, r.perLine[:])
+	return Result{Encoded: r.total, PerLineEncoded: per}, nil
+}
+
+type replayer struct {
+	base uint32
+	orig []uint32
+	encW []uint32
+	dec  *hw.Decoder
+
+	// prefix[i] is the transition count of transmitting encW[0..i] in
+	// layout order; linePrefix is the same per bus line. A sequential
+	// fetch run from index a to b adds prefix[b]-prefix[a] — O(1) per
+	// run instead of per fetch.
+	prefix     []uint64
+	linePrefix [][32]uint64
+
+	// kind[i] marks covered-block starts (1) and interiors (2); nextCov[i]
+	// is the smallest j >= i with kind[j] != 0, or len(orig). Fetches at
+	// covered indices (and any fetch while the decoder is mid-block) must
+	// go through the decoder; everything else is analytic.
+	kind    []uint8
+	nextCov []int32
+
+	started bool
+	lastIdx int32 // index of the previous fetch; bus state is encW[lastIdx]
+	total   uint64
+	perLine [32]uint64
+	err     error
+}
+
+func (r *replayer) buildPrefixes() {
+	n := len(r.encW)
+	r.prefix = make([]uint64, n)
+	r.linePrefix = make([][32]uint64, n)
+	for i := 1; i < n; i++ {
+		diff := r.encW[i] ^ r.encW[i-1]
+		r.prefix[i] = r.prefix[i-1] + uint64(bits.OnesCount32(diff))
+		r.linePrefix[i] = r.linePrefix[i-1]
+		for diff != 0 {
+			line := bits.TrailingZeros32(diff)
+			r.linePrefix[i][line]++
+			diff &= diff - 1
+		}
+	}
+}
+
+func (r *replayer) buildCoverage(enc *core.Encoding) {
+	n := len(r.encW)
+	r.kind = make([]uint8, n)
+	for pi := range enc.Plans {
+		p := &enc.Plans[pi]
+		start := int(p.StartPC-r.base) / 4
+		r.kind[start] = 1
+		for i := 1; i < p.Count; i++ {
+			r.kind[start+i] = 2
+		}
+	}
+	r.nextCov = make([]int32, n+1)
+	r.nextCov[n] = int32(n)
+	for i := n - 1; i >= 0; i-- {
+		if r.kind[i] != 0 {
+			r.nextCov[i] = int32(i)
+		} else {
+			r.nextCov[i] = r.nextCov[i+1]
+		}
+	}
+}
+
+// step replays one fetch through the bus counters and the decoder.
+func (r *replayer) step(idx int32) {
+	if idx < 0 || int(idx) >= len(r.encW) {
+		if r.err == nil {
+			r.err = fmt.Errorf("replay: trace index %d outside text image", idx)
+		}
+		return
+	}
+	w := r.encW[idx]
+	if r.started {
+		diff := w ^ r.encW[r.lastIdx]
+		r.total += uint64(bits.OnesCount32(diff))
+		for diff != 0 {
+			line := bits.TrailingZeros32(diff)
+			r.perLine[line]++
+			diff &= diff - 1
+		}
+	} else {
+		r.started = true
+	}
+	r.lastIdx = idx
+	pc := r.base + uint32(idx)<<2
+	restored, err := r.dec.OnFetch(pc, w)
+	if err != nil && r.err == nil {
+		r.err = err
+	}
+	if restored != r.orig[idx] && r.err == nil {
+		r.err = fmt.Errorf("decoder restored %#08x at pc %#x, want %#08x", restored, pc, r.orig[idx])
+	}
+}
+
+// runRun replays one delta run: count fetches each stepping delta.
+func (r *replayer) runRun(delta int32, count int64) {
+	if r.err != nil {
+		return
+	}
+	if delta != 1 || !r.started {
+		for ; count > 0 && r.err == nil; count-- {
+			r.step(r.lastIdx + delta)
+		}
+		return
+	}
+	for count > 0 && r.err == nil {
+		idx := r.lastIdx + 1
+		if int(idx) >= len(r.encW) {
+			r.step(idx) // sets the out-of-image error
+			return
+		}
+		if r.dec.Active() || r.kind[idx] != 0 {
+			r.step(idx)
+			count--
+			continue
+		}
+		span := int64(r.nextCov[idx]) - int64(idx)
+		if span > count {
+			span = count
+		}
+		b := idx + int32(span) - 1
+		r.total += r.prefix[b] - r.prefix[r.lastIdx]
+		la, lb := &r.linePrefix[r.lastIdx], &r.linePrefix[b]
+		for l := 0; l < 32; l++ {
+			r.perLine[l] += lb[l] - la[l]
+		}
+		r.lastIdx = b
+		count -= span
+	}
+}
+
+func (r *replayer) runOps(ops []Op) {
+	for i := range ops {
+		if r.err != nil {
+			return
+		}
+		op := &ops[i]
+		if op.Repeat > 0 {
+			r.runRepeat(op)
+		} else {
+			r.runRun(op.Delta, op.Count)
+		}
+	}
+}
+
+// streamState is everything the next fetch's outcome can depend on.
+type streamState struct {
+	lastIdx int32
+	dec     hw.StreamState
+}
+
+func (r *replayer) state() streamState {
+	return streamState{lastIdx: r.lastIdx, dec: r.dec.StreamState()}
+}
+
+// runRepeat replays a repeat group. After two full body replays, if the
+// stream state has returned to its value one period earlier, every further
+// period contributes exactly the same transition deltas — so the remaining
+// repeats are added arithmetically. Loops whose state is not periodic
+// (for example a body whose net index displacement is nonzero) replay
+// iteratively and stay exact.
+func (r *replayer) runRepeat(op *Op) {
+	done := int64(0)
+	if op.Repeat >= 3 {
+		r.runOps(op.Body)
+		done++
+		if r.err != nil {
+			return
+		}
+		s1 := r.state()
+		t1, p1 := r.total, r.perLine
+		r.runOps(op.Body)
+		done++
+		if r.err != nil {
+			return
+		}
+		if s1 == r.state() {
+			k := uint64(op.Repeat - done)
+			r.total += k * (r.total - t1)
+			for l := 0; l < 32; l++ {
+				r.perLine[l] += k * (r.perLine[l] - p1[l])
+			}
+			return
+		}
+	}
+	for ; done < op.Repeat && r.err == nil; done++ {
+		r.runOps(op.Body)
+	}
+}

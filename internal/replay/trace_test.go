@@ -1,0 +1,205 @@
+package replay
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// expand rebuilds the full index stream from a trace.
+func expand(t *Trace) []int {
+	var out []int
+	t.Indices(func(idx int32) { out = append(out, int(idx)) })
+	return out
+}
+
+func roundTrip(t *testing.T, stream []int) *Trace {
+	t.Helper()
+	b := NewBuilder()
+	for _, idx := range stream {
+		b.Add(idx)
+	}
+	tr := b.Trace()
+	if tr.N != uint64(len(stream)) {
+		t.Fatalf("N = %d, want %d", tr.N, len(stream))
+	}
+	got := expand(tr)
+	if len(got) != len(stream) {
+		t.Fatalf("expanded %d indices, want %d", len(got), len(stream))
+	}
+	for i := range got {
+		if got[i] != stream[i] {
+			t.Fatalf("index %d: got %d, want %d", i, got[i], stream[i])
+		}
+	}
+	return tr
+}
+
+func TestBuilderRoundTripStraightLine(t *testing.T) {
+	var stream []int
+	for i := 0; i < 1000; i++ {
+		stream = append(stream, i)
+	}
+	tr := roundTrip(t, stream)
+	if n := tr.NumOps(); n != 1 {
+		t.Errorf("straight-line stream compressed to %d ops, want 1", n)
+	}
+}
+
+func TestBuilderRoundTripLoop(t *testing.T) {
+	// A 6-instruction loop body at indices 10..15 iterated many times: the
+	// trace must collapse to a handful of ops regardless of trip count.
+	var stream []int
+	stream = append(stream, 0, 1, 2)
+	for it := 0; it < 100000; it++ {
+		for i := 10; i <= 15; i++ {
+			stream = append(stream, i)
+		}
+	}
+	stream = append(stream, 30, 31)
+	tr := roundTrip(t, stream)
+	if n := tr.NumOps(); n > 16 {
+		t.Errorf("loop stream compressed to %d ops, want <= 16", n)
+	}
+}
+
+func TestBuilderRoundTripNestedLoops(t *testing.T) {
+	// Inner loop 20..23 x 50 inside outer loop prologue 5..7, x 200.
+	var stream []int
+	for o := 0; o < 200; o++ {
+		for i := 5; i <= 7; i++ {
+			stream = append(stream, i)
+		}
+		for it := 0; it < 50; it++ {
+			for i := 20; i <= 23; i++ {
+				stream = append(stream, i)
+			}
+		}
+	}
+	tr := roundTrip(t, stream)
+	if n := tr.NumOps(); n > 32 {
+		t.Errorf("nested-loop stream compressed to %d ops, want <= 32", n)
+	}
+}
+
+func TestBuilderRoundTripIrregular(t *testing.T) {
+	// A deterministic pseudo-random walk: no structure to collapse, but the
+	// round trip must still be exact.
+	var stream []int
+	x := uint32(12345)
+	for i := 0; i < 5000; i++ {
+		x = x*1664525 + 1013904223
+		stream = append(stream, int(x%997))
+	}
+	roundTrip(t, stream)
+}
+
+func TestBuilderVaryingTripCounts(t *testing.T) {
+	// Trip counts that differ per outer iteration: tandem folding must not
+	// merge unequal bodies.
+	var stream []int
+	for o := 0; o < 30; o++ {
+		for it := 0; it < 3+o%4; it++ {
+			for i := 8; i <= 11; i++ {
+				stream = append(stream, i)
+			}
+		}
+		stream = append(stream, 40+o)
+	}
+	roundTrip(t, stream)
+}
+
+func TestRunsTotalCount(t *testing.T) {
+	var stream []int
+	for it := 0; it < 1000; it++ {
+		for i := 0; i < 7; i++ {
+			stream = append(stream, i)
+		}
+	}
+	tr := roundTrip(t, stream)
+	var total int64
+	tr.Runs(func(delta int32, count int64) bool {
+		total += count
+		return true
+	})
+	if total != int64(len(stream)-1) {
+		t.Errorf("runs cover %d steps, want %d", total, len(stream)-1)
+	}
+}
+
+func TestProgramKeyDistinguishes(t *testing.T) {
+	text := []uint32{1, 2, 3}
+	base := ProgramKey(0x1000, text, 0x8000, []byte{9}, "a")
+	for name, k := range map[string]Key{
+		"text base": ProgramKey(0x2000, text, 0x8000, []byte{9}, "a"),
+		"text":      ProgramKey(0x1000, []uint32{1, 2, 4}, 0x8000, []byte{9}, "a"),
+		"data base": ProgramKey(0x1000, text, 0x9000, []byte{9}, "a"),
+		"data":      ProgramKey(0x1000, text, 0x8000, []byte{8}, "a"),
+		"salt":      ProgramKey(0x1000, text, 0x8000, []byte{9}, "b"),
+	} {
+		if k == base {
+			t.Errorf("%s change did not change the key", name)
+		}
+	}
+	if ProgramKey(0x1000, text, 0x8000, []byte{9}, "a") != base {
+		t.Error("identical inputs produced different keys")
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := NewCache()
+	key := ProgramKey(0, []uint32{1}, 0, nil, "")
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cap, err := c.GetOrCapture(key, func() (*Capture, error) {
+				calls.Add(1)
+				return &Capture{Key: key, Instructions: 42}, nil
+			})
+			if err != nil || cap.Instructions != 42 {
+				t.Errorf("GetOrCapture = %v, %v", cap, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Errorf("capture ran %d times, want 1", n)
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != 15 {
+		t.Errorf("stats = %d hits, %d misses; want 15, 1", hits, misses)
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	c := NewCache()
+	key := ProgramKey(0, []uint32{2}, 0, nil, "")
+	sentinel := errors.New("boom")
+	calls := 0
+	for i := 0; i < 3; i++ {
+		_, err := c.GetOrCapture(key, func() (*Capture, error) {
+			calls++
+			return nil, sentinel
+		})
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("err = %v, want sentinel", err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("failed capture retried %d times, want 1", calls)
+	}
+	c.Clear()
+	if _, err := c.GetOrCapture(key, func() (*Capture, error) {
+		calls++
+		return &Capture{}, nil
+	}); err != nil {
+		t.Fatalf("after Clear: %v", err)
+	}
+	if calls != 2 {
+		t.Errorf("Clear did not drop the cached failure")
+	}
+}

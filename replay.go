@@ -1,0 +1,265 @@
+package imtrans
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"imtrans/internal/baseline"
+	"imtrans/internal/cfg"
+	"imtrans/internal/core"
+	"imtrans/internal/hw"
+	"imtrans/internal/power"
+	"imtrans/internal/replay"
+	"imtrans/internal/trace"
+)
+
+// ReplayMeasure produces the same measurements as MeasureProgram — bit for
+// bit — from a single profiling run per program. The run's fetch stream is
+// captured as a compressed text-index trace (cached in-process by program
+// content hash), and each configuration is evaluated by replaying the
+// trace against its encoded image: the decoder model is driven through
+// every covered-block fetch with full restoration checks, while uncovered
+// sequential stretches and periodic loop bodies are totalled analytically
+// from the static image. Configurations are evaluated concurrently (see
+// core.SetParallelism) with deterministic output ordering.
+//
+// The setup callback must be a deterministic function of the program, the
+// same contract MeasureProgram imposes; callers whose setup varies
+// independently of the program image must route the variation through the
+// program (or use MeasureProgram, which never caches).
+func ReplayMeasure(p *Program, setup func(Memory) error, cfgs ...Config) ([]Measurement, error) {
+	return replayMeasure(p, setup, "", cfgs...)
+}
+
+// SetParallelism bounds the worker pools of the measurement pipeline: the
+// encoder's per-bit-line fan-out and ReplayMeasure's per-configuration
+// fan-out. n < 1 means 1 (fully serial). The default is GOMAXPROCS.
+// Results never depend on the setting — only wall-clock time does.
+func SetParallelism(n int) { core.SetParallelism(n) }
+
+// Parallelism reports the current measurement-pipeline worker bound.
+func Parallelism() int { return core.Parallelism() }
+
+// CaptureCacheStats reports hits and misses of the process-wide fetch-trace
+// capture cache (misses equal full profiling simulations performed).
+func CaptureCacheStats() (hits, misses uint64) { return replay.Shared.Stats() }
+
+// ClearCaptureCache drops every cached fetch-trace capture.
+func ClearCaptureCache() { replay.Shared.Clear() }
+
+func replayMeasure(p *Program, setup func(Memory) error, salt string, cfgs ...Config) ([]Measurement, error) {
+	if len(cfgs) == 0 {
+		cfgs = []Config{{}}
+	}
+	cap, err := captureProgram(p, setup, salt)
+	if err != nil {
+		return nil, err
+	}
+	g, err := cfg.Build(p.TextBase, p.Text)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Measurement, len(cfgs))
+	errs := make([]error, len(cfgs))
+	runPool(core.Parallelism(), len(cfgs), func(i int) {
+		out[i], errs[i] = replayOne(cap, g, cfgs[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SweepMeasure evaluates every (benchmark, configuration) pair of a grid,
+// sharing one capture per benchmark and fanning the encode+replay work
+// over a bounded worker pool. parallelism <= 0 means GOMAXPROCS. The
+// result is indexed [benchmark][config]; ordering, values, and the error
+// returned are independent of parallelism.
+func SweepMeasure(benchmarks []Benchmark, cfgs []Config, parallelism int) ([][]Measurement, error) {
+	if len(cfgs) == 0 {
+		cfgs = []Config{{}}
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	type benchState struct {
+		cap *replay.Capture
+		g   *cfg.Graph
+		err error
+	}
+	states := make([]benchState, len(benchmarks))
+	runPool(parallelism, len(benchmarks), func(bi int) {
+		b := benchmarks[bi]
+		p, err := b.Program()
+		if err != nil {
+			states[bi].err = err
+			return
+		}
+		cap, err := captureProgram(p, b.setup, b.captureSalt())
+		if err != nil {
+			states[bi].err = fmt.Errorf("imtrans: %s: %w", b.Name, err)
+			return
+		}
+		g, err := cfg.Build(p.TextBase, p.Text)
+		if err != nil {
+			states[bi].err = fmt.Errorf("imtrans: %s: %w", b.Name, err)
+			return
+		}
+		states[bi] = benchState{cap: cap, g: g}
+	})
+	for _, s := range states {
+		if s.err != nil {
+			return nil, s.err
+		}
+	}
+	out := make([][]Measurement, len(benchmarks))
+	for bi := range out {
+		out[bi] = make([]Measurement, len(cfgs))
+	}
+	errs := make([]error, len(benchmarks)*len(cfgs))
+	runPool(parallelism, len(errs), func(t int) {
+		bi, ci := t/len(cfgs), t%len(cfgs)
+		m, err := replayOne(states[bi].cap, states[bi].g, cfgs[ci])
+		if err != nil {
+			errs[t] = fmt.Errorf("imtrans: %s: %w", benchmarks[bi].Name, err)
+			return
+		}
+		out[bi][ci] = m
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runPool runs f(0..n-1) over at most `workers` goroutines with strided
+// assignment. Each index is processed exactly once; callers that need
+// determinism write into index-addressed slots and resolve errors in
+// index order afterwards.
+func runPool(workers, n int, f func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(first int) {
+			defer wg.Done()
+			for i := first; i < n; i += workers {
+				f(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// captureProgram returns the (possibly cached) capture for a program,
+// profiling it at most once per content hash across the process.
+func captureProgram(p *Program, setup func(Memory) error, salt string) (*replay.Capture, error) {
+	key := replay.ProgramKey(p.TextBase, p.Text, p.DataBase, p.Data, salt)
+	return replay.Shared.GetOrCapture(key, func() (*replay.Capture, error) {
+		c, err := captureRun(p, setup)
+		if err != nil {
+			return nil, err
+		}
+		c.Key = key
+		return c, nil
+	})
+}
+
+// captureRun performs the single profiling simulation behind a capture:
+// one full run drives the baseline bus, the bus-invert comparator, and the
+// trace builder; the dictionary comparator needs the profile the run
+// produces, so it is driven afterwards by re-expanding the trace over the
+// original words — the same stream, hence the same counts, as
+// MeasureProgram's in-loop drive.
+func captureRun(p *Program, setup func(Memory) error) (*replay.Capture, error) {
+	m1, err := newMachine(p, setup)
+	if err != nil {
+		return nil, err
+	}
+	baseBus := trace.NewBus(32)
+	busInv := baseline.NewBusInvert(32)
+	builder := replay.NewBuilder()
+	base := p.TextBase
+	m1.OnFetch = func(pc, word uint32) {
+		baseBus.Transfer(word)
+		busInv.Transfer(word)
+		builder.Add(int(pc-base) / 4)
+	}
+	if err := m1.Run(); err != nil {
+		return nil, fmt.Errorf("imtrans: profiling run: %w", err)
+	}
+	profile := append([]uint64(nil), m1.Profile()...)
+	words := append([]uint32(nil), p.Text...)
+	tr := builder.Trace()
+	dict := baseline.BuildDictionary(words, profile, 256)
+	tr.Indices(func(idx int32) { dict.Transfer(words[idx]) })
+	return &replay.Capture{
+		Base:            base,
+		Words:           words,
+		Trace:           tr,
+		Profile:         profile,
+		Instructions:    m1.InstCount,
+		BaselineTotal:   baseBus.Total(),
+		BaselinePerLine: baseBus.PerLine(),
+		BusInvertTotal:  busInv.Total(),
+		DictionaryTotal: dict.Transitions(),
+		DictionaryBits:  dict.TableBits(),
+	}, nil
+}
+
+// replayOne evaluates one configuration against a capture: plan the
+// encoding from the cached profile, statically verify it, then replay the
+// trace through a fresh strict decoder.
+func replayOne(cap *replay.Capture, g *cfg.Graph, c Config) (Measurement, error) {
+	enc, err := core.Encode(g, cap.Profile, c.coreConfig())
+	if err != nil {
+		return Measurement{}, fmt.Errorf("imtrans: %v: %w", c, err)
+	}
+	if err := enc.Verify(); err != nil {
+		return Measurement{}, fmt.Errorf("imtrans: %v: %w", c, err)
+	}
+	dec, err := hw.NewDecoder(enc)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("imtrans: %v: %w", c, err)
+	}
+	dec.Strict = true
+	res, err := replay.Measure(cap, enc, dec)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("imtrans: %v: %w", c, err)
+	}
+	m := Measurement{
+		Config:          c,
+		Instructions:    cap.Instructions,
+		Baseline:        cap.BaselineTotal,
+		Encoded:         res.Encoded,
+		BusInvert:       cap.BusInvertTotal,
+		Dictionary:      cap.DictionaryTotal,
+		DictionaryBits:  cap.DictionaryBits,
+		CoveragePercent: enc.Coverage(),
+		CoveredBlocks:   len(enc.Plans),
+		TTEntriesUsed:   enc.TTUsed,
+		StaticPercent:   enc.StaticReduction(),
+		OverheadBits:    dec.Overhead().TotalBits,
+		PerLineBaseline: append([]uint64(nil), cap.BaselinePerLine...),
+		PerLineEncoded:  res.PerLineEncoded,
+	}
+	m.Percent = power.Reduction(m.Baseline, m.Encoded)
+	m.BusInvertPercent = power.Reduction(m.Baseline, m.BusInvert)
+	m.DictionaryPercent = power.Reduction(m.Baseline, m.Dictionary)
+	m.EnergySavedOnChipJ, _ = power.OnChip.Saved(m.Baseline, m.Encoded)
+	m.EnergySavedOffChipJ, _ = power.OffChip.Saved(m.Baseline, m.Encoded)
+	return m, nil
+}

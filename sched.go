@@ -76,8 +76,10 @@ func (b Benchmark) RunProgram(p *Program) (*RunResult, error) {
 
 // MeasureModified runs the measurement pipeline on a caller-supplied
 // variant of the benchmark's program, using the benchmark's memory setup.
+// Like Measure, it goes through the capture/replay engine; the variant's
+// content hash keys its own cached capture.
 func (b Benchmark) MeasureModified(p *Program, cfgs ...Config) ([]Measurement, error) {
-	ms, err := MeasureProgram(p, b.setup, cfgs...)
+	ms, err := replayMeasure(p, b.setup, b.captureSalt(), cfgs...)
 	if err != nil {
 		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
 	}
