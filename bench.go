@@ -1,6 +1,7 @@
 package imtrans
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -181,11 +182,19 @@ func (b Benchmark) MeasureWithCache(cache CacheConfig, enc Config) (*CacheMeasur
 // MeasureProgram (see ReplayMeasure). Use SimulateMeasure to force the
 // two-run reference pipeline.
 func (b Benchmark) Measure(cfgs ...Config) ([]Measurement, error) {
+	return b.MeasureCtx(context.Background(), cfgs...)
+}
+
+// MeasureCtx is Measure with cooperative cancellation: the context is
+// polled inside the encoder's bit-line pool and the replay fetch loop,
+// so a cancelled measurement stops within one task granule. A cancelled
+// run returns an error wrapping ctx.Err() and no measurements.
+func (b Benchmark) MeasureCtx(ctx context.Context, cfgs ...Config) ([]Measurement, error) {
 	p, err := b.Program()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
 	}
-	ms, err := replayMeasure(p, b.setup, b.captureSalt(), cfgs...)
+	ms, err := replayMeasureCtx(ctx, p, b.setup, b.captureSalt(), cfgs...)
 	if err != nil {
 		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
 	}

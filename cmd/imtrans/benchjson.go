@@ -1,13 +1,17 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
 	"imtrans"
+	"imtrans/internal/stats"
 )
 
 // sweepReport is the machine-readable record of one sweep benchmark: the
@@ -23,14 +27,20 @@ type sweepReport struct {
 	Configs    []string     `json:"configs"`
 	Benchmarks []sweepBench `json:"benchmarks"`
 
-	Measurements        int     `json:"measurements"`
-	SerialSimulateNs    int64   `json:"serial_simulate_ns"`
-	SerialNsPerMeasure  int64   `json:"serial_ns_per_measurement"`
-	SweepReplayNs       int64   `json:"sweep_replay_ns"`
-	SweepNsPerMeasure   int64   `json:"sweep_ns_per_measurement"`
-	Speedup             float64 `json:"speedup"`
-	CaptureCacheHits    uint64  `json:"capture_cache_hits"`
-	CaptureCacheMisses  uint64  `json:"capture_cache_misses"`
+	Measurements       int     `json:"measurements"`
+	SerialSimulateNs   int64   `json:"serial_simulate_ns"`
+	SerialNsPerMeasure int64   `json:"serial_ns_per_measurement"`
+	SweepReplayNs      int64   `json:"sweep_replay_ns"`
+	SweepNsPerMeasure  int64   `json:"sweep_ns_per_measurement"`
+	Speedup            float64 `json:"speedup"`
+	CaptureCacheHits   uint64  `json:"capture_cache_hits"`
+	CaptureCacheMisses uint64  `json:"capture_cache_misses"`
+
+	// Supervision telemetry from the resilient sweep: retry, panic,
+	// cancellation and checkpoint counters, plus every isolated failure.
+	Restored      int             `json:"checkpoint_restored,omitempty"`
+	SweepErrors   []string        `json:"sweep_errors,omitempty"`
+	SweepCounters *stats.Counters `json:"sweep_counters"`
 
 	Grid []sweepCell `json:"grid"`
 }
@@ -73,22 +83,67 @@ func sweepScale(b imtrans.Benchmark) imtrans.Benchmark {
 	return b
 }
 
+// benchSweepOpts carries the bench -json flags: the report path, the
+// worker-pool bound, the suite narrowing, and the resilience knobs
+// (checkpoint journal, wall-clock deadline, per-cell retry budget, fault
+// campaign).
+type benchSweepOpts struct {
+	path        string
+	parallelism int
+	names       []string
+	n, iters    int
+	checkpoint  string
+	timeout     time.Duration
+	retries     int
+	inject      string
+}
+
 // benchSweepJSON times the multi-config sweep both ways and writes the
-// report to path. names narrows the suite (empty = all six paper
-// kernels); n/iters override every benchmark's scale when nonzero.
-func benchSweepJSON(path string, parallelism int, names []string, n, iters int) error {
+// report to o.path. o.names narrows the suite (empty = all six paper
+// kernels); o.n/o.iters override every benchmark's scale when nonzero.
+// The sweep phase runs supervised: SIGINT/SIGTERM or -timeout cancel it
+// cooperatively (journalling survives with -checkpoint), injected faults
+// are isolated into the report's sweep_errors, and the supervision
+// counters land in sweep_counters.
+func benchSweepJSON(o benchSweepOpts) error {
+	parallelism := o.parallelism
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	imtrans.SetParallelism(parallelism)
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if o.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.timeout)
+		defer cancel()
+	}
+
+	sweepOpts := imtrans.SweepOptions{
+		Parallelism: parallelism,
+		Checkpoint:  o.checkpoint,
+		Retry: imtrans.RetryPolicy{
+			MaxAttempts: o.retries,
+			BaseDelay:   50 * time.Millisecond,
+			Jitter:      0.5,
+		},
+	}
+	if o.inject != "" {
+		plan, err := imtrans.ParseSweepFaultPlan(o.inject)
+		if err != nil {
+			return err
+		}
+		sweepOpts.FaultInject = plan.Injector()
+	}
+
 	var benches []imtrans.Benchmark
-	if len(names) == 0 {
+	if len(o.names) == 0 {
 		for _, b := range imtrans.Benchmarks() {
 			benches = append(benches, sweepScale(b))
 		}
 	} else {
-		for _, nm := range names {
+		for _, nm := range o.names {
 			b, err := imtrans.BenchmarkByName(nm)
 			if err != nil {
 				return err
@@ -96,9 +151,9 @@ func benchSweepJSON(path string, parallelism int, names []string, n, iters int) 
 			benches = append(benches, sweepScale(b))
 		}
 	}
-	if n != 0 || iters != 0 {
+	if o.n != 0 || o.iters != 0 {
 		for i := range benches {
-			benches[i] = benches[i].WithScale(n, iters)
+			benches[i] = benches[i].WithScale(o.n, o.iters)
 		}
 	}
 	cfgs := []imtrans.Config{
@@ -115,6 +170,9 @@ func benchSweepJSON(path string, parallelism int, names []string, n, iters int) 
 	for bi, b := range benches {
 		serial[bi] = make([]imtrans.Measurement, len(cfgs))
 		for ci, c := range cfgs {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("cancelled during the serial baseline: %w", err)
+			}
 			t0 := time.Now()
 			ms, err := b.SimulateMeasure(c)
 			if err != nil {
@@ -142,17 +200,30 @@ func benchSweepJSON(path string, parallelism int, names []string, n, iters int) 
 	// paid inside the measured interval.
 	imtrans.ClearCaptureCache()
 	sweepStart := time.Now()
-	grid, err := imtrans.SweepMeasure(benches, cfgs, parallelism)
+	res, err := imtrans.SweepMeasureCtx(ctx, benches, cfgs, sweepOpts)
 	if err != nil {
+		if res != nil && o.checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "interrupted: %d cells journalled in %s; rerun to resume\n",
+				res.Restored+res.Completed, o.checkpoint)
+		}
 		return err
 	}
 	sweepNs := time.Since(sweepStart).Nanoseconds()
 	hits, misses := imtrans.CaptureCacheStats()
+	if res.Restored > 0 {
+		fmt.Fprintf(os.Stderr, "resumed %d cells from %s, measured %d\n",
+			res.Restored, o.checkpoint, res.Completed)
+	}
 
+	// Verify every completed cell against the serial baseline; failed
+	// cells stay out of the grid and are reported as isolated errors.
 	var cells []sweepCell
 	for bi, b := range benches {
 		for ci, c := range cfgs {
-			got, want := grid[bi][ci], serial[bi][ci]
+			if !res.Done[bi][ci] {
+				continue
+			}
+			got, want := res.Measurements[bi][ci], serial[bi][ci]
 			if got.Baseline != want.Baseline || got.Encoded != want.Encoded {
 				return fmt.Errorf("sweep/simulate mismatch for %s %v: replay %d/%d, simulate %d/%d",
 					b.Name, c, got.Baseline, got.Encoded, want.Baseline, want.Encoded)
@@ -180,7 +251,12 @@ func benchSweepJSON(path string, parallelism int, names []string, n, iters int) 
 		Speedup:            float64(serialNs) / float64(sweepNs),
 		CaptureCacheHits:   hits,
 		CaptureCacheMisses: misses,
+		Restored:           res.Restored,
+		SweepCounters:      &res.Counters,
 		Grid:               cells,
+	}
+	for _, se := range res.Errors {
+		rep.SweepErrors = append(rep.SweepErrors, se.Error())
 	}
 	for _, c := range cfgs {
 		rep.Configs = append(rep.Configs, c.String())
@@ -191,7 +267,7 @@ func benchSweepJSON(path string, parallelism int, names []string, n, iters int) 
 		return err
 	}
 	out = append(out, '\n')
-	if err := os.WriteFile(path, out, 0o644); err != nil {
+	if err := os.WriteFile(o.path, out, 0o644); err != nil {
 		return err
 	}
 	fmt.Printf("%d measurements (%d kernels x %d configs), -j %d\n",
@@ -200,7 +276,14 @@ func benchSweepJSON(path string, parallelism int, names []string, n, iters int) 
 		float64(serialNs)/1e6, float64(rep.SerialNsPerMeasure)/1e6)
 	fmt.Printf("capture/replay sweep:     %8.1f ms (%6.2f ms/measurement)\n",
 		float64(sweepNs)/1e6, float64(rep.SweepNsPerMeasure)/1e6)
-	fmt.Printf("speedup: %.1fx (results verified identical); report written to %s\n",
-		rep.Speedup, path)
+	fmt.Printf("speedup: %.1fx (%d cells verified identical); report written to %s\n",
+		rep.Speedup, len(cells), o.path)
+	if len(res.Errors) > 0 {
+		for _, se := range res.Errors {
+			fmt.Fprintln(os.Stderr, "sweep error:", se.Error())
+		}
+		return fmt.Errorf("%d isolated sweep failure(s); the other %d cells completed (report written to %s)",
+			len(res.Errors), len(cells), o.path)
+	}
 	return nil
 }

@@ -77,7 +77,13 @@ commands:
                       (mmul, sor, ej, fft, tri, lu)
   bench -json [name...]  time the serial simulate-per-call baseline against
                       the capture/replay parallel sweep on a config grid
-                      and write BENCH_sweep.json (-o path, -j parallelism)
+                      and write BENCH_sweep.json (-o path, -j parallelism).
+                      The sweep runs supervised: -checkpoint journals each
+                      completed cell so an interrupted run resumes where it
+                      stopped, -timeout bounds the wall clock, -retries
+                      retries faulty cells with backoff, and -inject
+                      "panic@B,C;error@B,C;attempts=N" runs a fault
+                      campaign proving failures stay isolated
   encode <file.s>     profile, encode and write a deployment artifact
                       (-o out.imtd: encoded image + TT/BBIT contents)
   verify <file.s> <out.imtd>
@@ -86,7 +92,8 @@ commands:
   rtl <file.s>        emit synthesizable Verilog for the decoder
                       (-o decoder.v -tb decoder_tb.v -vectors N)
   trace <file.s>      print an annotated fetch-stream trace with the
-                      decoder in the loop (-n fetches)
+                      decoder in the loop (-n fetches); -compressed prints
+                      the whole trace in the validated one-line text form
   inject <file.s>     fault-injection campaign over the deployment: flips
                       bits in the image, TT/BBIT, history and artifact,
                       classifying each outcome (-bench <name> instead of a
@@ -262,11 +269,25 @@ func cmdBench(args []string) error {
 	jsonFlag := fs.Bool("json", false, "benchmark the sweep pipeline and write a JSON report instead")
 	out := fs.String("o", "BENCH_sweep.json", "report path for -json")
 	jobs := fs.Int("j", 0, "sweep parallelism for -json (0 = GOMAXPROCS)")
+	checkpoint := fs.String("checkpoint", "", "journal the -json sweep grid here; an interrupted run resumes from it")
+	timeout := fs.Duration("timeout", 0, "cancel the -json sweep after this long (0 = no deadline)")
+	retries := fs.Int("retries", 1, "supervised attempts per -json sweep cell")
+	inject := fs.String("inject", "", `fault campaign against -json sweep workers: "panic@B,C;error@B,C;attempts=N"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *jsonFlag {
-		return benchSweepJSON(*out, *jobs, fs.Args(), *n, *iters)
+		return benchSweepJSON(benchSweepOpts{
+			path:        *out,
+			parallelism: *jobs,
+			names:       fs.Args(),
+			n:           *n,
+			iters:       *iters,
+			checkpoint:  *checkpoint,
+			timeout:     *timeout,
+			retries:     *retries,
+			inject:      *inject,
+		})
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("bench wants one benchmark name")
@@ -417,6 +438,7 @@ func cmdTrace(args []string) error {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	cfg := configFlags(fs)
 	n := fs.Int("n", 40, "fetches to show")
+	compressed := fs.Bool("compressed", false, "print the full fetch trace in the canonical compressed text form instead")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -426,6 +448,14 @@ func cmdTrace(args []string) error {
 	p, err := loadProgram(fs.Arg(0))
 	if err != nil {
 		return err
+	}
+	if *compressed {
+		text, err := imtrans.TraceText(p, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s\n", text)
+		return nil
 	}
 	entries, err := imtrans.TraceProgram(p, nil, *cfg, *n)
 	if err != nil {

@@ -12,14 +12,25 @@
 //	reproduce -scale small     # reduced problem sizes (seconds instead of minutes)
 //	reproduce -small           # shorthand for -scale small
 //	reproduce -j 4             # bound the measurement worker pools
+//	reproduce -checkpoint f6.ckpt -what fig6   # journal the Figure 6 sweep; rerun to resume
+//	reproduce -timeout 30s     # bound the whole run; interrupted sweeps keep their journal
+//
+// Ctrl-C (SIGINT) or SIGTERM cancels the run cooperatively: in-flight
+// sweep cells stop within one task granule, and with -checkpoint set the
+// completed cells are already journalled, so rerunning the same command
+// resumes where the interrupted run stopped.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
+	"time"
 
 	"imtrans"
 	"imtrans/internal/stats"
@@ -28,17 +39,37 @@ import (
 // jobs is the sweep/encode parallelism bound, from -j (0 = GOMAXPROCS).
 var jobs int
 
+// rootCtx is cancelled by SIGINT/SIGTERM (and -timeout); the sweep-based
+// artifacts poll it cooperatively.
+var rootCtx = context.Background()
+
+// checkpointPath journals the Figure 6 sweep grid when non-empty.
+var checkpointPath string
+
 func main() {
 	what := flag.String("what", "all", "artifact to regenerate: fig2|fig3|fig4|fig6|fig7|claims|ablations|history|cache|addrbus|extras|phased|sched|lines|all")
 	scale := flag.String("scale", "paper", "problem sizes: paper|small")
 	smallFlag := flag.Bool("small", false, "shorthand for -scale small")
 	flag.IntVar(&jobs, "j", 0, "measurement parallelism (0 = GOMAXPROCS)")
+	flag.StringVar(&checkpointPath, "checkpoint", "", "journal the Figure 6 sweep here; an interrupted run resumes from it")
+	timeout := flag.Duration("timeout", 0, "cancel the whole run after this long (0 = no deadline)")
+	retries := flag.Int("retries", 1, "supervised attempts per sweep cell")
 	flag.Parse()
 
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	imtrans.SetParallelism(jobs)
+	sweepRetries = *retries
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	rootCtx = ctx
 
 	small := *scale == "small" || *smallFlag
 	var err error
@@ -171,10 +202,14 @@ var figure6Memo = map[bool]struct {
 	results map[string][]imtrans.Measurement
 }{}
 
+// sweepRetries is the supervised attempt budget per sweep cell (-retries).
+var sweepRetries = 1
+
 // figure6Data measures all benchmarks at block sizes 4..7 with a 16-entry
 // TT, the paper's Figure 6 experiment. The whole grid goes through one
-// SweepMeasure call: each kernel is simulated once for its cached fetch
-// trace and the 24 encode+replay evaluations run -j wide.
+// supervised SweepMeasureCtx call: each kernel is simulated once for its
+// cached fetch trace and the 24 encode+replay evaluations run -j wide,
+// journalled to -checkpoint and cancellable by SIGINT/-timeout.
 func figure6Data(small bool) ([]string, map[string][]imtrans.Measurement, error) {
 	if memo, ok := figure6Memo[small]; ok {
 		return memo.names, memo.results, nil
@@ -192,10 +227,26 @@ func figure6Data(small bool) ([]string, map[string][]imtrans.Measurement, error)
 	}
 	fmt.Fprintf(os.Stderr, "  measuring %s (%d configs, -j %d)...\n",
 		strings.Join(names, " "), len(cfgs), jobs)
-	grid, err := imtrans.SweepMeasure(benches, cfgs, jobs)
+	res, err := imtrans.SweepMeasureCtx(rootCtx, benches, cfgs, imtrans.SweepOptions{
+		Parallelism: jobs,
+		Checkpoint:  checkpointPath,
+		Retry:       imtrans.RetryPolicy{MaxAttempts: sweepRetries, BaseDelay: 50 * time.Millisecond, Jitter: 0.5},
+	})
 	if err != nil {
+		if res != nil && checkpointPath != "" {
+			fmt.Fprintf(os.Stderr, "  interrupted: %d cells journalled in %s; rerun to resume\n",
+				res.Restored+res.Completed, checkpointPath)
+		}
 		return nil, nil, err
 	}
+	if res.Restored > 0 {
+		fmt.Fprintf(os.Stderr, "  resumed %d cells from %s, measured %d\n",
+			res.Restored, checkpointPath, res.Completed)
+	}
+	if err := res.Err(); err != nil {
+		return nil, nil, err
+	}
+	grid := res.Measurements
 	results := make(map[string][]imtrans.Measurement)
 	for i, n := range names {
 		results[n] = grid[i]

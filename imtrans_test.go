@@ -4,6 +4,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"imtrans/internal/replay"
 )
 
 const testLoop = `
@@ -475,6 +477,31 @@ func TestTraceProgram(t *testing.T) {
 	}
 	if len(entries) != 100 {
 		t.Errorf("default cap gave %d entries", len(entries))
+	}
+}
+
+func TestTraceText(t *testing.T) {
+	p, err := Assemble(testLoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := TraceText(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(text), "imtrans-trace 1 ") {
+		t.Fatalf("missing canonical envelope: %q", text)
+	}
+	tr, err := replay.ParseTrace(text)
+	if err != nil {
+		t.Fatalf("canonical form failed to re-parse: %v", err)
+	}
+	res, err := MeasureProgram(p, nil, Config{BlockSize: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N != res[0].Instructions {
+		t.Errorf("trace describes %d fetches, run executed %d", tr.N, res[0].Instructions)
 	}
 }
 

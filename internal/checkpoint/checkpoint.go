@@ -1,0 +1,291 @@
+// Package checkpoint journals the completed cells of a long measurement
+// sweep so an interrupted run can resume exactly where it stopped. The
+// journal is a versioned JSON artifact following internal/objfile's
+// validation discipline: a magic/version envelope, a grid-identity hash
+// binding the file to one (benchmark, configuration) grid, and a CRC-32
+// (IEEE) over a canonical serialisation of the payload, verified on load
+// before any recorded cell is trusted. Every update rewrites the whole
+// file through a temp-file + rename, so the journal on disk is always a
+// complete, self-consistent snapshot — a crash mid-write leaves the
+// previous snapshot intact, never a truncated one.
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Magic and Version identify the checkpoint artifact format.
+const (
+	Magic   = "imtrans-checkpoint"
+	Version = 1
+)
+
+// Cell is one completed grid cell: the benchmark/config indices into the
+// grid the journal was opened for, plus the measurement payload as the
+// caller serialised it (the journal does not interpret it).
+type Cell struct {
+	Bench   int             `json:"bench"`
+	Config  int             `json:"config"`
+	Payload json.RawMessage `json:"measurement"`
+}
+
+// File is the on-disk form of a sweep checkpoint.
+type File struct {
+	Magic      string   `json:"magic"`
+	Version    int      `json:"version"`
+	Grid       string   `json:"grid"` // caller-computed grid identity hash
+	Benchmarks []string `json:"benchmarks"`
+	Configs    []string `json:"configs"`
+	Cells      []Cell   `json:"cells"`
+	// Checksum is a CRC-32 (IEEE) over the canonical serialisation of the
+	// grid identity and every cell; see Checksum.
+	Checksum uint32 `json:"crc32"`
+}
+
+// Checksum computes the artifact's integrity checksum: CRC-32 (IEEE) over
+// a canonical little-endian serialisation of the grid identity, the grid
+// dimensions, and each cell's indices and payload bytes. Magic, Version
+// and the Checksum field itself are excluded, as in internal/objfile.
+func Checksum(f *File) uint32 {
+	h := crc32.NewIEEE()
+	var w [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(w[:], v)
+		h.Write(w[:])
+	}
+	putStr := func(s string) {
+		put(uint32(len(s)))
+		io.WriteString(h, s)
+	}
+	putStr(f.Grid)
+	put(uint32(len(f.Benchmarks)))
+	for _, b := range f.Benchmarks {
+		putStr(b)
+	}
+	put(uint32(len(f.Configs)))
+	for _, c := range f.Configs {
+		putStr(c)
+	}
+	put(uint32(len(f.Cells)))
+	for _, c := range f.Cells {
+		put(uint32(c.Bench))
+		put(uint32(c.Config))
+		put(uint32(len(c.Payload)))
+		h.Write(c.Payload)
+	}
+	return h.Sum32()
+}
+
+// Verify validates an in-memory checkpoint exactly as Read does: envelope,
+// grid shape, per-cell index ranges, duplicate cells, payload well-
+// formedness and the CRC. A checkpoint that verifies is safe to resume
+// from.
+func Verify(f *File) error {
+	if f.Magic != Magic {
+		return fmt.Errorf("checkpoint: not a checkpoint artifact (magic %q)", f.Magic)
+	}
+	if f.Version != Version {
+		return fmt.Errorf("checkpoint: unsupported version %d", f.Version)
+	}
+	if f.Grid == "" {
+		return fmt.Errorf("checkpoint: missing grid identity")
+	}
+	if len(f.Benchmarks) == 0 || len(f.Configs) == 0 {
+		return fmt.Errorf("checkpoint: empty grid (%d benchmarks, %d configs)", len(f.Benchmarks), len(f.Configs))
+	}
+	if got := Checksum(f); got != f.Checksum {
+		return fmt.Errorf("checkpoint: checksum mismatch (artifact %#08x, computed %#08x): corrupted journal", f.Checksum, got)
+	}
+	seen := make(map[[2]int]bool, len(f.Cells))
+	for i, c := range f.Cells {
+		if c.Bench < 0 || c.Bench >= len(f.Benchmarks) {
+			return fmt.Errorf("checkpoint: cell %d benchmark index %d outside grid (%d benchmarks)", i, c.Bench, len(f.Benchmarks))
+		}
+		if c.Config < 0 || c.Config >= len(f.Configs) {
+			return fmt.Errorf("checkpoint: cell %d config index %d outside grid (%d configs)", i, c.Config, len(f.Configs))
+		}
+		key := [2]int{c.Bench, c.Config}
+		if seen[key] {
+			return fmt.Errorf("checkpoint: duplicate cell (%s, %s)", f.Benchmarks[c.Bench], f.Configs[c.Config])
+		}
+		seen[key] = true
+		if len(c.Payload) == 0 || !json.Valid(c.Payload) {
+			return fmt.Errorf("checkpoint: cell %d has a malformed measurement payload", i)
+		}
+	}
+	return nil
+}
+
+// compactPayload canonicalises a cell payload to compact JSON: the
+// checksum is defined over this form, so it is stable no matter how the
+// envelope serialisation indents the nested raw bytes.
+func compactPayload(p json.RawMessage) (json.RawMessage, error) {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, p); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Read decodes and fully validates a checkpoint from r. Malformed or
+// corrupted input returns an error, never a panic and never a partially
+// trusted journal.
+func Read(r io.Reader) (*File, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	for i := range f.Cells {
+		if len(f.Cells[i].Payload) == 0 {
+			continue // Verify reports the empty payload
+		}
+		p, err := compactPayload(f.Cells[i].Payload)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: cell %d has a malformed measurement payload: %w", i, err)
+		}
+		f.Cells[i].Payload = p
+	}
+	if err := Verify(&f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// Load reads and validates the checkpoint at path.
+func Load(path string) (*File, error) {
+	fd, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer fd.Close()
+	return Read(fd)
+}
+
+// write atomically replaces path with the serialised, checksummed file:
+// the snapshot lands in a temp file in the same directory and is renamed
+// over the target, so a crash at any point leaves either the old or the
+// new complete journal.
+func (f *File) write(path string) error {
+	f.Magic, f.Version = Magic, Version
+	f.Checksum = Checksum(f)
+	data, err := json.MarshalIndent(f, "", " ")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Journal is a live checkpoint: Open it once per sweep, Record each
+// completed cell, and the on-disk snapshot tracks progress atomically.
+// Record is safe for concurrent use by sweep workers.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    File
+	have map[[2]int]bool
+}
+
+// Open loads the journal at path, or creates a fresh one if the file does
+// not exist. The grid identity and shape must match: resuming a journal
+// written for a different grid is an error rather than a silent restart,
+// so a stale path never mixes measurements from two experiments. The
+// returned cells (nil for a fresh journal) are the grid cells already
+// completed by the interrupted run.
+func Open(path, grid string, benchmarks, configs []string) (*Journal, []Cell, error) {
+	j := &Journal{
+		path: path,
+		f: File{
+			Grid:       grid,
+			Benchmarks: append([]string(nil), benchmarks...),
+			Configs:    append([]string(nil), configs...),
+		},
+		have: make(map[[2]int]bool),
+	}
+	prev, err := Load(path)
+	switch {
+	case os.IsNotExist(err):
+		return j, nil, nil
+	case err != nil:
+		return nil, nil, err
+	}
+	if prev.Grid != grid {
+		return nil, nil, fmt.Errorf("checkpoint: %s was written for a different grid (journal %s..., run %s...): delete it or pass a fresh path",
+			path, short(prev.Grid), short(grid))
+	}
+	j.f.Cells = prev.Cells
+	for _, c := range prev.Cells {
+		j.have[[2]int{c.Bench, c.Config}] = true
+	}
+	return j, prev.Cells, nil
+}
+
+func short(s string) string {
+	if len(s) > 12 {
+		return s[:12]
+	}
+	return s
+}
+
+// Record journals one completed cell and rewrites the snapshot. Recording
+// a cell that is already present is a no-op, so resumed runs may re-offer
+// restored cells harmlessly.
+func (j *Journal) Record(bench, config int, payload json.RawMessage) error {
+	if bench < 0 || bench >= len(j.f.Benchmarks) || config < 0 || config >= len(j.f.Configs) {
+		return fmt.Errorf("checkpoint: cell (%d,%d) outside the %dx%d grid", bench, config, len(j.f.Benchmarks), len(j.f.Configs))
+	}
+	if len(payload) == 0 {
+		return fmt.Errorf("checkpoint: refusing to record an empty payload for cell (%d,%d)", bench, config)
+	}
+	payload, err := compactPayload(payload)
+	if err != nil {
+		return fmt.Errorf("checkpoint: refusing to record a malformed payload for cell (%d,%d): %w", bench, config, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	key := [2]int{bench, config}
+	if j.have[key] {
+		return nil
+	}
+	j.f.Cells = append(j.f.Cells, Cell{Bench: bench, Config: config, Payload: payload})
+	j.have[key] = true
+	return j.f.write(j.path)
+}
+
+// Len reports the number of journalled cells.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.f.Cells)
+}

@@ -1,0 +1,154 @@
+package checkpoint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testGrid() (string, []string, []string) {
+	return "deadbeefdeadbeef", []string{"mmul", "sor"}, []string{"k=4 TT=16", "k=5 TT=16"}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	grid, bs, cs := testGrid()
+
+	j, cells, err := Open(path, grid, bs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells != nil {
+		t.Fatalf("fresh journal returned %d cells", len(cells))
+	}
+	if err := j.Record(0, 1, json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(1, 0, json.RawMessage(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate record is a no-op.
+	if err := j.Record(0, 1, json.RawMessage(`{"v":999}`)); err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Fatalf("Len = %d", j.Len())
+	}
+
+	j2, cells, err := Open(path, grid, bs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("resumed %d cells, want 2", len(cells))
+	}
+	if cells[0].Bench != 0 || cells[0].Config != 1 || string(cells[0].Payload) != `{"v":1}` {
+		t.Fatalf("cell 0 = %+v", cells[0])
+	}
+	if j2.Len() != 2 {
+		t.Fatalf("resumed journal Len = %d", j2.Len())
+	}
+	// No stray temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want just the journal", len(entries))
+	}
+}
+
+func TestJournalGridMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	grid, bs, cs := testGrid()
+	j, _, err := Open(path, grid, bs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(0, 0, json.RawMessage(`{}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, "0123456789abcdef", bs, cs); err == nil ||
+		!strings.Contains(err.Error(), "different grid") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestJournalRejectsBadRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	grid, bs, cs := testGrid()
+	j, _, err := Open(path, grid, bs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(5, 0, json.RawMessage(`{}`)); err == nil {
+		t.Error("out-of-grid bench index accepted")
+	}
+	if err := j.Record(0, 0, json.RawMessage(`{broken`)); err == nil {
+		t.Error("malformed payload accepted")
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	grid, bs, cs := testGrid()
+	j, _, err := Open(path, grid, bs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(1, 1, json.RawMessage(`{"percent":61.5}`)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte: the CRC must catch it.
+	corrupt := []byte(strings.Replace(string(data), "61.5", "16.5", 1))
+	if err := os.WriteFile(path, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("err = %v", err)
+	}
+	// Truncation must error too.
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("truncated journal accepted")
+	}
+}
+
+func TestVerifyRejectsBadShapes(t *testing.T) {
+	grid, bs, cs := testGrid()
+	mk := func(mut func(*File)) error {
+		f := &File{Grid: grid, Benchmarks: bs, Configs: cs,
+			Cells: []Cell{{Bench: 0, Config: 0, Payload: json.RawMessage(`{}`)}}}
+		f.Magic, f.Version = Magic, Version
+		f.Checksum = Checksum(f)
+		if mut != nil {
+			mut(f)
+			f.Checksum = Checksum(f)
+		}
+		return Verify(f)
+	}
+	if err := mk(nil); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+	if err := mk(func(f *File) { f.Cells[0].Bench = 7 }); err == nil {
+		t.Error("bench index outside grid accepted")
+	}
+	if err := mk(func(f *File) { f.Cells = append(f.Cells, f.Cells[0]) }); err == nil {
+		t.Error("duplicate cell accepted")
+	}
+	if err := mk(func(f *File) { f.Grid = "" }); err == nil {
+		t.Error("missing grid identity accepted")
+	}
+	if err := mk(func(f *File) { f.Configs = nil }); err == nil {
+		t.Error("empty config axis accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzRead asserts total robustness of the journal decoder: arbitrary
+// bytes must produce an error or a fully validated checkpoint, never a
+// panic — the same property internal/objfile's loaders guarantee.
+func FuzzRead(f *testing.F) {
+	var buf bytes.Buffer
+	file := &File{
+		Grid:       "cafef00dcafef00d",
+		Benchmarks: []string{"mmul", "sor"},
+		Configs:    []string{"k=4 TT=16", "k=5 TT=16"},
+		Cells: []Cell{
+			{Bench: 0, Config: 0, Payload: json.RawMessage(`{"Encoded":123}`)},
+			{Bench: 1, Config: 1, Payload: json.RawMessage(`{"Encoded":456}`)},
+		},
+	}
+	file.Magic, file.Version = Magic, Version
+	file.Checksum = Checksum(file)
+	enc := json.NewEncoder(&buf)
+	if err := enc.Encode(file); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)/3] ^= 0x10
+	f.Add(corrupt)
+	f.Add([]byte(`{"magic":"imtrans-checkpoint","version":1,"grid":"x","benchmarks":["a"],"configs":["c"],"cells":[{"bench":9,"config":0,"measurement":{}}]}`))
+	f.Add([]byte(`{"magic":"wrong"}`))
+	f.Add([]byte("{"))
+	f.Add([]byte("null"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever loads must satisfy the journal invariants.
+		if ck.Magic != Magic || ck.Version != Version || ck.Grid == "" {
+			t.Fatalf("invalid envelope accepted: %+v", ck)
+		}
+		if Checksum(ck) != ck.Checksum {
+			t.Fatal("checksum mismatch accepted")
+		}
+		for _, c := range ck.Cells {
+			if c.Bench < 0 || c.Bench >= len(ck.Benchmarks) ||
+				c.Config < 0 || c.Config >= len(ck.Configs) {
+				t.Fatalf("out-of-grid cell accepted: %+v", c)
+			}
+			if !json.Valid(c.Payload) {
+				t.Fatal("malformed payload accepted")
+			}
+		}
+	})
+}

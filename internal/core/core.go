@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -27,13 +28,15 @@ var encodeParallelism atomic.Int32
 func init() { encodeParallelism.Store(int32(runtime.GOMAXPROCS(0))) }
 
 // SetParallelism bounds the number of workers Encode may use for the
-// per-bus-line chain encodings. Values below 1 are treated as 1. Results
-// are bit-identical at every setting; only wall time changes.
-func SetParallelism(n int) {
+// per-bus-line chain encodings and returns the previous bound. Values
+// below 1 are clamped to 1 (fully serial); the pipeline is never left
+// with zero workers. Results are bit-identical at every setting; only
+// wall time changes.
+func SetParallelism(n int) int {
 	if n < 1 {
 		n = 1
 	}
-	encodeParallelism.Store(int32(n))
+	return int(encodeParallelism.Swap(int32(n)))
 }
 
 // Parallelism returns the current Encode worker bound.
@@ -177,6 +180,15 @@ type Encoding struct {
 // large for the remaining TT entries is skipped but smaller ones may still
 // fit, mirroring the paper's advice to leave infrequent blocks unencoded.
 func Encode(g *cfg.Graph, profile []uint64, c Config) (*Encoding, error) {
+	return EncodeCtx(context.Background(), g, profile, c)
+}
+
+// EncodeCtx is Encode with cooperative cancellation: the context is
+// checked before each candidate block and on every bit line inside the
+// encoding worker pool, so a cancelled sweep stops mid-plan instead of
+// finishing a large block. A cancelled encode returns ctx.Err(),
+// unwrapped, and no partial Encoding.
+func EncodeCtx(ctx context.Context, g *cfg.Graph, profile []uint64, c Config) (*Encoding, error) {
 	c = c.WithDefaults()
 	if err := c.validate(); err != nil {
 		return nil, err
@@ -201,7 +213,10 @@ func Encode(g *cfg.Graph, profile []uint64, c Config) (*Encoding, error) {
 		if g.Blocks[bi].Count < 2 {
 			continue // a single instruction has no vertical transitions
 		}
-		plan, err := encodeBlock(g, bi, c)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		plan, err := encodeBlock(ctx, g, bi, c)
 		if err != nil {
 			return nil, err
 		}
@@ -324,7 +339,7 @@ func selectKnapsack(cands []Plan, c Config) ([]bool, error) {
 }
 
 // encodeBlock encodes every vertical bit stream of one basic block.
-func encodeBlock(g *cfg.Graph, bi int, c Config) (Plan, error) {
+func encodeBlock(ctx context.Context, g *cfg.Graph, bi int, c Config) (Plan, error) {
 	b := g.Blocks[bi]
 	words := g.Instructions(bi)
 	k := c.BlockSize
@@ -351,6 +366,9 @@ func encodeBlock(g *cfg.Graph, bi int, c Config) (Plan, error) {
 	chainErrs := make([]error, c.BusWidth)
 	encodeLines := func(first, stride int) {
 		for line := first; line < c.BusWidth; line += stride {
+			if ctx.Err() != nil {
+				return // per-line cancellation granule inside the pool
+			}
 			chains[line], chainErrs[line] = code.EncodeChain(streams[line], k, c.Funcs, c.Strategy)
 		}
 	}
@@ -366,6 +384,12 @@ func encodeBlock(g *cfg.Graph, bi int, c Config) (Plan, error) {
 		wg.Wait()
 	} else {
 		encodeLines(0, 1)
+	}
+	// Check cancellation after the join, before the merge: a worker that
+	// bailed leaves zero-value chains, which must never be mistaken for a
+	// shape error on a cancelled encode.
+	if err := ctx.Err(); err != nil {
+		return Plan{}, err
 	}
 	encodedStreams := make([][]uint8, c.BusWidth)
 	for line, stream := range streams {

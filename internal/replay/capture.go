@@ -55,14 +55,25 @@ type Capture struct {
 	DictionaryBits  int
 }
 
+// DefaultCacheLimit bounds the shared capture cache. Captures hold the
+// full text image plus the compressed trace, so a long-lived sweep
+// service measuring ever-new programs would otherwise grow without
+// bound; 128 entries is far beyond any one grid's benchmark count.
+const DefaultCacheLimit = 128
+
 // Cache is an in-process capture cache with per-key single-flight: any
 // number of goroutines may ask for the same program concurrently and
-// exactly one profiling run happens.
+// exactly one profiling run happens. The cache holds at most limit
+// entries; inserting past the cap evicts the oldest-inserted entry
+// (FIFO), which an in-flight capture survives — its waiters hold the
+// entry directly, the eviction only stops future reuse.
 type Cache struct {
-	mu sync.Mutex
-	m  map[Key]*cacheEntry
+	mu    sync.Mutex
+	m     map[Key]*cacheEntry
+	order []Key // insertion order of live entries; drives eviction
+	limit int
 
-	hits, misses uint64
+	hits, misses, evictions uint64
 }
 
 type cacheEntry struct {
@@ -71,11 +82,54 @@ type cacheEntry struct {
 	err  error
 }
 
-// NewCache returns an empty capture cache.
-func NewCache() *Cache { return &Cache{m: make(map[Key]*cacheEntry)} }
+// NewCache returns an empty capture cache bounded at DefaultCacheLimit.
+func NewCache() *Cache { return &Cache{m: make(map[Key]*cacheEntry), limit: DefaultCacheLimit} }
 
 // Shared is the process-wide capture cache used by the imtrans facade.
 var Shared = NewCache()
+
+// SetLimit bounds the cache to n entries, returning the previous bound.
+// Values below 1 are clamped to 1 — the cache is always bounded. If the
+// cache currently holds more than n entries, the oldest are evicted
+// immediately.
+func (c *Cache) SetLimit(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	prev := c.limit
+	c.limit = n
+	c.evictLocked()
+	return prev
+}
+
+// Limit reports the current entry-count bound.
+func (c *Cache) Limit() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.limit
+}
+
+// Len reports the number of cached captures.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// evictLocked drops oldest-inserted entries until the cache fits its
+// limit. Caller holds c.mu.
+func (c *Cache) evictLocked() {
+	for len(c.m) > c.limit && len(c.order) > 0 {
+		k := c.order[0]
+		c.order = c.order[1:]
+		if _, ok := c.m[k]; ok {
+			delete(c.m, k)
+			c.evictions++
+		}
+	}
+}
 
 // GetOrCapture returns the cached capture for key, running capture exactly
 // once per key to produce it. A failed capture is cached too: determinism
@@ -86,7 +140,9 @@ func (c *Cache) GetOrCapture(key Key, capture func() (*Capture, error)) (*Captur
 	if e == nil {
 		e = &cacheEntry{}
 		c.m[key] = e
+		c.order = append(c.order, key)
 		c.misses++
+		c.evictLocked()
 	} else {
 		c.hits++
 	}
@@ -102,10 +158,27 @@ func (c *Cache) Stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
+// Evictions reports how many entries the size bound has pushed out.
+func (c *Cache) Evictions() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}
+
+// Purge drops every cached capture but keeps the hit/miss/eviction
+// statistics — the memory-release half of Clear.
+func (c *Cache) Purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m = make(map[Key]*cacheEntry)
+	c.order = nil
+}
+
 // Clear drops every cached capture and resets the statistics.
 func (c *Cache) Clear() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m = make(map[Key]*cacheEntry)
-	c.hits, c.misses = 0, 0
+	c.order = nil
+	c.hits, c.misses, c.evictions = 0, 0, 0
 }

@@ -1,0 +1,108 @@
+package replay
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func testKey(i int) Key {
+	return ProgramKey(0, []uint32{uint32(i)}, 0, nil, fmt.Sprintf("key-%d", i))
+}
+
+func fill(c *Cache, n int) {
+	for i := 0; i < n; i++ {
+		i := i
+		c.GetOrCapture(testKey(i), func() (*Capture, error) {
+			return &Capture{Key: testKey(i)}, nil
+		})
+	}
+}
+
+func TestCacheEvictsOldestAtLimit(t *testing.T) {
+	c := NewCache()
+	c.SetLimit(3)
+	fill(c, 5) // keys 0,1 evicted; 2,3,4 remain
+	if got := c.Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if got := c.Evictions(); got != 2 {
+		t.Errorf("Evictions = %d, want 2", got)
+	}
+	// Re-asking for an evicted key is a miss (recaptured); a kept key hits.
+	recaptured := false
+	c.GetOrCapture(testKey(0), func() (*Capture, error) {
+		recaptured = true
+		return &Capture{}, nil
+	})
+	if !recaptured {
+		t.Error("evicted entry was served from cache")
+	}
+	called := false
+	c.GetOrCapture(testKey(4), func() (*Capture, error) {
+		called = true
+		return &Capture{}, nil
+	})
+	if called {
+		t.Error("retained entry was recaptured")
+	}
+}
+
+func TestCacheSetLimitClampsAndShrinks(t *testing.T) {
+	c := NewCache()
+	if prev := c.SetLimit(0); prev != DefaultCacheLimit {
+		t.Errorf("SetLimit(0) returned %d, want %d", prev, DefaultCacheLimit)
+	}
+	if got := c.Limit(); got != 1 {
+		t.Errorf("Limit after clamp = %d, want 1", got)
+	}
+	c.SetLimit(10)
+	fill(c, 10)
+	c.SetLimit(4) // shrinking evicts immediately
+	if got := c.Len(); got != 4 {
+		t.Errorf("Len after shrink = %d, want 4", got)
+	}
+}
+
+func TestCachePurgeKeepsStats(t *testing.T) {
+	c := NewCache()
+	fill(c, 3)
+	fill(c, 3) // all hits
+	c.Purge()
+	if got := c.Len(); got != 0 {
+		t.Fatalf("Len after purge = %d, want 0", got)
+	}
+	hits, misses := c.Stats()
+	if hits != 3 || misses != 3 {
+		t.Errorf("Stats after purge = (%d,%d), want (3,3)", hits, misses)
+	}
+	c.Clear()
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("Stats after clear = (%d,%d), want zeros", hits, misses)
+	}
+}
+
+// TestCacheBoundedUnderConcurrency hammers a small cache from many
+// goroutines: the bound must hold and single-flight must stay intact for
+// retained keys.
+func TestCacheBoundedUnderConcurrency(t *testing.T) {
+	c := NewCache()
+	c.SetLimit(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := (w + i) % 16
+				c.GetOrCapture(testKey(k), func() (*Capture, error) {
+					return &Capture{}, nil
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Len(); got > 4 {
+		t.Errorf("Len = %d exceeds limit 4", got)
+	}
+}

@@ -1,0 +1,131 @@
+package replay
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildTrace compresses an index stream through the Builder, the same
+// path captures take.
+func buildTrace(idxs []int) *Trace {
+	b := NewBuilder()
+	for _, i := range idxs {
+		b.Add(i)
+	}
+	return b.Trace()
+}
+
+func traceCases() [][]int {
+	loop := []int{0}
+	for it := 0; it < 50; it++ {
+		for i := 1; i <= 7; i++ {
+			loop = append(loop, i)
+		}
+		loop = append(loop, 1)
+	}
+	nested := []int{0}
+	for o := 0; o < 6; o++ {
+		for in := 0; in < 9; in++ {
+			nested = append(nested, 1, 2, 3)
+		}
+		nested = append(nested, 10, 0)
+	}
+	return [][]int{
+		{5},
+		{0, 1, 2, 3, 4, 5, 6, 7},
+		{3, 9, 2, 2, 2, 7, 1, 0, 4},
+		loop,
+		nested,
+	}
+}
+
+func TestTraceTextRoundTrip(t *testing.T) {
+	for ci, idxs := range traceCases() {
+		tr := buildTrace(idxs)
+		text, err := tr.MarshalText()
+		if err != nil {
+			t.Fatalf("case %d: marshal: %v", ci, err)
+		}
+		back, err := ParseTrace(text)
+		if err != nil {
+			t.Fatalf("case %d: parse %q: %v", ci, text, err)
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Errorf("case %d: round trip mismatch\n  in:  %+v\n  out: %+v", ci, tr, back)
+		}
+		// The replayed index stream must be identical too.
+		var a, b []int32
+		tr.Indices(func(i int32) { a = append(a, i) })
+		back.Indices(func(i int32) { b = append(b, i) })
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("case %d: replayed indices differ", ci)
+		}
+	}
+}
+
+func TestParseTraceRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"imtrans-trace",
+		"imtrans-trace 1 0",
+		"wrong-magic 1 0 1",
+		"imtrans-trace 2 0 1",
+		"imtrans-trace 1 -1 1",
+		"imtrans-trace 1 0 0",
+		"imtrans-trace 1 0 2 1x1 )",     // unmatched close
+		"imtrans-trace 1 0 3 r2( 1x1",   // unterminated group
+		"imtrans-trace 1 0 3 r2( )",     // empty group
+		"imtrans-trace 1 0 2 bogus",     // bad token
+		"imtrans-trace 1 0 2 1x0",       // zero count
+		"imtrans-trace 1 0 2 1xbeef",    // bad count
+		"imtrans-trace 1 0 99 1x1",      // fetch count mismatch
+		"imtrans-trace 1 0 5 r0( 1x1 )", // zero repeat
+		"imtrans-trace 1 0 18446744073709551615 r1152921504606846976( r1152921504606846976( 1x1 ) )", // overflow
+	}
+	for _, s := range bad {
+		if tr, err := ParseTrace([]byte(s)); err == nil {
+			t.Errorf("ParseTrace(%q) accepted: %+v", s, tr)
+		}
+	}
+}
+
+// FuzzParseTrace asserts the decoder is total: arbitrary input must
+// return an error or a trace whose op list matches its declared fetch
+// count — never panic, never loop unbounded.
+func FuzzParseTrace(f *testing.F) {
+	for _, idxs := range traceCases() {
+		text, err := buildTrace(idxs).MarshalText()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(text)
+	}
+	f.Add([]byte("imtrans-trace 1 0 3 r2( 1x1"))
+	f.Add([]byte("imtrans-trace 1 0 4 r3( -7x1 ) 1x0"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ParseTrace(data)
+		if err != nil {
+			return
+		}
+		if tr.N == 0 {
+			t.Fatal("empty trace accepted")
+		}
+		got, err := opsFetches(tr.Ops)
+		if err != nil || got+1 != tr.N {
+			t.Fatalf("inconsistent trace accepted: N=%d ops=%d err=%v", tr.N, got, err)
+		}
+		// Whatever parses must re-marshal and re-parse to the same trace.
+		text, err := tr.MarshalText()
+		if err != nil {
+			t.Fatalf("marshal of parsed trace: %v", err)
+		}
+		back, err := ParseTrace(text)
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		if !reflect.DeepEqual(tr, back) {
+			t.Fatal("canonical form unstable")
+		}
+	})
+}

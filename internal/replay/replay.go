@@ -1,6 +1,7 @@
 package replay
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -28,6 +29,16 @@ type Result struct {
 // of these shortcuts, because each one replaces iteration of a
 // deterministic state machine over inputs it has already seen.
 func Measure(cap *Capture, enc *core.Encoding, dec *hw.Decoder) (Result, error) {
+	return MeasureCtx(nil, cap, enc, dec)
+}
+
+// MeasureCtx is Measure with cooperative cancellation: the context is
+// polled inside the replay fetch loop, once per op and every
+// cancelCheckStride fetch steps within long runs, so a cancelled replay
+// stops within a bounded number of fetches rather than finishing a
+// billion-fetch trace. A cancelled replay returns ctx.Err(), unwrapped.
+// A nil context disables polling (Measure's path).
+func MeasureCtx(ctx context.Context, cap *Capture, enc *core.Encoding, dec *hw.Decoder) (Result, error) {
 	n := len(cap.Words)
 	if len(enc.EncodedWords) != n {
 		return Result{}, fmt.Errorf("replay: encoded image has %d words, capture has %d", len(enc.EncodedWords), n)
@@ -36,6 +47,7 @@ func Measure(cap *Capture, enc *core.Encoding, dec *hw.Decoder) (Result, error) 
 		return Result{}, fmt.Errorf("replay: empty trace")
 	}
 	r := &replayer{
+		ctx:  ctx,
 		base: cap.Base,
 		orig: cap.Words,
 		encW: enc.EncodedWords,
@@ -54,10 +66,16 @@ func Measure(cap *Capture, enc *core.Encoding, dec *hw.Decoder) (Result, error) 
 }
 
 type replayer struct {
+	ctx  context.Context // nil disables cancellation polling
 	base uint32
 	orig []uint32
 	encW []uint32
 	dec  *hw.Decoder
+
+	// sincePoll counts loop iterations since the last context poll; the
+	// context is consulted every cancelCheckStride iterations so the
+	// check costs one add+compare per step, not a method call.
+	sincePoll int
 
 	// prefix[i] is the transition count of transmitting encW[0..i] in
 	// layout order; linePrefix is the same per bus line. A sequential
@@ -149,6 +167,30 @@ func (r *replayer) step(idx int32) {
 	}
 }
 
+// cancelCheckStride bounds how many fetch steps may pass between context
+// polls inside the replay loops.
+const cancelCheckStride = 4096
+
+// poll consults the context every cancelCheckStride calls, recording
+// ctx.Err() as the replay error; it reports whether the replay should
+// stop.
+func (r *replayer) poll() bool {
+	if r.ctx == nil {
+		return false
+	}
+	if r.sincePoll++; r.sincePoll < cancelCheckStride {
+		return false
+	}
+	r.sincePoll = 0
+	if err := r.ctx.Err(); err != nil {
+		if r.err == nil {
+			r.err = err
+		}
+		return true
+	}
+	return false
+}
+
 // runRun replays one delta run: count fetches each stepping delta.
 func (r *replayer) runRun(delta int32, count int64) {
 	if r.err != nil {
@@ -156,11 +198,17 @@ func (r *replayer) runRun(delta int32, count int64) {
 	}
 	if delta != 1 || !r.started {
 		for ; count > 0 && r.err == nil; count-- {
+			if r.poll() {
+				return
+			}
 			r.step(r.lastIdx + delta)
 		}
 		return
 	}
 	for count > 0 && r.err == nil {
+		if r.poll() {
+			return
+		}
 		idx := r.lastIdx + 1
 		if int(idx) >= len(r.encW) {
 			r.step(idx) // sets the out-of-image error
@@ -189,6 +237,10 @@ func (r *replayer) runRun(delta int32, count int64) {
 func (r *replayer) runOps(ops []Op) {
 	for i := range ops {
 		if r.err != nil {
+			return
+		}
+		if r.ctx != nil && r.ctx.Err() != nil {
+			r.err = r.ctx.Err()
 			return
 		}
 		op := &ops[i]

@@ -1,0 +1,221 @@
+package replay
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// The trace text form serialises a compressed fetch-index trace on one
+// line, keeping captures inspectable and diffable the same way objfile
+// artifacts are:
+//
+//	imtrans-trace 1 <first> <n> <ops...>
+//
+// where each op is either a run token "<delta>x<count>" or a repeat group
+// "r<repeat>( <ops...> )". The header carries the total fetch count, so
+// the parser cross-checks the op list against it — a truncated or edited
+// trace fails to load instead of replaying short.
+
+// traceTextMagic and traceTextVersion identify the trace text format.
+const (
+	traceTextMagic   = "imtrans-trace"
+	traceTextVersion = 1
+)
+
+// parse limits: a hostile or corrupted trace must fail fast, not consume
+// unbounded memory or stack.
+const (
+	maxTraceDepth  = 64
+	maxTraceOps    = 1 << 22
+	maxTraceCount  = int64(1) << 60
+	maxTraceRepeat = int64(1) << 60
+)
+
+// MarshalText renders the trace in the canonical text form.
+func (t *Trace) MarshalText() ([]byte, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %d %d %d", traceTextMagic, traceTextVersion, t.First, t.N)
+	var emit func(ops []Op) error
+	emit = func(ops []Op) error {
+		for i := range ops {
+			op := &ops[i]
+			if op.Repeat > 0 {
+				fmt.Fprintf(&b, " r%d(", op.Repeat)
+				if err := emit(op.Body); err != nil {
+					return err
+				}
+				b.WriteString(" )")
+				continue
+			}
+			if op.Count < 1 {
+				return fmt.Errorf("replay: op %d has count %d", i, op.Count)
+			}
+			fmt.Fprintf(&b, " %dx%d", op.Delta, op.Count)
+		}
+		return nil
+	}
+	if err := emit(t.Ops); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+// traceParser consumes the token stream of a trace text form.
+type traceParser struct {
+	toks []string
+	pos  int
+	ops  int // total ops parsed, bounded by maxTraceOps
+}
+
+func (p *traceParser) next() (string, bool) {
+	if p.pos >= len(p.toks) {
+		return "", false
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, true
+}
+
+// parseOps reads ops until the closing ")" of a group (expectClose) or the
+// end of input. Every structural violation is an error; nothing panics.
+func (p *traceParser) parseOps(depth int, expectClose bool) ([]Op, error) {
+	if depth > maxTraceDepth {
+		return nil, fmt.Errorf("replay: trace nests deeper than %d", maxTraceDepth)
+	}
+	var ops []Op
+	for {
+		tok, ok := p.next()
+		if !ok {
+			if expectClose {
+				return nil, fmt.Errorf("replay: unterminated repeat group")
+			}
+			return ops, nil
+		}
+		if tok == ")" {
+			if !expectClose {
+				return nil, fmt.Errorf("replay: unmatched %q", tok)
+			}
+			return ops, nil
+		}
+		p.ops++
+		if p.ops > maxTraceOps {
+			return nil, fmt.Errorf("replay: trace exceeds %d ops", maxTraceOps)
+		}
+		if rest, isGroup := strings.CutPrefix(tok, "r"); isGroup && strings.HasSuffix(rest, "(") {
+			rep, err := strconv.ParseInt(strings.TrimSuffix(rest, "("), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("replay: bad repeat token %q: %w", tok, err)
+			}
+			if rep < 1 || rep > maxTraceRepeat {
+				return nil, fmt.Errorf("replay: repeat count %d out of range", rep)
+			}
+			body, err := p.parseOps(depth+1, true)
+			if err != nil {
+				return nil, err
+			}
+			if len(body) == 0 {
+				return nil, fmt.Errorf("replay: empty repeat group")
+			}
+			ops = append(ops, Op{Repeat: rep, Body: body})
+			continue
+		}
+		d, c, ok := strings.Cut(tok, "x")
+		if !ok {
+			return nil, fmt.Errorf("replay: bad op token %q", tok)
+		}
+		delta, err := strconv.ParseInt(d, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("replay: bad delta in %q: %w", tok, err)
+		}
+		count, err := strconv.ParseInt(c, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("replay: bad count in %q: %w", tok, err)
+		}
+		if count < 1 || count > maxTraceCount {
+			return nil, fmt.Errorf("replay: run count %d out of range", count)
+		}
+		ops = append(ops, Op{Delta: int32(delta), Count: count})
+	}
+}
+
+// opsFetches totals the fetches an op list describes, with overflow
+// checked: corrupt repeat counts must error, not wrap around.
+func opsFetches(ops []Op) (uint64, error) {
+	var total uint64
+	for i := range ops {
+		op := &ops[i]
+		var n uint64
+		if op.Repeat > 0 {
+			body, err := opsFetches(op.Body)
+			if err != nil {
+				return 0, err
+			}
+			if body != 0 && uint64(op.Repeat) > (1<<62)/body {
+				return 0, fmt.Errorf("replay: trace fetch count overflows")
+			}
+			n = uint64(op.Repeat) * body
+		} else {
+			n = uint64(op.Count)
+		}
+		if total+n < total || total+n > 1<<62 {
+			return 0, fmt.Errorf("replay: trace fetch count overflows")
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// ParseTrace decodes the text form produced by MarshalText, validating
+// the envelope, every token, the nesting, and the declared fetch count
+// against the op list. Arbitrary input returns an error, never a panic.
+func ParseTrace(data []byte) (*Trace, error) {
+	toks := strings.Fields(string(data))
+	if len(toks) < 4 {
+		return nil, fmt.Errorf("replay: truncated trace header")
+	}
+	if toks[0] != traceTextMagic {
+		return nil, fmt.Errorf("replay: not a trace (magic %q)", toks[0])
+	}
+	ver, err := strconv.Atoi(toks[1])
+	if err != nil || ver != traceTextVersion {
+		return nil, fmt.Errorf("replay: unsupported trace version %q", toks[1])
+	}
+	first, err := strconv.ParseInt(toks[2], 10, 32)
+	if err != nil {
+		return nil, fmt.Errorf("replay: bad first index %q: %w", toks[2], err)
+	}
+	if first < 0 {
+		return nil, fmt.Errorf("replay: negative first index %d", first)
+	}
+	n, err := strconv.ParseUint(toks[3], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("replay: bad fetch count %q: %w", toks[3], err)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("replay: empty trace")
+	}
+	p := &traceParser{toks: toks[4:]}
+	ops, err := p.parseOps(0, false)
+	if err != nil {
+		return nil, err
+	}
+	got, err := opsFetches(ops)
+	if err != nil {
+		return nil, err
+	}
+	if got+1 != n {
+		return nil, fmt.Errorf("replay: trace declares %d fetches but ops describe %d", n, got+1)
+	}
+	return &Trace{First: int32(first), N: n, Ops: ops}, nil
+}
+
+// UnmarshalText implements encoding.TextUnmarshaler via ParseTrace.
+func (t *Trace) UnmarshalText(data []byte) error {
+	parsed, err := ParseTrace(data)
+	if err != nil {
+		return err
+	}
+	*t = *parsed
+	return nil
+}

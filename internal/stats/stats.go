@@ -3,6 +3,8 @@
 package stats
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -47,6 +49,70 @@ func (c *Counters) Total() uint64 {
 		t += c.v[n]
 	}
 	return t
+}
+
+// Len reports how many distinct counters exist.
+func (c *Counters) Len() int { return len(c.order) }
+
+// Clone returns an independent copy preserving insertion order.
+func (c *Counters) Clone() *Counters {
+	out := &Counters{}
+	for _, n := range c.order {
+		out.Add(n, c.v[n])
+	}
+	return out
+}
+
+// MarshalJSON renders the counters as a JSON object whose keys appear in
+// insertion order (encoding/json would sort a plain map), so reports are
+// byte-stable run to run.
+func (c *Counters) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range c.order {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		key, err := json.Marshal(n)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(key)
+		fmt.Fprintf(&b, ":%d", c.v[n])
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// UnmarshalJSON restores counters from a JSON object. Key order within
+// the object is preserved as insertion order.
+func (c *Counters) UnmarshalJSON(data []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	tok, err := dec.Token()
+	if err != nil {
+		return err
+	}
+	if d, ok := tok.(json.Delim); !ok || d != '{' {
+		return fmt.Errorf("stats: counters must be a JSON object")
+	}
+	*c = Counters{}
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return err
+		}
+		key, ok := keyTok.(string)
+		if !ok {
+			return fmt.Errorf("stats: counter name must be a string")
+		}
+		var v uint64
+		if err := dec.Decode(&v); err != nil {
+			return fmt.Errorf("stats: counter %q: %w", key, err)
+		}
+		c.Add(key, v)
+	}
+	_, err = dec.Token() // consume the closing brace
+	return err
 }
 
 // String renders the counters as a two-column table.

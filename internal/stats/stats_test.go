@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -94,5 +96,49 @@ func TestTableRaggedRows(t *testing.T) {
 	tb.AddRow("long-cell")
 	if out := tb.String(); !strings.Contains(out, "long-cell") {
 		t.Errorf("ragged row lost:\n%s", out)
+	}
+}
+
+func TestCountersJSONOrderStable(t *testing.T) {
+	var c Counters
+	c.Add("zulu", 3)
+	c.Add("alpha", 1)
+	c.Add("mike", 0)
+	data, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"zulu":3,"alpha":1,"mike":0}`
+	if string(data) != want {
+		t.Errorf("MarshalJSON = %s, want %s (insertion order)", data, want)
+	}
+	var back Counters
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Names(), c.Names()) {
+		t.Errorf("round-trip names = %v, want %v", back.Names(), c.Names())
+	}
+	for _, n := range c.Names() {
+		if back.Get(n) != c.Get(n) {
+			t.Errorf("counter %q = %d, want %d", n, back.Get(n), c.Get(n))
+		}
+	}
+	if err := json.Unmarshal([]byte(`[1,2]`), &back); err == nil {
+		t.Error("non-object counters accepted")
+	}
+}
+
+func TestCountersClone(t *testing.T) {
+	var c Counters
+	c.Add("retries", 2)
+	clone := c.Clone()
+	clone.Add("retries", 5)
+	clone.Add("new", 1)
+	if c.Get("retries") != 2 || c.Get("new") != 0 || c.Len() != 1 {
+		t.Errorf("Clone shares state with the original: %v", c.Names())
+	}
+	if clone.Get("retries") != 7 || clone.Len() != 2 {
+		t.Errorf("clone lost its own updates")
 	}
 }

@@ -1,8 +1,8 @@
 package imtrans
 
 import (
+	"context"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"imtrans/internal/baseline"
@@ -29,14 +29,24 @@ import (
 // independently of the program image must route the variation through the
 // program (or use MeasureProgram, which never caches).
 func ReplayMeasure(p *Program, setup func(Memory) error, cfgs ...Config) ([]Measurement, error) {
-	return replayMeasure(p, setup, "", cfgs...)
+	return replayMeasureCtx(context.Background(), p, setup, "", cfgs...)
 }
 
-// SetParallelism bounds the worker pools of the measurement pipeline: the
+// ReplayMeasureCtx is ReplayMeasure with cooperative cancellation: the
+// context is polled inside the encoder's bit-line pool and the replay
+// fetch loop, so cancellation takes effect within one task granule. A
+// cancelled run returns ctx.Err() (possibly wrapped) and no results.
+func ReplayMeasureCtx(ctx context.Context, p *Program, setup func(Memory) error, cfgs ...Config) ([]Measurement, error) {
+	return replayMeasureCtx(ctx, p, setup, "", cfgs...)
+}
+
+// SetParallelism bounds the worker pools of the measurement pipeline — the
 // encoder's per-bit-line fan-out and ReplayMeasure's per-configuration
-// fan-out. n < 1 means 1 (fully serial). The default is GOMAXPROCS.
-// Results never depend on the setting — only wall-clock time does.
-func SetParallelism(n int) { core.SetParallelism(n) }
+// fan-out — and returns the previous bound. Values below 1 (zero,
+// negative) are clamped to 1, so the pipeline is always fully serial at
+// the bottom, never stalled; the default is GOMAXPROCS. Results never
+// depend on the setting — only wall-clock time does.
+func SetParallelism(n int) int { return core.SetParallelism(n) }
 
 // Parallelism reports the current measurement-pipeline worker bound.
 func Parallelism() int { return core.Parallelism() }
@@ -45,10 +55,22 @@ func Parallelism() int { return core.Parallelism() }
 // capture cache (misses equal full profiling simulations performed).
 func CaptureCacheStats() (hits, misses uint64) { return replay.Shared.Stats() }
 
-// ClearCaptureCache drops every cached fetch-trace capture.
+// SetCaptureCacheLimit bounds the process-wide capture cache to n entries
+// (clamped to at least 1) and returns the previous bound. When the cache
+// exceeds the bound, the oldest-inserted captures are evicted first. The
+// default bound is replay.DefaultCacheLimit (128 entries).
+func SetCaptureCacheLimit(n int) int { return replay.Shared.SetLimit(n) }
+
+// PurgeCaptureCache releases every cached fetch-trace capture while
+// keeping the cache statistics — the memory-pressure valve for long-lived
+// sweep services.
+func PurgeCaptureCache() { replay.Shared.Purge() }
+
+// ClearCaptureCache drops every cached fetch-trace capture and resets the
+// cache statistics.
 func ClearCaptureCache() { replay.Shared.Clear() }
 
-func replayMeasure(p *Program, setup func(Memory) error, salt string, cfgs ...Config) ([]Measurement, error) {
+func replayMeasureCtx(ctx context.Context, p *Program, setup func(Memory) error, salt string, cfgs ...Config) ([]Measurement, error) {
 	if len(cfgs) == 0 {
 		cfgs = []Config{{}}
 	}
@@ -62,9 +84,12 @@ func replayMeasure(p *Program, setup func(Memory) error, salt string, cfgs ...Co
 	}
 	out := make([]Measurement, len(cfgs))
 	errs := make([]error, len(cfgs))
-	runPool(core.Parallelism(), len(cfgs), func(i int) {
-		out[i], errs[i] = replayOne(cap, g, cfgs[i])
+	runPoolCtx(ctx, core.Parallelism(), len(cfgs), func(i int) {
+		out[i], errs[i] = replayOneCtx(ctx, cap, g, cfgs[i])
 	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -78,63 +103,19 @@ func replayMeasure(p *Program, setup func(Memory) error, salt string, cfgs ...Co
 // over a bounded worker pool. parallelism <= 0 means GOMAXPROCS. The
 // result is indexed [benchmark][config]; ordering, values, and the error
 // returned are independent of parallelism.
+//
+// SweepMeasure is the fail-fast legacy form: the first cell failure (in
+// grid order) aborts the whole sweep. SweepMeasureCtx adds cancellation,
+// per-cell fault isolation, retry and checkpoint-resume.
 func SweepMeasure(benchmarks []Benchmark, cfgs []Config, parallelism int) ([][]Measurement, error) {
-	if len(cfgs) == 0 {
-		cfgs = []Config{{}}
+	res, err := SweepMeasureCtx(context.Background(), benchmarks, cfgs, SweepOptions{Parallelism: parallelism})
+	if err != nil {
+		return nil, err
 	}
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
+	if len(res.Errors) > 0 {
+		return nil, &res.Errors[0]
 	}
-	type benchState struct {
-		cap *replay.Capture
-		g   *cfg.Graph
-		err error
-	}
-	states := make([]benchState, len(benchmarks))
-	runPool(parallelism, len(benchmarks), func(bi int) {
-		b := benchmarks[bi]
-		p, err := b.Program()
-		if err != nil {
-			states[bi].err = err
-			return
-		}
-		cap, err := captureProgram(p, b.setup, b.captureSalt())
-		if err != nil {
-			states[bi].err = fmt.Errorf("imtrans: %s: %w", b.Name, err)
-			return
-		}
-		g, err := cfg.Build(p.TextBase, p.Text)
-		if err != nil {
-			states[bi].err = fmt.Errorf("imtrans: %s: %w", b.Name, err)
-			return
-		}
-		states[bi] = benchState{cap: cap, g: g}
-	})
-	for _, s := range states {
-		if s.err != nil {
-			return nil, s.err
-		}
-	}
-	out := make([][]Measurement, len(benchmarks))
-	for bi := range out {
-		out[bi] = make([]Measurement, len(cfgs))
-	}
-	errs := make([]error, len(benchmarks)*len(cfgs))
-	runPool(parallelism, len(errs), func(t int) {
-		bi, ci := t/len(cfgs), t%len(cfgs)
-		m, err := replayOne(states[bi].cap, states[bi].g, cfgs[ci])
-		if err != nil {
-			errs[t] = fmt.Errorf("imtrans: %s: %w", benchmarks[bi].Name, err)
-			return
-		}
-		out[bi][ci] = m
-	})
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return res.Measurements, nil
 }
 
 // runPool runs f(0..n-1) over at most `workers` goroutines with strided
@@ -142,11 +123,23 @@ func SweepMeasure(benchmarks []Benchmark, cfgs []Config, parallelism int) ([][]M
 // determinism write into index-addressed slots and resolve errors in
 // index order afterwards.
 func runPool(workers, n int, f func(i int)) {
+	runPoolCtx(context.Background(), workers, n, f)
+}
+
+// runPoolCtx is runPool with cooperative cancellation: once ctx is done,
+// workers stop picking up new indices. Indices already being processed
+// finish (or observe the context themselves); skipped indices keep their
+// zero-value slots, so callers must consult ctx.Err() before trusting
+// the output.
+func runPoolCtx(ctx context.Context, workers, n int, f func(i int)) {
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
 			f(i)
 		}
 		return
@@ -157,6 +150,9 @@ func runPool(workers, n int, f func(i int)) {
 		go func(first int) {
 			defer wg.Done()
 			for i := first; i < n; i += workers {
+				if ctx.Err() != nil {
+					return
+				}
 				f(i)
 			}
 		}(w)
@@ -220,11 +216,13 @@ func captureRun(p *Program, setup func(Memory) error) (*replay.Capture, error) {
 	}, nil
 }
 
-// replayOne evaluates one configuration against a capture: plan the
+// replayOneCtx evaluates one configuration against a capture: plan the
 // encoding from the cached profile, statically verify it, then replay the
-// trace through a fresh strict decoder.
-func replayOne(cap *replay.Capture, g *cfg.Graph, c Config) (Measurement, error) {
-	enc, err := core.Encode(g, cap.Profile, c.coreConfig())
+// trace through a fresh strict decoder. Cancellation is polled inside
+// both the encoder's bit-line pool and the replay fetch loop; a
+// cancelled cell returns ctx.Err() wrapped with the configuration.
+func replayOneCtx(ctx context.Context, cap *replay.Capture, g *cfg.Graph, c Config) (Measurement, error) {
+	enc, err := core.EncodeCtx(ctx, g, cap.Profile, c.coreConfig())
 	if err != nil {
 		return Measurement{}, fmt.Errorf("imtrans: %v: %w", c, err)
 	}
@@ -236,7 +234,7 @@ func replayOne(cap *replay.Capture, g *cfg.Graph, c Config) (Measurement, error)
 		return Measurement{}, fmt.Errorf("imtrans: %v: %w", c, err)
 	}
 	dec.Strict = true
-	res, err := replay.Measure(cap, enc, dec)
+	res, err := replay.MeasureCtx(ctx, cap, enc, dec)
 	if err != nil {
 		return Measurement{}, fmt.Errorf("imtrans: %v: %w", c, err)
 	}

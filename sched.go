@@ -1,6 +1,7 @@
 package imtrans
 
 import (
+	"context"
 	"fmt"
 
 	"imtrans/internal/sched"
@@ -59,14 +60,14 @@ func RescheduleProgram(p *Program) (*Program, *RescheduleStats, error) {
 func (b Benchmark) RunProgram(p *Program) (*RunResult, error) {
 	mc, err := NewMachine(p)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
 	}
 	if err := b.setup(mc.Memory()); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
 	}
 	res, err := mc.Run()
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
 	}
 	if err := b.w.Check(mc.Memory().m, b.params()); err != nil {
 		return nil, fmt.Errorf("imtrans: %s: golden check: %w", b.Name, err)
@@ -79,7 +80,7 @@ func (b Benchmark) RunProgram(p *Program) (*RunResult, error) {
 // Like Measure, it goes through the capture/replay engine; the variant's
 // content hash keys its own cached capture.
 func (b Benchmark) MeasureModified(p *Program, cfgs ...Config) ([]Measurement, error) {
-	ms, err := replayMeasure(p, b.setup, b.captureSalt(), cfgs...)
+	ms, err := replayMeasureCtx(context.Background(), p, b.setup, b.captureSalt(), cfgs...)
 	if err != nil {
 		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
 	}

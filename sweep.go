@@ -1,0 +1,482 @@
+package imtrans
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"imtrans/internal/cfg"
+	"imtrans/internal/checkpoint"
+	"imtrans/internal/replay"
+	"imtrans/internal/runsafe"
+	"imtrans/internal/stats"
+)
+
+// RetryPolicy bounds the per-cell retry loop of a supervised sweep. The
+// zero value is a single attempt with no backoff; MaxAttempts > 1 retries
+// with jittered exponential backoff (BaseDelay doubling per attempt up to
+// MaxDelay, Multiplier <= 1 meaning 2, Jitter the random fraction of the
+// delay added or removed).
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseDelay   time.Duration
+	MaxDelay    time.Duration
+	Multiplier  float64
+	Jitter      float64
+}
+
+func (p RetryPolicy) policy() runsafe.Policy {
+	return runsafe.Policy{
+		MaxAttempts: p.MaxAttempts,
+		BaseDelay:   p.BaseDelay,
+		MaxDelay:    p.MaxDelay,
+		Multiplier:  p.Multiplier,
+		Jitter:      p.Jitter,
+	}
+}
+
+// SweepOptions parameterises a supervised sweep. The zero value matches
+// the legacy SweepMeasure behaviour: GOMAXPROCS parallelism, a single
+// attempt per cell, no circuit breaker, no checkpoint, no fault
+// injection.
+type SweepOptions struct {
+	// Parallelism bounds the worker pool; <= 0 means GOMAXPROCS.
+	Parallelism int
+
+	// Retry is applied to every capture and every grid cell; each task is
+	// run under a recover() guard, so panics retry like errors.
+	Retry RetryPolicy
+
+	// BreakerThreshold trips the sweep's circuit breaker after this many
+	// consecutive task failures, failing the remaining cells fast with a
+	// SweepError wrapping ErrSweepTripped. 0 disables the breaker.
+	// Cancellation never counts against the budget.
+	BreakerThreshold int
+
+	// Checkpoint names the journal file for checkpoint-resume: every
+	// completed cell is recorded atomically, and a journal left by an
+	// interrupted run restores its cells instead of re-measuring them.
+	// Empty disables journaling. A journal written for a different grid
+	// (other benchmarks, configs, or scales) is refused, never mixed in.
+	Checkpoint string
+
+	// FaultInject, when non-nil, runs at the top of every measurement
+	// attempt of every cell — inside the supervision guard, so it may
+	// return an error or panic to exercise the isolation machinery. It is
+	// the fault-campaign hook; see SweepFaultPlan.
+	FaultInject func(bench, config, attempt int) error
+}
+
+// ErrSweepTripped identifies cells refused because the sweep's circuit
+// breaker opened; use errors.Is against SweepError.Err.
+var ErrSweepTripped = runsafe.ErrTripped
+
+// SweepError is one isolated sweep failure: the cell (or whole benchmark,
+// for capture-stage failures) that failed, the pipeline stage, how many
+// supervised attempts were made, and the final error. A worker panic
+// surfaces here as a typed error (runsafe.PanicError) instead of
+// crashing the process.
+type SweepError struct {
+	Benchmark   string
+	Config      Config
+	BenchIndex  int
+	ConfigIndex int    // -1 when the whole benchmark failed to capture
+	Stage       string // "capture", "measure" or "checkpoint"
+	Attempts    int
+	Err         error
+}
+
+// Error implements the error interface.
+func (e *SweepError) Error() string {
+	where := e.Benchmark
+	if e.ConfigIndex >= 0 {
+		where += " [" + e.Config.String() + "]"
+	}
+	return fmt.Sprintf("imtrans: sweep %s stage, %s (%d attempts): %v", e.Stage, where, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is / errors.As.
+func (e *SweepError) Unwrap() error { return e.Err }
+
+// SweepResult is the outcome of a supervised sweep. Measurements is
+// indexed [benchmark][config]; Done marks which cells hold a valid
+// measurement (failed, skipped and cancelled cells keep the zero value).
+// Errors lists every isolated failure in grid order. Counters carries the
+// supervision telemetry (retries, panics, cancellations, checkpoint
+// activity) for machine-readable reports.
+type SweepResult struct {
+	Measurements [][]Measurement
+	Done         [][]bool
+	Errors       []SweepError
+
+	Restored  int // cells restored from the checkpoint journal
+	Completed int // cells measured by this run
+	Cancelled int // cells abandoned by context cancellation
+
+	Counters stats.Counters
+}
+
+// Err returns the first isolated failure in grid order, or nil when every
+// cell completed.
+func (r *SweepResult) Err() error {
+	if len(r.Errors) == 0 {
+		return nil
+	}
+	return &r.Errors[0]
+}
+
+// sweepGrid derives the journal identity of a sweep: a hash over every
+// benchmark's (kernel, scale) salt and every configuration's full
+// parameter set, plus the grid dimensions. Two sweeps share a checkpoint
+// iff this hash matches, so a stale journal from a different experiment
+// is detected instead of silently mixed in.
+func sweepGrid(benchmarks []Benchmark, cfgs []Config) (grid string, benchNames, cfgNames []string) {
+	h := sha256.New()
+	fmt.Fprintf(h, "imtrans-sweep-grid 1 %d %d\n", len(benchmarks), len(cfgs))
+	benchNames = make([]string, len(benchmarks))
+	for i, b := range benchmarks {
+		benchNames[i] = b.Name
+		fmt.Fprintf(h, "bench %s\n", b.captureSalt())
+	}
+	cfgNames = make([]string, len(cfgs))
+	for i, c := range cfgs {
+		cfgNames[i] = c.String()
+		fmt.Fprintf(h, "config %#v\n", c)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), benchNames, cfgNames
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// SweepMeasureCtx evaluates every (benchmark, configuration) pair of a
+// grid under supervision: each capture and each cell runs with a
+// recover() guard, the retry policy, and the circuit breaker from opts,
+// so one poisoned cell yields a typed SweepError entry while the rest of
+// the grid completes. Cancelling the context stops the sweep within one
+// task granule — workers poll it inside the encoder's bit-line pool and
+// the replay fetch loop — and returns the partial SweepResult alongside
+// an error wrapping ctx.Err(). With opts.Checkpoint set, completed cells
+// are journalled atomically and an interrupted run resumes exactly where
+// it stopped, bit-identical to an uninterrupted run.
+//
+// The returned error is non-nil only for setup failures (an unreadable
+// or mismatched checkpoint) and cancellation; isolated cell failures are
+// reported in SweepResult.Errors, in deterministic grid order.
+func SweepMeasureCtx(ctx context.Context, benchmarks []Benchmark, cfgs []Config, opts SweepOptions) (*SweepResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(cfgs) == 0 {
+		cfgs = []Config{{}}
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	nb, nc := len(benchmarks), len(cfgs)
+
+	type cellState struct {
+		m        Measurement
+		done     bool
+		restored bool
+		err      error
+		attempts int
+		ckErr    error
+	}
+	cells := make([]cellState, nb*nc)
+
+	var journal *checkpoint.Journal
+	if opts.Checkpoint != "" {
+		grid, benchNames, cfgNames := sweepGrid(benchmarks, cfgs)
+		j, prev, err := checkpoint.Open(opts.Checkpoint, grid, benchNames, cfgNames)
+		if err != nil {
+			return nil, fmt.Errorf("imtrans: %w", err)
+		}
+		journal = j
+		for _, c := range prev {
+			s := &cells[c.Bench*nc+c.Config]
+			if err := json.Unmarshal(c.Payload, &s.m); err != nil {
+				return nil, fmt.Errorf("imtrans: checkpoint cell (%s, %s): %w",
+					benchNames[c.Bench], cfgNames[c.Config], err)
+			}
+			s.done, s.restored = true, true
+		}
+	}
+
+	pol := opts.Retry.policy()
+	brk := runsafe.NewBreaker(opts.BreakerThreshold)
+
+	// Capture phase: one supervised profiling run per benchmark that still
+	// has pending cells. A benchmark restored entirely from the journal is
+	// not re-simulated.
+	type benchState struct {
+		cap      *replay.Capture
+		g        *cfg.Graph
+		err      error
+		attempts int
+	}
+	states := make([]benchState, nb)
+	pending := make([]bool, nb)
+	for bi := 0; bi < nb; bi++ {
+		for ci := 0; ci < nc; ci++ {
+			if !cells[bi*nc+ci].done {
+				pending[bi] = true
+				break
+			}
+		}
+	}
+	runPoolCtx(ctx, par, nb, func(bi int) {
+		if !pending[bi] {
+			return
+		}
+		b := benchmarks[bi]
+		states[bi].attempts, states[bi].err = runsafe.Do(ctx, pol, brk, func(context.Context) error {
+			p, err := b.Program()
+			if err != nil {
+				return err
+			}
+			cap, err := captureProgram(p, b.setup, b.captureSalt())
+			if err != nil {
+				return err
+			}
+			g, err := cfg.Build(p.TextBase, p.Text)
+			if err != nil {
+				return err
+			}
+			states[bi].cap, states[bi].g = cap, g
+			return nil
+		})
+	})
+
+	// Measure phase: one supervised task per pending cell. Failures stay
+	// in the cell — the pool keeps draining the rest of the grid.
+	runPoolCtx(ctx, par, nb*nc, func(t int) {
+		bi, ci := t/nc, t%nc
+		s := &cells[t]
+		if s.done || !pending[bi] || states[bi].err != nil {
+			return
+		}
+		attempt := 0
+		s.attempts, s.err = runsafe.Do(ctx, pol, brk, func(tctx context.Context) error {
+			attempt++
+			if opts.FaultInject != nil {
+				if err := opts.FaultInject(bi, ci, attempt); err != nil {
+					return err
+				}
+			}
+			m, err := replayOneCtx(tctx, states[bi].cap, states[bi].g, cfgs[ci])
+			if err != nil {
+				return err
+			}
+			s.m = m
+			return nil
+		})
+		if s.err != nil {
+			return
+		}
+		s.done = true
+		if journal != nil {
+			payload, err := json.Marshal(s.m)
+			if err == nil {
+				err = journal.Record(bi, ci, payload)
+			}
+			s.ckErr = err
+		}
+	})
+
+	// Assemble the result in grid order: deterministic error ordering and
+	// counters at any parallelism.
+	res := &SweepResult{
+		Measurements: make([][]Measurement, nb),
+		Done:         make([][]bool, nb),
+	}
+	cancelled := ctx.Err() != nil
+	var retries, panics, tripped, failed, skipped, recorded, ckErrs int
+	noteErr := func(err error) {
+		var pe *runsafe.PanicError
+		if errors.As(err, &pe) {
+			panics++
+		}
+		if errors.Is(err, runsafe.ErrTripped) {
+			tripped++
+		}
+	}
+	for bi := 0; bi < nb; bi++ {
+		res.Measurements[bi] = make([]Measurement, nc)
+		res.Done[bi] = make([]bool, nc)
+		st := &states[bi]
+		if st.attempts > 1 {
+			retries += st.attempts - 1
+		}
+		capFailed := st.err != nil && !isCtxErr(st.err)
+		if capFailed {
+			noteErr(st.err)
+			res.Errors = append(res.Errors, SweepError{
+				Benchmark:   benchmarks[bi].Name,
+				BenchIndex:  bi,
+				ConfigIndex: -1,
+				Stage:       "capture",
+				Attempts:    st.attempts,
+				Err:         st.err,
+			})
+		}
+		for ci := 0; ci < nc; ci++ {
+			s := &cells[bi*nc+ci]
+			if s.attempts > 1 {
+				retries += s.attempts - 1
+			}
+			switch {
+			case s.done:
+				res.Measurements[bi][ci] = s.m
+				res.Done[bi][ci] = true
+				if s.restored {
+					res.Restored++
+				} else {
+					res.Completed++
+					if journal != nil && s.ckErr == nil {
+						recorded++
+					}
+				}
+				if s.ckErr != nil {
+					ckErrs++
+					res.Errors = append(res.Errors, SweepError{
+						Benchmark:   benchmarks[bi].Name,
+						Config:      cfgs[ci],
+						BenchIndex:  bi,
+						ConfigIndex: ci,
+						Stage:       "checkpoint",
+						Attempts:    s.attempts,
+						Err:         s.ckErr,
+					})
+				}
+			case capFailed:
+				skipped++
+			case s.err != nil && !isCtxErr(s.err):
+				failed++
+				noteErr(s.err)
+				res.Errors = append(res.Errors, SweepError{
+					Benchmark:   benchmarks[bi].Name,
+					Config:      cfgs[ci],
+					BenchIndex:  bi,
+					ConfigIndex: ci,
+					Stage:       "measure",
+					Attempts:    s.attempts,
+					Err:         s.err,
+				})
+			default:
+				// No result, no recorded failure: the cell was abandoned
+				// mid-flight or never started because the context ended.
+				res.Cancelled++
+			}
+		}
+	}
+	c := &res.Counters
+	c.Add("sweep_cells", uint64(nb*nc))
+	c.Add("sweep_completed", uint64(res.Completed))
+	c.Add("sweep_failed", uint64(failed))
+	c.Add("sweep_skipped", uint64(skipped))
+	c.Add("sweep_cancelled", uint64(res.Cancelled))
+	c.Add("sweep_retries", uint64(retries))
+	c.Add("sweep_panics", uint64(panics))
+	c.Add("sweep_breaker_tripped", uint64(tripped))
+	c.Add("checkpoint_restored", uint64(res.Restored))
+	c.Add("checkpoint_recorded", uint64(recorded))
+	c.Add("checkpoint_errors", uint64(ckErrs))
+	if cancelled {
+		done := res.Restored + res.Completed
+		return res, fmt.Errorf("imtrans: sweep cancelled with %d/%d cells done: %w", done, nb*nc, ctx.Err())
+	}
+	return res, nil
+}
+
+// SweepFaultPlan is a deterministic fault campaign against sweep workers:
+// the listed cells panic or error on their leading attempts, proving that
+// supervision isolates the failure, the retry policy recovers transient
+// ones, and the rest of the grid completes. Cells are (benchmark index,
+// config index) pairs.
+type SweepFaultPlan struct {
+	PanicCells [][2]int // cells whose injected fault is a panic
+	ErrorCells [][2]int // cells whose injected fault is an error
+
+	// FailAttempts is how many leading attempts of each listed cell fail;
+	// 0 means every attempt fails (a permanent fault).
+	FailAttempts int
+}
+
+// Injector returns the SweepOptions.FaultInject hook implementing the
+// plan. The hook is safe for concurrent workers.
+func (p SweepFaultPlan) Injector() func(bench, config, attempt int) error {
+	panicCell := make(map[[2]int]bool, len(p.PanicCells))
+	for _, c := range p.PanicCells {
+		panicCell[c] = true
+	}
+	errCell := make(map[[2]int]bool, len(p.ErrorCells))
+	for _, c := range p.ErrorCells {
+		errCell[c] = true
+	}
+	return func(bench, config, attempt int) error {
+		if p.FailAttempts > 0 && attempt > p.FailAttempts {
+			return nil
+		}
+		cell := [2]int{bench, config}
+		if panicCell[cell] {
+			panic(fmt.Sprintf("injected sweep fault: cell (%d,%d) attempt %d", bench, config, attempt))
+		}
+		if errCell[cell] {
+			return fmt.Errorf("injected sweep fault: cell (%d,%d) attempt %d", bench, config, attempt)
+		}
+		return nil
+	}
+}
+
+// ParseSweepFaultPlan parses a command-line fault campaign spec:
+// semicolon-separated directives "panic@B,C" and "error@B,C" naming grid
+// cells by benchmark and config index, plus an optional
+// "attempts=N" bounding how many leading attempts fail (default 0 =
+// every attempt).
+//
+//	panic@0,1;error@2,0;attempts=1
+func ParseSweepFaultPlan(spec string) (SweepFaultPlan, error) {
+	var plan SweepFaultPlan
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if n, ok := strings.CutPrefix(part, "attempts="); ok {
+			v, err := strconv.Atoi(n)
+			if err != nil || v < 0 {
+				return SweepFaultPlan{}, fmt.Errorf("imtrans: bad fault attempts %q", n)
+			}
+			plan.FailAttempts = v
+			continue
+		}
+		kind, cell, ok := strings.Cut(part, "@")
+		if !ok || (kind != "panic" && kind != "error") {
+			return SweepFaultPlan{}, fmt.Errorf("imtrans: bad fault directive %q (want panic@B,C or error@B,C)", part)
+		}
+		bs, cs, ok := strings.Cut(cell, ",")
+		if !ok {
+			return SweepFaultPlan{}, fmt.Errorf("imtrans: bad fault cell %q (want B,C)", cell)
+		}
+		bi, err1 := strconv.Atoi(strings.TrimSpace(bs))
+		ci, err2 := strconv.Atoi(strings.TrimSpace(cs))
+		if err1 != nil || err2 != nil || bi < 0 || ci < 0 {
+			return SweepFaultPlan{}, fmt.Errorf("imtrans: bad fault cell %q", cell)
+		}
+		if kind == "panic" {
+			plan.PanicCells = append(plan.PanicCells, [2]int{bi, ci})
+		} else {
+			plan.ErrorCells = append(plan.ErrorCells, [2]int{bi, ci})
+		}
+	}
+	return plan, nil
+}

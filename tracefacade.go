@@ -8,6 +8,7 @@ import (
 	"imtrans/internal/core"
 	"imtrans/internal/hw"
 	"imtrans/internal/isa"
+	"imtrans/internal/replay"
 )
 
 // TraceEntry is one annotated instruction fetch of a measured run.
@@ -18,6 +19,27 @@ type TraceEntry struct {
 	Bus           uint32 // encoded word actually on the bus
 	Flips         int    // bus-line transitions caused by this fetch
 	DecoderActive bool   // fetch decoded inside a covered block
+}
+
+// TraceText profiles the program once (through the shared capture cache)
+// and renders its compressed fetch trace in the canonical one-line text
+// form ("imtrans-trace 1 <first> <n> <ops...>"). The rendering is
+// round-tripped through the validating parser before it is returned, so
+// the output always re-loads; arbitrary edits to it fail the parser's
+// envelope and fetch-count checks instead of replaying short.
+func TraceText(p *Program, setup func(Memory) error) ([]byte, error) {
+	cap, err := captureProgram(p, setup, "")
+	if err != nil {
+		return nil, err
+	}
+	text, err := cap.Trace.MarshalText()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := replay.ParseTrace(text); err != nil {
+		return nil, fmt.Errorf("imtrans: compressed trace failed validation: %w", err)
+	}
+	return text, nil
 }
 
 // TraceProgram profiles the program, plans the encoding, and replays
