@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"imtrans/internal/server"
+)
+
+// cmdLoadgen drives a running imtransd at a configured rate and reports
+// throughput and tail latency — the client half of the serving story,
+// and the tool CI uses to assert a healthy daemon sheds nothing.
+func cmdLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8080", "base URL of the imtransd to drive")
+	path := fs.String("path", "", "request path (default /v1/encode)")
+	method := fs.String("method", "", "HTTP method (default POST with a body, GET without)")
+	body := fs.String("body", "", "request body: inline JSON, or @file to read one (default: a small mmul encode)")
+	rps := fs.Float64("rps", 50, "request rate per second")
+	duration := fs.Duration("duration", 10*time.Second, "how long to generate load")
+	concurrency := fs.Int("c", 32, "client workers")
+	reqTimeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	max5xx := fs.Int("max5xx", -1, "fail if more than this many 5xx responses arrive (-1 = report only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("loadgen takes flags only")
+	}
+
+	var payload []byte
+	if *body != "" {
+		if name, ok := strings.CutPrefix(*body, "@"); ok {
+			data, err := os.ReadFile(name)
+			if err != nil {
+				return err
+			}
+			payload = data
+		} else {
+			payload = []byte(*body)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("driving %s%s at %g rps for %s (%d workers)\n", *url, pathOrDefault(*path), *rps, *duration, *concurrency)
+	rep, err := server.RunLoadgen(ctx, server.LoadgenOptions{
+		BaseURL:     *url,
+		Path:        *path,
+		Method:      *method,
+		Body:        payload,
+		RPS:         *rps,
+		Duration:    *duration,
+		Concurrency: *concurrency,
+		Timeout:     *reqTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Print(rep.String())
+	if *max5xx >= 0 && rep.Responses5xx() > *max5xx {
+		return fmt.Errorf("%d responses were 5xx (budget %d)", rep.Responses5xx(), *max5xx)
+	}
+	return nil
+}
+
+func pathOrDefault(p string) string {
+	if p == "" {
+		return "/v1/encode"
+	}
+	return p
+}

@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"imtrans"
+	"imtrans/internal/buildinfo"
 	"imtrans/internal/stats"
 )
 
@@ -53,6 +54,10 @@ func main() {
 		err = cmdTrace(args)
 	case "inject":
 		err = cmdInject(args)
+	case "loadgen":
+		err = cmdLoadgen(args)
+	case "version", "-version", "--version":
+		fmt.Println(buildinfo.String("imtrans"))
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -97,7 +102,12 @@ commands:
   inject <file.s>     fault-injection campaign over the deployment: flips
                       bits in the image, TT/BBIT, history and artifact,
                       classifying each outcome (-bench <name> instead of a
-                      file, -seed N, -faults per-site count)`)
+                      file, -seed N, -faults per-site count)
+  loadgen             drive a running imtransd (-url, -path, -rps, -duration,
+                      -c workers, -body JSON|@file, -max5xx budget) and
+                      report throughput plus p50/p90/p99 latency
+  version             print the build identity (module version, go version,
+                      platform, VCS revision)`)
 }
 
 func loadProgram(path string) (*imtrans.Program, error) {

@@ -1,0 +1,102 @@
+// Command imtransd serves the instruction-memory power-encoding toolkit
+// over HTTP/JSON: POST /v1/encode plans encodings, POST /v1/measure
+// evaluates configuration grids through the supervised sweep engine,
+// POST /v1/deploy packages CRC-sealed deployment artifacts, and
+// GET /v1/benchmarks lists the built-in kernels. GET /metrics exposes
+// Prometheus-style telemetry; GET /healthz and /readyz gate
+// orchestration. SIGINT/SIGTERM drain gracefully: in-flight requests
+// complete, queued ones are released with 503, then the listener closes.
+//
+// Usage:
+//
+//	imtransd [-addr :8080] [-workers N] [-queue N] [-timeout 120s]
+//	         [-cache N] [-rate-rps N] [-rate-burst N] [-drain 30s]
+//	         [-parallelism N] [-version]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"imtrans"
+	"imtrans/internal/buildinfo"
+	"imtrans/internal/server"
+)
+
+func main() {
+	fs := flag.NewFlagSet("imtransd", flag.ExitOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "concurrent request executions (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "admission queue depth before shedding 429s (0 = 64)")
+	timeout := fs.Duration("timeout", 0, "per-request deadline (0 = 120s)")
+	cache := fs.Int("cache", 0, "result-cache entries (0 = 256)")
+	rateRPS := fs.Float64("rate-rps", 0, "token-bucket admission rate in requests/sec (0 = unlimited)")
+	rateBurst := fs.Int("rate-burst", 0, "token-bucket burst (0 = rate)")
+	drain := fs.Duration("drain", 30*time.Second, "graceful-drain bound after SIGINT/SIGTERM")
+	parallelism := fs.Int("parallelism", 0, "measurement-pipeline worker bound (0 = keep default)")
+	captureCache := fs.Int("capture-cache", 0, "fetch-trace capture cache entries (0 = keep default)")
+	version := fs.Bool("version", false, "print the build identity and exit")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	if *version {
+		fmt.Println(buildinfo.String("imtransd"))
+		return
+	}
+	log.SetPrefix("imtransd: ")
+	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	if *parallelism > 0 {
+		imtrans.SetParallelism(*parallelism)
+	}
+	if *captureCache > 0 {
+		imtrans.SetCaptureCacheLimit(*captureCache)
+	}
+
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		CacheEntries:   *cache,
+		RateLimit:      *rateRPS,
+		RateBurst:      *rateBurst,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s", buildinfo.String("imtransd"))
+	log.Printf("listening on %s", l.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(l) }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("draining (up to %s): in-flight requests complete, queued get 503", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("serve: %v", err)
+	}
+	log.Printf("drained cleanly")
+}

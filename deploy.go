@@ -99,6 +99,40 @@ func BuildDeploymentStatic(p *Program, c Config) (*Deployment, error) {
 	return BuildDeployment(p, profile, c)
 }
 
+// Deployment profiles the benchmark (through the shared capture cache —
+// one simulation per kernel and scale process-wide) and packages the
+// resulting encoding for a target system.
+func (b Benchmark) Deployment(c Config) (*Deployment, error) {
+	p, err := b.Program()
+	if err != nil {
+		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
+	}
+	cap, err := captureProgram(p, b.setup, b.captureSalt())
+	if err != nil {
+		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
+	}
+	d, err := BuildDeployment(p, cap.Profile, c)
+	if err != nil {
+		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
+	}
+	return d, nil
+}
+
+// VerifyDeployment re-runs the benchmark fetching from the deployment's
+// encoded image through a decoder programmed with its tables, checking
+// every restored instruction word — the benchmark-suite form of
+// Deployment.Verify.
+func (b Benchmark) VerifyDeployment(d *Deployment) error {
+	p, err := b.Program()
+	if err != nil {
+		return fmt.Errorf("imtrans: %s: %w", b.Name, err)
+	}
+	if err := d.Verify(p, b.setup); err != nil {
+		return fmt.Errorf("imtrans: %s: %w", b.Name, err)
+	}
+	return nil
+}
+
 // Save serialises the deployment as a versioned JSON artifact.
 func (d *Deployment) Save(w io.Writer) error {
 	f := &objfile.Deployment{

@@ -100,6 +100,26 @@ func EncodeProgram(p *Program, profile []uint64, c Config) (*EncodingReport, err
 	return rep, nil
 }
 
+// Encode plans the power encoding of the benchmark at its configured
+// scale. The execution profile comes from the shared capture cache — one
+// profiling simulation per (kernel, scale) across the whole process — so
+// repeated Encode calls (a busy encoding service, say) never re-simulate.
+func (b Benchmark) Encode(c Config) (*EncodingReport, error) {
+	p, err := b.Program()
+	if err != nil {
+		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
+	}
+	cap, err := captureProgram(p, b.setup, b.captureSalt())
+	if err != nil {
+		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
+	}
+	rep, err := EncodeProgram(p, cap.Profile, c)
+	if err != nil {
+		return nil, fmt.Errorf("imtrans: %s: %w", b.Name, err)
+	}
+	return rep, nil
+}
+
 // TransformationNames returns the canonical 8-function set in hardware
 // selector order, as analytic strings (x is the encoded bit, y the
 // one-bit history).

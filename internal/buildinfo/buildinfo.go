@@ -1,0 +1,59 @@
+// Package buildinfo renders a deployed binary's identity — module
+// version, VCS revision and build toolchain — from the information the Go
+// linker embeds, so `imtrans version` and `imtransd -version` can say
+// exactly what is running without any ldflags plumbing.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// String renders a one-line identity for the named tool, e.g.
+//
+//	imtransd (devel) go1.22.0 linux/amd64 (rev 1f05c6e2a9b4, 2026-08-05T10:00:00Z)
+//
+// Fields degrade gracefully: binaries built outside a module or without
+// VCS metadata simply omit the missing parts.
+func String(tool string) string {
+	var b strings.Builder
+	b.WriteString(tool)
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		fmt.Fprintf(&b, " (no build info) %s %s/%s", runtime.Version(), runtime.GOOS, runtime.GOARCH)
+		return b.String()
+	}
+	version := info.Main.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	fmt.Fprintf(&b, " %s %s %s/%s", version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+	var rev, when string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.time":
+			when = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " (rev %s", rev)
+		if when != "" {
+			fmt.Fprintf(&b, ", %s", when)
+		}
+		if dirty {
+			b.WriteString(", dirty")
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}

@@ -1,0 +1,23 @@
+package buildinfo
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestString(t *testing.T) {
+	got := String("imtransd")
+	if !strings.HasPrefix(got, "imtransd ") {
+		t.Errorf("missing tool name: %q", got)
+	}
+	if !strings.Contains(got, runtime.Version()) {
+		t.Errorf("missing go version: %q", got)
+	}
+	if !strings.Contains(got, runtime.GOOS+"/"+runtime.GOARCH) {
+		t.Errorf("missing platform: %q", got)
+	}
+	if strings.Contains(got, "\n") {
+		t.Errorf("version string must be one line: %q", got)
+	}
+}

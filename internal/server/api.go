@@ -1,0 +1,306 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"imtrans"
+	"imtrans/internal/stats"
+)
+
+// The request decoders below are the daemon's entire parsing surface:
+// every body is size-capped before it reaches them, decoded strictly
+// (unknown fields rejected, trailing garbage rejected) and validated
+// against resource bounds, so arbitrary input yields a 400 — never a
+// panic, never an unbounded simulation. They are pure functions of the
+// body bytes, which keeps them directly fuzzable.
+
+// maxSourceBytes bounds an inline MR32 assembly source.
+const maxSourceBytes = 1 << 20
+
+// maxGridCells bounds a /v1/measure grid (benchmarks × configs).
+const maxGridCells = 256
+
+// maxRetries bounds the per-cell supervised attempt budget a client may
+// request.
+const maxRetries = 10
+
+// ConfigRequest is the wire form of imtrans.Config.
+type ConfigRequest struct {
+	BlockSize    int  `json:"block_size,omitempty"`
+	TTEntries    int  `json:"tt_entries,omitempty"`
+	BBITEntries  int  `json:"bbit_entries,omitempty"`
+	AllFunctions bool `json:"all_functions,omitempty"`
+	Exact        bool `json:"exact,omitempty"`
+	Knapsack     bool `json:"knapsack,omitempty"`
+	BusWidth     int  `json:"bus_width,omitempty"`
+}
+
+// Config converts to the root facade's configuration type.
+func (c ConfigRequest) Config() imtrans.Config {
+	return imtrans.Config{
+		BlockSize:    c.BlockSize,
+		TTEntries:    c.TTEntries,
+		BBITEntries:  c.BBITEntries,
+		AllFunctions: c.AllFunctions,
+		Exact:        c.Exact,
+		Knapsack:     c.Knapsack,
+		BusWidth:     c.BusWidth,
+	}
+}
+
+func (c ConfigRequest) validate() error {
+	if c.BlockSize != 0 && (c.BlockSize < 2 || c.BlockSize > 16) {
+		return fmt.Errorf("config: block_size %d out of range [2, 16]", c.BlockSize)
+	}
+	if c.TTEntries < 0 || c.TTEntries > 4096 {
+		return fmt.Errorf("config: tt_entries %d out of range [0, 4096]", c.TTEntries)
+	}
+	if c.BBITEntries < 0 || c.BBITEntries > 4096 {
+		return fmt.Errorf("config: bbit_entries %d out of range [0, 4096]", c.BBITEntries)
+	}
+	if c.BusWidth < 0 || c.BusWidth > 32 {
+		return fmt.Errorf("config: bus_width %d out of range [0, 32]", c.BusWidth)
+	}
+	return nil
+}
+
+// BenchmarkRef names a built-in kernel, optionally rescaled. Zero n/iters
+// keep the kernel's defaults (the paper's problem sizes).
+type BenchmarkRef struct {
+	Name  string `json:"name"`
+	N     int    `json:"n,omitempty"`
+	Iters int    `json:"iters,omitempty"`
+}
+
+func (r BenchmarkRef) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("benchmark: name is required")
+	}
+	if r.N < 0 || r.N > 1<<20 {
+		return fmt.Errorf("benchmark %q: n %d out of range [0, %d]", r.Name, r.N, 1<<20)
+	}
+	if r.Iters < 0 || r.Iters > 1<<20 {
+		return fmt.Errorf("benchmark %q: iters %d out of range [0, %d]", r.Name, r.Iters, 1<<20)
+	}
+	return nil
+}
+
+// resolve looks the kernel up and applies the scale. Unknown names are a
+// client error (400), not an internal one.
+func (r BenchmarkRef) resolve() (imtrans.Benchmark, error) {
+	b, err := imtrans.BenchmarkByName(r.Name)
+	if err != nil {
+		return imtrans.Benchmark{}, err
+	}
+	return b.WithScale(r.N, r.Iters), nil
+}
+
+// EncodeRequest is the body of POST /v1/encode: exactly one of an inline
+// MR32 source or a built-in benchmark reference, plus the encoding
+// configuration.
+type EncodeRequest struct {
+	Source    string        `json:"source,omitempty"`
+	Benchmark *BenchmarkRef `json:"benchmark,omitempty"`
+	Config    ConfigRequest `json:"config,omitempty"`
+}
+
+func (r *EncodeRequest) validate() error {
+	if (r.Source == "") == (r.Benchmark == nil) {
+		return fmt.Errorf("exactly one of source or benchmark is required")
+	}
+	if len(r.Source) > maxSourceBytes {
+		return fmt.Errorf("source exceeds %d bytes", maxSourceBytes)
+	}
+	if r.Benchmark != nil {
+		if err := r.Benchmark.validate(); err != nil {
+			return err
+		}
+	}
+	return r.Config.validate()
+}
+
+// EncodeResponse carries the planned encoding: the static report
+// (covered blocks, table contents, overhead, encoded image).
+type EncodeResponse struct {
+	Config string                  `json:"config"`
+	Report *imtrans.EncodingReport `json:"report"`
+}
+
+// MeasureRequest is the body of POST /v1/measure: a configuration grid
+// over either one inline source program or a set of built-in benchmarks.
+type MeasureRequest struct {
+	Source     string          `json:"source,omitempty"`
+	Benchmarks []BenchmarkRef  `json:"benchmarks,omitempty"`
+	Configs    []ConfigRequest `json:"configs,omitempty"`
+	// Retries is the supervised attempt budget per grid cell (benchmark
+	// grids only); 0 means a single attempt.
+	Retries int `json:"retries,omitempty"`
+}
+
+func (r *MeasureRequest) validate() error {
+	if (r.Source == "") == (len(r.Benchmarks) == 0) {
+		return fmt.Errorf("exactly one of source or benchmarks is required")
+	}
+	if len(r.Source) > maxSourceBytes {
+		return fmt.Errorf("source exceeds %d bytes", maxSourceBytes)
+	}
+	rows := len(r.Benchmarks)
+	if rows == 0 {
+		rows = 1
+	}
+	cols := len(r.Configs)
+	if cols == 0 {
+		cols = 1
+	}
+	if rows*cols > maxGridCells {
+		return fmt.Errorf("grid of %d cells exceeds the %d-cell limit", rows*cols, maxGridCells)
+	}
+	for _, b := range r.Benchmarks {
+		if err := b.validate(); err != nil {
+			return err
+		}
+	}
+	for i, c := range r.Configs {
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("configs[%d]: %w", i, err)
+		}
+	}
+	if r.Retries < 0 || r.Retries > maxRetries {
+		return fmt.Errorf("retries %d out of range [0, %d]", r.Retries, maxRetries)
+	}
+	return nil
+}
+
+// configs returns the grid's configuration axis (a single default when
+// none are given), mirroring the facade's zero-config behaviour.
+func (r *MeasureRequest) configs() []imtrans.Config {
+	if len(r.Configs) == 0 {
+		return []imtrans.Config{{}}
+	}
+	out := make([]imtrans.Config, len(r.Configs))
+	for i, c := range r.Configs {
+		out[i] = c.Config()
+	}
+	return out
+}
+
+// MeasureResponse is the measured grid, indexed [benchmark][config].
+// Values are bit-identical to what SweepMeasure / ReplayMeasure return
+// in-process: the daemon adds no rounding of its own, and encoding/json
+// round-trips every float64 exactly.
+type MeasureResponse struct {
+	Benchmarks   []string                `json:"benchmarks"`
+	Configs      []string                `json:"configs"`
+	Measurements [][]imtrans.Measurement `json:"measurements"`
+	Done         [][]bool                `json:"done"`
+	Errors       []string                `json:"errors,omitempty"`
+	Counters     *stats.Counters         `json:"counters,omitempty"`
+}
+
+// DeployRequest is the body of POST /v1/deploy: build (and by default
+// end-to-end verify) a versioned deployment artifact for a program or
+// benchmark. Static selects the profile-free firmware scenario.
+type DeployRequest struct {
+	Source     string        `json:"source,omitempty"`
+	Benchmark  *BenchmarkRef `json:"benchmark,omitempty"`
+	Config     ConfigRequest `json:"config,omitempty"`
+	Static     bool          `json:"static,omitempty"`
+	SkipVerify bool          `json:"skip_verify,omitempty"`
+}
+
+func (r *DeployRequest) validate() error {
+	if (r.Source == "") == (r.Benchmark == nil) {
+		return fmt.Errorf("exactly one of source or benchmark is required")
+	}
+	if len(r.Source) > maxSourceBytes {
+		return fmt.Errorf("source exceeds %d bytes", maxSourceBytes)
+	}
+	if r.Benchmark != nil {
+		if err := r.Benchmark.validate(); err != nil {
+			return err
+		}
+	}
+	return r.Config.validate()
+}
+
+// DeployResponse carries the versioned artifact (the exact bytes
+// Deployment.Save writes, CRC-sealed and re-validated by the daemon
+// before shipping) plus its headline geometry.
+type DeployResponse struct {
+	Artifact      json.RawMessage `json:"artifact"`
+	Checksum      uint32          `json:"checksum"`
+	BlockSize     int             `json:"block_size"`
+	BusWidth      int             `json:"bus_width"`
+	TTEntries     int             `json:"tt_entries"`
+	CoveredBlocks int             `json:"covered_blocks"`
+	ImageWords    int             `json:"image_words"`
+	Verified      bool            `json:"verified"`
+}
+
+// BenchmarkInfo describes one built-in kernel for GET /v1/benchmarks.
+type BenchmarkInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	N           int    `json:"n"`
+	Iters       int    `json:"iters"`
+	Suite       string `json:"suite"` // "paper" or "extra"
+}
+
+// errorResponse is the uniform error body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+	Panic bool   `json:"panic,omitempty"`
+}
+
+// decodeStrict unmarshals one JSON value from data into v, rejecting
+// unknown fields and trailing content.
+func decodeStrict(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("trailing data after the JSON body")
+	}
+	return nil
+}
+
+// ParseEncodeRequest decodes and validates a POST /v1/encode body.
+func ParseEncodeRequest(data []byte) (*EncodeRequest, error) {
+	var r EncodeRequest
+	if err := decodeStrict(data, &r); err != nil {
+		return nil, err
+	}
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ParseMeasureRequest decodes and validates a POST /v1/measure body.
+func ParseMeasureRequest(data []byte) (*MeasureRequest, error) {
+	var r MeasureRequest
+	if err := decodeStrict(data, &r); err != nil {
+		return nil, err
+	}
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ParseDeployRequest decodes and validates a POST /v1/deploy body.
+func ParseDeployRequest(data []byte) (*DeployRequest, error) {
+	var r DeployRequest
+	if err := decodeStrict(data, &r); err != nil {
+		return nil, err
+	}
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}

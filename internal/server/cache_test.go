@@ -1,0 +1,185 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ok200(body string) (*cachedResult, error) {
+	return &cachedResult{status: http.StatusOK, body: []byte(body)}, nil
+}
+
+func TestCacheHitAndEviction(t *testing.T) {
+	c := newResultCache(2)
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if _, out, _ := c.do(ctx, key, func() (*cachedResult, error) { return ok200(key) }); out != cacheMiss {
+			t.Fatalf("%s: outcome %v, want miss", key, out)
+		}
+	}
+	// k0 is the coldest and must have been evicted by k2.
+	if _, out, _ := c.do(ctx, "k0", func() (*cachedResult, error) { return ok200("recomputed") }); out != cacheMiss {
+		t.Errorf("evicted key served with outcome %v, want miss", out)
+	}
+	res, out, _ := c.do(ctx, "k2", func() (*cachedResult, error) { t.Fatal("must not run"); return nil, nil })
+	if out != cacheHit || string(res.body) != "k2" {
+		t.Errorf("k2: outcome %v body %q, want hit with original body", out, res.body)
+	}
+	if c.size() != 2 {
+		t.Errorf("size %d, want 2", c.size())
+	}
+}
+
+func TestCacheDoesNotStoreErrors(t *testing.T) {
+	c := newResultCache(8)
+	ctx := context.Background()
+	c.do(ctx, "k", func() (*cachedResult, error) {
+		return &cachedResult{status: http.StatusUnprocessableEntity, body: []byte("bad")}, nil
+	})
+	ran := false
+	res, out, _ := c.do(ctx, "k", func() (*cachedResult, error) { ran = true; return ok200("good") })
+	if !ran || out != cacheMiss || string(res.body) != "good" {
+		t.Errorf("non-2xx was cached: ran=%v outcome=%v body=%q", ran, out, res.body)
+	}
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	c := newResultCache(8)
+	ctx := context.Background()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var runs int
+	go c.do(ctx, "k", func() (*cachedResult, error) {
+		runs++
+		close(started)
+		<-release
+		return ok200("shared")
+	})
+	<-started
+	const followers = 4
+	var wg sync.WaitGroup
+	outcomes := make(chan cacheOutcome, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, out, err := c.do(ctx, "k", func() (*cachedResult, error) {
+				t.Error("follower ran fn")
+				return nil, nil
+			})
+			if err != nil || string(res.body) != "shared" {
+				t.Errorf("follower got %v / %v", res, err)
+			}
+			outcomes <- out
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i := 0; i < followers; i++ {
+		if out := <-outcomes; out != cacheShared {
+			t.Errorf("follower outcome %v, want shared", out)
+		}
+	}
+	if runs != 1 {
+		t.Errorf("fn ran %d times, want 1", runs)
+	}
+}
+
+func TestCacheFollowerCancellation(t *testing.T) {
+	c := newResultCache(8)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go c.do(context.Background(), "k", func() (*cachedResult, error) {
+		close(started)
+		<-release
+		return ok200("late")
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, out, err := c.do(ctx, "k", nil)
+	if out != cacheShared || err != context.Canceled {
+		t.Errorf("cancelled follower: outcome %v err %v, want shared + context.Canceled", out, err)
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	var unlimited *tokenBucket
+	for i := 0; i < 100; i++ {
+		if !unlimited.allow() {
+			t.Fatal("nil bucket must allow everything")
+		}
+	}
+	b := newTokenBucket(1000, 2)
+	if !b.allow() || !b.allow() {
+		t.Fatal("burst of 2 must admit two immediate requests")
+	}
+	if b.allow() {
+		t.Fatal("third immediate request must be shed")
+	}
+	time.Sleep(5 * time.Millisecond) // 1000/s refills well past one token
+	if !b.allow() {
+		t.Error("bucket did not refill")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := newHistogram()
+	h.observe(0.001)
+	h.observe(0.2)
+	h.observe(1e9) // beyond the last bucket: only +Inf catches it
+	var sb strings.Builder
+	h.render(&sb, "test_seconds", `endpoint="x"`)
+	out := sb.String()
+	if !strings.Contains(out, `test_seconds_count{endpoint="x"} 3`) {
+		t.Errorf("missing count:\n%s", out)
+	}
+	if !strings.Contains(out, `le="+Inf"} 3`) {
+		t.Errorf("+Inf bucket must be cumulative over everything:\n%s", out)
+	}
+	// Buckets are cumulative: every bucket count must be <= the next.
+	prev := -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.Contains(line, "_bucket") {
+			continue
+		}
+		var n int
+		if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &n); err != nil {
+			t.Fatalf("unparseable bucket line %q", line)
+		}
+		if n < prev {
+			t.Fatalf("bucket counts not cumulative at %q", line)
+		}
+		prev = n
+	}
+}
+
+func TestRenderCountersGroupsFamilies(t *testing.T) {
+	s := New(Config{})
+	s.counters.Add(`requests_total{endpoint="a",code="200"}`, 2)
+	s.counters.Add(`requests_total{endpoint="b",code="400"}`, 1)
+	s.counters.Add("cache_hits_total", 5)
+	var sb strings.Builder
+	renderCounters(&sb, s.counters)
+	out := sb.String()
+	if n := strings.Count(out, "# TYPE imtransd_requests_total counter"); n != 1 {
+		t.Errorf("requests_total TYPE header appears %d times, want 1:\n%s", n, out)
+	}
+	for _, want := range []string{
+		`imtransd_requests_total{endpoint="a",code="200"} 2`,
+		`imtransd_requests_total{endpoint="b",code="400"} 1`,
+		"imtransd_cache_hits_total 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}

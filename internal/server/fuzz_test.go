@@ -1,0 +1,92 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// The decoders are the daemon's entire parsing surface: every fuzz
+// target asserts the same property — arbitrary bytes yield either an
+// error or a validated request, never a panic and never a request that
+// escapes the resource bounds.
+
+func fuzzSeeds(f *testing.F) {
+	seeds := []string{
+		`{"benchmark":{"name":"mmul","n":24}}`,
+		`{"source":"li $v0, 10\nsyscall\n"}`,
+		`{"benchmarks":[{"name":"mmul","n":24},{"name":"fft"}],"configs":[{"block_size":5},{}],"retries":2}`,
+		`{"benchmark":{"name":"mmul"},"config":{"block_size":5,"tt_entries":16,"bbit_entries":16,"all_functions":true,"exact":true,"knapsack":true,"bus_width":16}}`,
+		`{"benchmark":{"name":"mmul"},"static":true,"skip_verify":true}`,
+		`{}`,
+		`{"benchmark":{"name":"mmul"}} trailing`,
+		`{"benchmark":{"name":"mmul"},"unknown_field":1}`,
+		`{"benchmarks":[{"name":"mmul"}],"retries":-1}`,
+		`nonsense`,
+		`[1,2,3]`,
+		`"just a string"`,
+		`{"source":"` + strings.Repeat("x", 64) + `"}`,
+		``,
+		`null`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+}
+
+func FuzzParseEncodeRequest(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ParseEncodeRequest(data)
+		if err != nil {
+			return
+		}
+		if (r.Source == "") == (r.Benchmark == nil) {
+			t.Fatalf("accepted request violates exactly-one-of: %+v", r)
+		}
+		if len(r.Source) > maxSourceBytes {
+			t.Fatalf("accepted oversize source (%d bytes)", len(r.Source))
+		}
+	})
+}
+
+func FuzzParseMeasureRequest(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ParseMeasureRequest(data)
+		if err != nil {
+			return
+		}
+		if (r.Source == "") == (len(r.Benchmarks) == 0) {
+			t.Fatalf("accepted request violates exactly-one-of: %+v", r)
+		}
+		rows, cols := len(r.Benchmarks), len(r.Configs)
+		if rows == 0 {
+			rows = 1
+		}
+		if cols == 0 {
+			cols = 1
+		}
+		if rows*cols > maxGridCells {
+			t.Fatalf("accepted %d-cell grid past the %d-cell bound", rows*cols, maxGridCells)
+		}
+		if r.Retries < 0 || r.Retries > maxRetries {
+			t.Fatalf("accepted retries %d outside [0, %d]", r.Retries, maxRetries)
+		}
+	})
+}
+
+func FuzzParseDeployRequest(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ParseDeployRequest(data)
+		if err != nil {
+			return
+		}
+		if (r.Source == "") == (r.Benchmark == nil) {
+			t.Fatalf("accepted request violates exactly-one-of: %+v", r)
+		}
+		if r.Benchmark != nil && r.Benchmark.Name == "" {
+			t.Fatal("accepted benchmark without a name")
+		}
+	})
+}

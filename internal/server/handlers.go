@@ -1,0 +1,280 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"imtrans"
+	"imtrans/internal/objfile"
+)
+
+// handleEncode plans an encoding for a source program or benchmark:
+// profile (through the capture cache), encode, statically verify, report.
+func (s *Server) handleEncode(ctx context.Context, body []byte) (*cachedResult, error) {
+	req, err := ParseEncodeRequest(body)
+	if err != nil {
+		return errResult(http.StatusBadRequest, err.Error()), nil
+	}
+	cfg := req.Config.Config()
+	var rep *imtrans.EncodingReport
+	if req.Benchmark != nil {
+		b, err := req.Benchmark.resolve()
+		if err != nil {
+			return errResult(http.StatusBadRequest, err.Error()), nil
+		}
+		rep, err = b.Encode(cfg)
+		if err != nil {
+			return workErr(ctx, err), nil
+		}
+	} else {
+		p, err := imtrans.Assemble(req.Source)
+		if err != nil {
+			return errResult(http.StatusBadRequest, err.Error()), nil
+		}
+		m, err := imtrans.NewMachine(p)
+		if err != nil {
+			return errResult(http.StatusBadRequest, err.Error()), nil
+		}
+		res, err := m.Run()
+		if err != nil {
+			return errResult(http.StatusUnprocessableEntity, err.Error()), nil
+		}
+		rep, err = imtrans.EncodeProgram(p, res.Profile, cfg)
+		if err != nil {
+			return workErr(ctx, err), nil
+		}
+	}
+	return okResult(EncodeResponse{Config: cfg.String(), Report: rep}), nil
+}
+
+// handleMeasure evaluates a configuration grid: benchmarks go through the
+// supervised sweep (per-cell fault isolation, optional retries), an
+// inline source through the replay engine. Both paths poll ctx inside
+// the encoder's bit-line pool and the replay fetch loop.
+func (s *Server) handleMeasure(ctx context.Context, body []byte) (*cachedResult, error) {
+	req, err := ParseMeasureRequest(body)
+	if err != nil {
+		return errResult(http.StatusBadRequest, err.Error()), nil
+	}
+	cfgs := req.configs()
+	cfgNames := make([]string, len(cfgs))
+	for i, c := range cfgs {
+		cfgNames[i] = c.String()
+	}
+
+	if req.Source != "" {
+		p, err := imtrans.Assemble(req.Source)
+		if err != nil {
+			return errResult(http.StatusBadRequest, err.Error()), nil
+		}
+		ms, err := imtrans.ReplayMeasureCtx(ctx, p, nil, cfgs...)
+		if err != nil {
+			return workErr(ctx, err), nil
+		}
+		done := make([]bool, len(ms))
+		for i := range done {
+			done[i] = true
+		}
+		return okResult(MeasureResponse{
+			Benchmarks:   []string{"program"},
+			Configs:      cfgNames,
+			Measurements: [][]imtrans.Measurement{ms},
+			Done:         [][]bool{done},
+		}), nil
+	}
+
+	benches := make([]imtrans.Benchmark, len(req.Benchmarks))
+	names := make([]string, len(req.Benchmarks))
+	for i, ref := range req.Benchmarks {
+		b, err := ref.resolve()
+		if err != nil {
+			return errResult(http.StatusBadRequest, err.Error()), nil
+		}
+		benches[i], names[i] = b, b.Name
+	}
+	res, err := imtrans.SweepMeasureCtx(ctx, benches, cfgs, imtrans.SweepOptions{
+		Parallelism: s.cfg.MeasureParallelism,
+		Retry:       imtrans.RetryPolicy{MaxAttempts: req.Retries, BaseDelay: 10 * time.Millisecond, Jitter: 0.5},
+	})
+	if err != nil {
+		return workErr(ctx, err), nil
+	}
+	resp := MeasureResponse{
+		Benchmarks:   names,
+		Configs:      cfgNames,
+		Measurements: res.Measurements,
+		Done:         res.Done,
+		Counters:     &res.Counters,
+	}
+	for _, se := range res.Errors {
+		resp.Errors = append(resp.Errors, se.Error())
+	}
+	return okResult(resp), nil
+}
+
+// handleDeploy builds a versioned deployment artifact, end-to-end
+// verifies it (unless skipped), and ships the exact CRC-sealed bytes
+// Deployment.Save writes — re-loaded through the strict objfile
+// validator first, so a corrupt artifact can never leave the daemon.
+func (s *Server) handleDeploy(ctx context.Context, body []byte) (*cachedResult, error) {
+	req, err := ParseDeployRequest(body)
+	if err != nil {
+		return errResult(http.StatusBadRequest, err.Error()), nil
+	}
+	cfg := req.Config.Config()
+
+	var d *imtrans.Deployment
+	verified := false
+	if req.Benchmark != nil {
+		b, err := req.Benchmark.resolve()
+		if err != nil {
+			return errResult(http.StatusBadRequest, err.Error()), nil
+		}
+		if req.Static {
+			p, err := b.Program()
+			if err != nil {
+				return errResult(http.StatusBadRequest, err.Error()), nil
+			}
+			d, err = imtrans.BuildDeploymentStatic(p, cfg)
+			if err != nil {
+				return workErr(ctx, err), nil
+			}
+		} else {
+			d, err = b.Deployment(cfg)
+			if err != nil {
+				return workErr(ctx, err), nil
+			}
+		}
+		if !req.SkipVerify {
+			if err := b.VerifyDeployment(d); err != nil {
+				return errResult(http.StatusInternalServerError, err.Error()), nil
+			}
+			verified = true
+		}
+	} else {
+		p, err := imtrans.Assemble(req.Source)
+		if err != nil {
+			return errResult(http.StatusBadRequest, err.Error()), nil
+		}
+		if req.Static {
+			d, err = imtrans.BuildDeploymentStatic(p, cfg)
+		} else {
+			m, merr := imtrans.NewMachine(p)
+			if merr != nil {
+				return errResult(http.StatusBadRequest, merr.Error()), nil
+			}
+			res, rerr := m.Run()
+			if rerr != nil {
+				return errResult(http.StatusUnprocessableEntity, rerr.Error()), nil
+			}
+			d, err = imtrans.BuildDeployment(p, res.Profile, cfg)
+		}
+		if err != nil {
+			return workErr(ctx, err), nil
+		}
+		if !req.SkipVerify {
+			if err := d.Verify(p, nil); err != nil {
+				return errResult(http.StatusInternalServerError, err.Error()), nil
+			}
+			verified = true
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		return nil, fmt.Errorf("serialising deployment: %w", err)
+	}
+	// CRC verification: round-trip the artifact through the strict loader
+	// before shipping it, exactly what the receiving end will do.
+	f, err := objfile.LoadDeployment(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		return nil, fmt.Errorf("artifact failed validation: %w", err)
+	}
+	return okResult(DeployResponse{
+		Artifact:      json.RawMessage(buf.Bytes()),
+		Checksum:      f.Checksum,
+		BlockSize:     d.BlockSize,
+		BusWidth:      d.BusWidth,
+		TTEntries:     d.TTEntries(),
+		CoveredBlocks: d.CoveredBlocks(),
+		ImageWords:    len(d.Encoded),
+		Verified:      verified,
+	}), nil
+}
+
+// handleBenchmarks lists the built-in kernels: the paper's six plus the
+// generality extras, with their default (paper-scale) parameters.
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	var out []BenchmarkInfo
+	for _, b := range imtrans.Benchmarks() {
+		out = append(out, BenchmarkInfo{Name: b.Name, Description: b.Description, N: b.N, Iters: b.Iters, Suite: "paper"})
+	}
+	for _, b := range imtrans.ExtraBenchmarks() {
+		out = append(out, BenchmarkInfo{Name: b.Name, Description: b.Description, N: b.N, Iters: b.Iters, Suite: "extra"})
+	}
+	s.finish(w, "benchmarks", start, okResult(out))
+}
+
+// handleHealthz reports process liveness: if this handler runs, the
+// process is up — draining or not.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz gates traffic: 200 while serving, 503 once draining (or
+// before Serve), so orchestrators stop routing before the listener goes.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() || s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+// handleMetrics renders the daemon's telemetry in Prometheus text
+// format: request/cache/shed/panic counters, per-endpoint latency
+// histograms, worker-pool and cache gauges, and the process-wide
+// capture-cache counters underneath the result cache.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	renderCounters(w, s.counters)
+	fmt.Fprintf(w, "# TYPE %srequest_duration_seconds histogram\n", metricsNamespace)
+	for _, ep := range []string{"encode", "measure", "deploy", "benchmarks"} {
+		s.hist[ep].render(w, metricsNamespace+"request_duration_seconds", fmt.Sprintf("endpoint=%q", ep))
+	}
+	hits, misses := imtrans.CaptureCacheStats()
+	fmt.Fprintf(w, "# TYPE %scapture_cache_hits_total counter\n%scapture_cache_hits_total %d\n", metricsNamespace, metricsNamespace, hits)
+	fmt.Fprintf(w, "# TYPE %scapture_cache_misses_total counter\n%scapture_cache_misses_total %d\n", metricsNamespace, metricsNamespace, misses)
+	fmt.Fprintf(w, "# TYPE %sresult_cache_entries gauge\n%sresult_cache_entries %d\n", metricsNamespace, metricsNamespace, s.cache.size())
+	fmt.Fprintf(w, "# TYPE %squeue_waiting gauge\n%squeue_waiting %d\n", metricsNamespace, metricsNamespace, s.waiting.Load())
+	fmt.Fprintf(w, "# TYPE %sworkers gauge\n%sworkers %d\n", metricsNamespace, metricsNamespace, s.cfg.Workers)
+	fmt.Fprintf(w, "# TYPE %sworkers_busy gauge\n%sworkers_busy %d\n", metricsNamespace, metricsNamespace, len(s.sem))
+	fmt.Fprintf(w, "# TYPE %suptime_seconds gauge\n%suptime_seconds %g\n", metricsNamespace, metricsNamespace, time.Since(s.started).Seconds())
+	up := 1
+	if s.Draining() {
+		up = 0
+	}
+	fmt.Fprintf(w, "# TYPE %sready gauge\n%sready %d\n", metricsNamespace, metricsNamespace, up)
+}
+
+// workErr maps a work-stage failure to its response: context deadline →
+// 504, client disconnect → 499 (recorded, unsent), anything else → 422,
+// the encoding/measurement itself rejected the input.
+func workErr(ctx context.Context, err error) *cachedResult {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return errResult(http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, context.Canceled):
+		return errResult(statusClientClosed, err.Error())
+	}
+	return errResult(http.StatusUnprocessableEntity, err.Error())
+}

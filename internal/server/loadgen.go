@@ -1,0 +1,243 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"imtrans/internal/stats"
+)
+
+// LoadgenOptions parameterises a load-generation run against a live
+// imtransd. The zero value drives POST /v1/encode with a small built-in
+// benchmark at 50 requests/second for 10 seconds.
+type LoadgenOptions struct {
+	BaseURL     string        // e.g. http://127.0.0.1:8080
+	Path        string        // default /v1/encode
+	Method      string        // default POST when Body is set, GET otherwise
+	Body        []byte        // default: a small mmul encode request for /v1/encode
+	RPS         float64       // request rate; default 50
+	Duration    time.Duration // default 10 s
+	Concurrency int           // client workers; default 32
+	Timeout     time.Duration // per-request; default 30 s
+}
+
+// defaultLoadgenBody is the stock request when none is given: encode a
+// reduced mmul, cheap to compute once and a cache hit forever after —
+// it exercises the whole serving pipeline at high rates.
+const defaultLoadgenBody = `{"benchmark":{"name":"mmul","n":24}}`
+
+func (o LoadgenOptions) withDefaults() LoadgenOptions {
+	if o.Path == "" {
+		o.Path = "/v1/encode"
+		if o.Body == nil {
+			o.Body = []byte(defaultLoadgenBody)
+		}
+	}
+	if o.Method == "" {
+		if len(o.Body) > 0 {
+			o.Method = http.MethodPost
+		} else {
+			o.Method = http.MethodGet
+		}
+	}
+	if o.RPS <= 0 {
+		o.RPS = 50
+	}
+	if o.Duration <= 0 {
+		o.Duration = 10 * time.Second
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 32
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 30 * time.Second
+	}
+	return o
+}
+
+// LoadReport aggregates one loadgen run. A request is "accepted" once the
+// server's response headers arrive; Resets counts errors after acceptance
+// (a mid-response connection loss), NotAccepted counts requests that
+// never got a response (dial refused, client saturation timeouts) — the
+// distinction a graceful drain is judged by: accepted requests must
+// complete, refused dials are expected once the listener closes.
+type LoadReport struct {
+	Sent        int
+	Accepted    int
+	NotAccepted int
+	Resets      int
+	Dropped     int // ticks skipped because every client worker was busy
+
+	StatusCounts map[int]int
+	Elapsed      time.Duration
+	Throughput   float64 // accepted responses per second
+
+	P50, P90, P99, Max time.Duration
+}
+
+// Responses5xx counts accepted responses with a 5xx status.
+func (r *LoadReport) Responses5xx() int {
+	n := 0
+	for code, c := range r.StatusCounts {
+		if code >= 500 {
+			n += c
+		}
+	}
+	return n
+}
+
+// String renders the report as a table plus the headline line the CI
+// smoke test greps.
+func (r *LoadReport) String() string {
+	var t stats.Table
+	t.AddRow("metric", "value")
+	t.AddRowf("requests sent", r.Sent)
+	t.AddRowf("accepted", r.Accepted)
+	t.AddRowf("not accepted", r.NotAccepted)
+	t.AddRowf("resets", r.Resets)
+	t.AddRowf("client-side drops", r.Dropped)
+	codes := make([]int, 0, len(r.StatusCounts))
+	for c := range r.StatusCounts {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	for _, c := range codes {
+		t.AddRowf(fmt.Sprintf("status %d", c), r.StatusCounts[c])
+	}
+	t.AddRowf("throughput rps", fmt.Sprintf("%.1f", r.Throughput))
+	t.AddRowf("latency p50", r.P50.Round(10*time.Microsecond))
+	t.AddRowf("latency p90", r.P90.Round(10*time.Microsecond))
+	t.AddRowf("latency p99", r.P99.Round(10*time.Microsecond))
+	t.AddRowf("latency max", r.Max.Round(10*time.Microsecond))
+	var b strings.Builder
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "responses_5xx %d\n", r.Responses5xx())
+	return b.String()
+}
+
+// RunLoadgen drives the target at opts.RPS until opts.Duration elapses
+// (or ctx ends), then drains in-flight requests and aggregates. Each
+// request uses its own connection (no keep-alive): loadgen's job includes
+// judging drains, and connection reuse across a closing listener would
+// blur the accepted/not-accepted line it reports.
+func RunLoadgen(ctx context.Context, opts LoadgenOptions) (*LoadReport, error) {
+	opts = opts.withDefaults()
+	if opts.BaseURL == "" {
+		return nil, fmt.Errorf("loadgen: BaseURL is required")
+	}
+	url := strings.TrimRight(opts.BaseURL, "/") + opts.Path
+
+	client := &http.Client{
+		Timeout:   opts.Timeout,
+		Transport: &http.Transport{DisableKeepAlives: true, MaxIdleConns: 0},
+	}
+
+	type sample struct {
+		status   int  // 0 when no response arrived
+		reset    bool // error after response headers
+		latency  time.Duration
+		accepted bool
+	}
+	var (
+		mu      sync.Mutex
+		samples []sample
+		sent    int
+		dropped int
+	)
+
+	jobs := make(chan struct{}, opts.Concurrency)
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range jobs {
+				var sm sample
+				start := time.Now()
+				req, err := http.NewRequestWithContext(ctx, opts.Method, url, bytes.NewReader(opts.Body))
+				if err == nil {
+					if len(opts.Body) > 0 {
+						req.Header.Set("Content-Type", "application/json")
+					}
+					resp, derr := client.Do(req)
+					if derr == nil {
+						sm.accepted = true
+						sm.status = resp.StatusCode
+						if _, rerr := io.Copy(io.Discard, resp.Body); rerr != nil {
+							sm.reset = true
+						}
+						resp.Body.Close()
+					}
+				}
+				sm.latency = time.Since(start)
+				mu.Lock()
+				samples = append(samples, sm)
+				mu.Unlock()
+			}
+		}()
+	}
+
+	interval := time.Duration(float64(time.Second) / opts.RPS)
+	ticker := time.NewTicker(interval)
+	deadline := time.NewTimer(opts.Duration)
+	start := time.Now()
+loop:
+	for {
+		select {
+		case <-ticker.C:
+			sent++
+			select {
+			case jobs <- struct{}{}:
+			default:
+				dropped++ // all workers busy: count, don't queue unboundedly
+			}
+		case <-deadline.C:
+			break loop
+		case <-ctx.Done():
+			break loop
+		}
+	}
+	ticker.Stop()
+	deadline.Stop()
+	close(jobs)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &LoadReport{
+		Sent:         sent,
+		Dropped:      dropped,
+		StatusCounts: map[int]int{},
+		Elapsed:      elapsed,
+	}
+	var lat []time.Duration
+	for _, sm := range samples {
+		switch {
+		case sm.reset:
+			rep.Resets++
+		case sm.accepted:
+			rep.Accepted++
+			rep.StatusCounts[sm.status]++
+			lat = append(lat, sm.latency)
+		default:
+			rep.NotAccepted++
+		}
+	}
+	rep.Throughput = float64(rep.Accepted) / elapsed.Seconds()
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		pct := func(p float64) time.Duration {
+			i := int(p * float64(len(lat)-1))
+			return lat[i]
+		}
+		rep.P50, rep.P90, rep.P99 = pct(0.50), pct(0.90), pct(0.99)
+		rep.Max = lat[len(lat)-1]
+	}
+	return rep, nil
+}

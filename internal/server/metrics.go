@@ -1,0 +1,87 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"imtrans/internal/stats"
+)
+
+// metricsNamespace prefixes every exported metric family.
+const metricsNamespace = "imtransd_"
+
+// durationBuckets are the latency histogram bounds in seconds, spanning a
+// cached hit (~100µs) to a paper-scale measurement grid (tens of seconds).
+var durationBuckets = []float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// histogram is a fixed-bucket latency histogram in the Prometheus
+// cumulative style; observe and render are safe for concurrent use.
+type histogram struct {
+	mu     sync.Mutex
+	counts []uint64 // per-bucket (non-cumulative) counts; len(bounds)+1 with +Inf last
+	sum    float64
+	total  uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]uint64, len(durationBuckets)+1)}
+}
+
+// observe records one duration in seconds.
+func (h *histogram) observe(seconds float64) {
+	i := sort.SearchFloat64s(durationBuckets, seconds)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += seconds
+	h.total++
+	h.mu.Unlock()
+}
+
+// render writes the histogram as Prometheus text lines for one family
+// with a fixed label set (e.g. `endpoint="encode"`).
+func (h *histogram) render(w io.Writer, family, labels string) {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, total := h.sum, h.total
+	h.mu.Unlock()
+	var cum uint64
+	for i, bound := range durationBuckets {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", family, labels, bound, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", family, labels, total)
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", family, labels, sum)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", family, labels, total)
+}
+
+// renderCounters writes a stats.Counters set in Prometheus text format.
+// Counter names may carry an inline label set — `requests_total{...}` —
+// and are grouped into families (the name before the brace) so each
+// family gets exactly one TYPE header, in first-seen order.
+func renderCounters(w io.Writer, c *stats.Counters) {
+	snap := c.Clone()
+	families := []string{}
+	byFamily := map[string][]string{}
+	for _, name := range snap.Names() {
+		fam := name
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			fam = name[:i]
+		}
+		if _, ok := byFamily[fam]; !ok {
+			families = append(families, fam)
+		}
+		byFamily[fam] = append(byFamily[fam], name)
+	}
+	for _, fam := range families {
+		fmt.Fprintf(w, "# TYPE %s%s counter\n", metricsNamespace, fam)
+		for _, name := range byFamily[fam] {
+			fmt.Fprintf(w, "%s%s %d\n", metricsNamespace, name, snap.Get(name))
+		}
+	}
+}

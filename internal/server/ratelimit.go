@@ -1,0 +1,55 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// tokenBucket is a classic token-bucket rate limiter: tokens refill
+// continuously at rate per second up to burst, and each admitted request
+// spends one. A nil *tokenBucket admits everything (rate limiting
+// disabled).
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBucket returns a limiter admitting rate requests/second with
+// the given burst capacity (<= 0 defaults to ceil(rate), at least 1).
+// rate <= 0 disables limiting by returning nil.
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	if rate <= 0 {
+		return nil
+	}
+	b := float64(burst)
+	if b <= 0 {
+		b = rate
+	}
+	if b < 1 {
+		b = 1
+	}
+	return &tokenBucket{rate: rate, burst: b, tokens: b, last: time.Now()}
+}
+
+// allow spends one token if available.
+func (b *tokenBucket) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Percent returns part as a percentage of whole, or 0 when whole is 0.
@@ -19,14 +20,19 @@ func Percent(part, whole uint64) float64 {
 
 // Counters is an ordered set of named event counters. The fault-tolerance
 // layer uses it to surface decoder detection and fallback counts; insertion
-// order is preserved so reports render deterministically.
+// order is preserved so reports render deterministically. All methods are
+// safe for concurrent use: the serving daemon shares one instance across
+// request goroutines. Counters must not be copied after first use.
 type Counters struct {
+	mu    sync.Mutex
 	order []string
 	v     map[string]uint64
 }
 
 // Add increments the named counter by n, creating it on first use.
 func (c *Counters) Add(name string, n uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.v == nil {
 		c.v = make(map[string]uint64)
 	}
@@ -37,13 +43,23 @@ func (c *Counters) Add(name string, n uint64) {
 }
 
 // Get returns the named counter's value (0 if never added).
-func (c *Counters) Get(name string) uint64 { return c.v[name] }
+func (c *Counters) Get(name string) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v[name]
+}
 
 // Names returns the counter names in insertion order.
-func (c *Counters) Names() []string { return append([]string(nil), c.order...) }
+func (c *Counters) Names() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
 
 // Total sums all counters.
 func (c *Counters) Total() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var t uint64
 	for _, n := range c.order {
 		t += c.v[n]
@@ -52,13 +68,23 @@ func (c *Counters) Total() uint64 {
 }
 
 // Len reports how many distinct counters exist.
-func (c *Counters) Len() int { return len(c.order) }
+func (c *Counters) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.order)
+}
 
-// Clone returns an independent copy preserving insertion order.
+// Clone returns an independent copy preserving insertion order. The copy
+// is a consistent snapshot even while other goroutines keep adding.
 func (c *Counters) Clone() *Counters {
-	out := &Counters{}
-	for _, n := range c.order {
-		out.Add(n, c.v[n])
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := &Counters{
+		order: append([]string(nil), c.order...),
+		v:     make(map[string]uint64, len(c.v)),
+	}
+	for n, v := range c.v {
+		out.v[n] = v
 	}
 	return out
 }
@@ -67,6 +93,8 @@ func (c *Counters) Clone() *Counters {
 // insertion order (encoding/json would sort a plain map), so reports are
 // byte-stable run to run.
 func (c *Counters) MarshalJSON() ([]byte, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var b strings.Builder
 	b.WriteByte('{')
 	for i, n := range c.order {
@@ -95,7 +123,9 @@ func (c *Counters) UnmarshalJSON(data []byte) error {
 	if d, ok := tok.(json.Delim); !ok || d != '{' {
 		return fmt.Errorf("stats: counters must be a JSON object")
 	}
-	*c = Counters{}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order, c.v = nil, make(map[string]uint64)
 	for dec.More() {
 		keyTok, err := dec.Token()
 		if err != nil {
@@ -109,7 +139,10 @@ func (c *Counters) UnmarshalJSON(data []byte) error {
 		if err := dec.Decode(&v); err != nil {
 			return fmt.Errorf("stats: counter %q: %w", key, err)
 		}
-		c.Add(key, v)
+		if _, seen := c.v[key]; !seen {
+			c.order = append(c.order, key)
+		}
+		c.v[key] += v
 	}
 	_, err = dec.Token() // consume the closing brace
 	return err
@@ -117,6 +150,8 @@ func (c *Counters) UnmarshalJSON(data []byte) error {
 
 // String renders the counters as a two-column table.
 func (c *Counters) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	var t Table
 	t.AddRow("counter", "count")
 	for _, n := range c.order {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -140,5 +141,54 @@ func TestCountersClone(t *testing.T) {
 	}
 	if clone.Get("retries") != 7 || clone.Len() != 2 {
 		t.Errorf("clone lost its own updates")
+	}
+}
+
+// TestCountersConcurrent hammers one shared Counters instance from 16
+// goroutines mixing writers and every reader method — the usage pattern of
+// the serving daemon, where request goroutines account into one set. The
+// assertions check nothing was lost; the -race runs in CI check the
+// synchronisation itself.
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	const workers = 16
+	const perWorker = 500
+	names := []string{"requests", "hits", "misses", "shed"}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(names[(w+i)%len(names)], 1)
+				switch i % 5 {
+				case 0:
+					c.Get("requests")
+				case 1:
+					c.Names()
+				case 2:
+					c.Total()
+				case 3:
+					c.Clone()
+				case 4:
+					if _, err := json.Marshal(&c); err != nil {
+						t.Errorf("MarshalJSON: %v", err)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Total(); got != workers*perWorker {
+		t.Errorf("Total = %d after %d concurrent Adds", got, workers*perWorker)
+	}
+	if c.Len() != len(names) {
+		t.Errorf("Len = %d, want %d", c.Len(), len(names))
+	}
+	snap := c.Clone()
+	for _, n := range names {
+		if snap.Get(n) != c.Get(n) {
+			t.Errorf("clone diverges on %q", n)
+		}
 	}
 }
