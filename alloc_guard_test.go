@@ -1,0 +1,31 @@
+package imtrans
+
+import "testing"
+
+// TestReplayMeasureWarmAllocs pins the steady-state allocation budget of
+// the warm replay path: once the capture is cached and the measure
+// scratch pool is primed, a full Measure over one config allocates only
+// its Result bookkeeping. The budget is several times the measured count
+// (to absorb pool misses under GC pressure) but far below the ~1500
+// allocs/op of the pre-packed engine, so a regression back to per-call
+// prefix/coverage rebuilds fails loudly. Run serially so worker-pool
+// goroutines do not inflate the count.
+func TestReplayMeasureWarmAllocs(t *testing.T) {
+	prev := SetParallelism(1)
+	defer SetParallelism(prev)
+	ClearCaptureCache()
+	b := testScale(mustBench(t, "mmul"))
+	cfg := Config{BlockSize: 5}
+	if _, err := b.Measure(cfg); err != nil {
+		t.Fatal(err) // capture + prime the scratch pool
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := b.Measure(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 300
+	if allocs > budget {
+		t.Errorf("warm Measure: %.0f allocs/op, budget %d", allocs, budget)
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"imtrans"
 	"imtrans/internal/buildinfo"
+	"imtrans/internal/prof"
 	"imtrans/internal/stats"
 )
 
@@ -283,41 +284,53 @@ func cmdBench(args []string) error {
 	timeout := fs.Duration("timeout", 0, "cancel the -json sweep after this long (0 = no deadline)")
 	retries := fs.Int("retries", 1, "supervised attempts per -json sweep cell")
 	inject := fs.String("inject", "", `fault campaign against -json sweep workers: "panic@B,C;error@B,C;attempts=N"`)
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the bench run to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *jsonFlag {
-		return benchSweepJSON(benchSweepOpts{
-			path:        *out,
-			parallelism: *jobs,
-			names:       fs.Args(),
-			n:           *n,
-			iters:       *iters,
-			checkpoint:  *checkpoint,
-			timeout:     *timeout,
-			retries:     *retries,
-			inject:      *inject,
-		})
-	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("bench wants one benchmark name")
-	}
-	b, err := imtrans.BenchmarkByName(fs.Arg(0))
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		return err
 	}
-	b = b.WithScale(*n, *iters)
-	fmt.Printf("%s: %s (N=%d", b.Name, b.Description, b.N)
-	if b.Iters > 1 {
-		fmt.Printf(", iters=%d", b.Iters)
+	runErr := func() error {
+		if *jsonFlag {
+			return benchSweepJSON(benchSweepOpts{
+				path:        *out,
+				parallelism: *jobs,
+				names:       fs.Args(),
+				n:           *n,
+				iters:       *iters,
+				checkpoint:  *checkpoint,
+				timeout:     *timeout,
+				retries:     *retries,
+				inject:      *inject,
+			})
+		}
+		if fs.NArg() != 1 {
+			return fmt.Errorf("bench wants one benchmark name")
+		}
+		b, err := imtrans.BenchmarkByName(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		b = b.WithScale(*n, *iters)
+		fmt.Printf("%s: %s (N=%d", b.Name, b.Description, b.N)
+		if b.Iters > 1 {
+			fmt.Printf(", iters=%d", b.Iters)
+		}
+		fmt.Println(")")
+		ms, err := b.Measure(*cfg)
+		if err != nil {
+			return err
+		}
+		printMeasurement(ms[0])
+		return nil
+	}()
+	if err := stopProf(); err != nil && runErr == nil {
+		runErr = err
 	}
-	fmt.Println(")")
-	ms, err := b.Measure(*cfg)
-	if err != nil {
-		return err
-	}
-	printMeasurement(ms[0])
-	return nil
+	return runErr
 }
 
 func cmdEncode(args []string) error {

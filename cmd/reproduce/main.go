@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"imtrans"
+	"imtrans/internal/prof"
 	"imtrans/internal/stats"
 )
 
@@ -54,7 +55,15 @@ func main() {
 	flag.StringVar(&checkpointPath, "checkpoint", "", "journal the Figure 6 sweep here; an interrupted run resumes from it")
 	timeout := flag.Duration("timeout", 0, "cancel the whole run after this long (0 = no deadline)")
 	retries := flag.Int("retries", 1, "supervised attempts per sweep cell")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after a final GC) to this file")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "reproduce:", err)
+		os.Exit(1)
+	}
 
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
@@ -72,7 +81,6 @@ func main() {
 	rootCtx = ctx
 
 	small := *scale == "small" || *smallFlag
-	var err error
 	switch *what {
 	case "fig2":
 		err = figure2()
@@ -137,6 +145,9 @@ func main() {
 		}
 	default:
 		err = fmt.Errorf("unknown artifact %q", *what)
+	}
+	if perr := stopProf(); perr != nil && err == nil {
+		err = perr
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "reproduce:", err)

@@ -1,0 +1,206 @@
+package bitline
+
+import "math/bits"
+
+// This file is the packed-word engine behind the scalar reference
+// functions above: vertical streams as uint64 lanes instead of one byte
+// per bit. Extraction and assembly become a 32xN bit-matrix transpose,
+// transition counting becomes shift/xor/popcount, and block windows are
+// masked shifts — the representation the related bus-encoding
+// implementations (Valentini & Chiani; Chee et al.) use for throughput.
+// The []uint8 functions stay as the reference implementation for the
+// differential tests in packed_test.go.
+
+// Vec is a packed vertical bit stream of N bits: stream bit i is bit
+// (i&63) of W[i>>6], so the first-transmitted bit is the least
+// significant — the same written-value convention the paper uses for
+// blocks. Bits at positions >= N must be zero; every Vec produced by
+// this package maintains that.
+type Vec struct {
+	W []uint64
+	N int
+}
+
+// PackStream packs a scalar vertical stream.
+func PackStream(stream []uint8) Vec {
+	v := Vec{W: make([]uint64, (len(stream)+63)>>6), N: len(stream)}
+	for i, b := range stream {
+		if b&1 != 0 {
+			v.W[i>>6] |= uint64(1) << (uint(i) & 63)
+		}
+	}
+	return v
+}
+
+// Stream expands the packed stream back to the scalar representation.
+func (v Vec) Stream() []uint8 {
+	s := make([]uint8, v.N)
+	for i := range s {
+		s[i] = v.Bit(i)
+	}
+	return s
+}
+
+// Bit returns stream bit i.
+func (v Vec) Bit(i int) uint8 {
+	return uint8(v.W[i>>6]>>(uint(i)&63)) & 1
+}
+
+// SetBit sets stream bit i to b&1.
+func (v Vec) SetBit(i int, b uint8) {
+	m := uint64(1) << (uint(i) & 63)
+	if b&1 != 0 {
+		v.W[i>>6] |= m
+	} else {
+		v.W[i>>6] &^= m
+	}
+}
+
+// Window returns the written value of the k-bit window starting at
+// stream position p: bit i of the result is stream bit p+i. p+k must not
+// exceed N; k must be at most 32.
+func (v Vec) Window(p, k int) uint32 {
+	w, sh := p>>6, uint(p)&63
+	x := v.W[w] >> sh
+	if sh != 0 && w+1 < len(v.W) {
+		x |= v.W[w+1] << (64 - sh)
+	}
+	return uint32(x) & uint32((uint64(1)<<uint(k))-1)
+}
+
+// SetWindow writes the k-bit written value val into the window starting
+// at stream position p, the inverse of Window.
+func (v Vec) SetWindow(p, k int, val uint32) {
+	m := (uint64(1) << uint(k)) - 1
+	x := uint64(val) & m
+	w, sh := p>>6, uint(p)&63
+	v.W[w] = v.W[w]&^(m<<sh) | x<<sh
+	if sh+uint(k) > 64 {
+		lo := 64 - sh
+		v.W[w+1] = v.W[w+1]&^(m>>lo) | x>>lo
+	}
+}
+
+// Transitions counts the 0<->1 transitions of the stream — the packed
+// equivalent of Transitions on the scalar form: one shift, one xor and
+// one popcount per 64 bits.
+func (v Vec) Transitions() int {
+	if v.N < 2 {
+		return 0
+	}
+	if v.N <= 64 {
+		w := v.W[0]
+		return bits.OnesCount64((w ^ w>>1) & (uint64(1)<<uint(v.N-1) - 1))
+	}
+	total := 0
+	last := (v.N - 1) >> 6 // word holding the final bit
+	for w := 0; w <= last; w++ {
+		x := v.W[w] >> 1
+		if w < last {
+			x |= v.W[w+1] << 63
+		}
+		x ^= v.W[w]
+		// Valid pair-first positions in this word: j with 64w+j <= N-2.
+		if hi := v.N - 1 - w<<6; hi < 64 {
+			if hi <= 0 {
+				break
+			}
+			x &= (uint64(1) << uint(hi)) - 1
+		}
+		total += bits.OnesCount64(x)
+	}
+	return total
+}
+
+// Matrix is a word sequence held as 32 packed vertical lanes: lane j is
+// the Vec of bus line j. Lanes share one flat backing array at a common
+// word-aligned stride, so per-lane views are cheap and lane encodings can
+// run concurrently without sharing any uint64.
+type Matrix struct {
+	n      int
+	stride int
+	lanes  []uint64
+}
+
+// Len returns the stream length (words packed) of every lane.
+func (m *Matrix) Len() int { return m.n }
+
+// Lane returns the vertical stream of bus line j as a view into the
+// matrix backing; writes through the Vec update the matrix.
+func (m *Matrix) Lane(j int) Vec {
+	off := j * m.stride
+	return Vec{W: m.lanes[off : off+m.stride], N: m.n}
+}
+
+func (m *Matrix) reshape(n int) {
+	m.n = n
+	m.stride = (n + 63) >> 6
+	need := 32 * m.stride
+	if cap(m.lanes) < need {
+		m.lanes = make([]uint64, need)
+		return
+	}
+	m.lanes = m.lanes[:need]
+}
+
+// Pack loads the word sequence: lane j becomes the vertical stream of
+// bit position j, via a 32x32 bit-matrix transpose per tile of 32 words.
+// All 32 lanes are packed regardless of the modelled bus width; lanes
+// above it ride along unchanged through an encode, which preserves
+// out-of-model bits with no special case. The matrix may be reused
+// across calls — backing is grown, never shrunk.
+func (m *Matrix) Pack(words []uint32) {
+	m.reshape(len(words))
+	clear(m.lanes)
+	var blk [32]uint32
+	for base := 0; base < len(words); base += 32 {
+		nb := min(32, len(words)-base)
+		copy(blk[:nb], words[base:base+nb])
+		for i := nb; i < 32; i++ {
+			blk[i] = 0
+		}
+		transpose32(&blk)
+		w, sh := base>>6, uint(base)&63
+		for j, off := 0, 0; j < 32; j, off = j+1, off+m.stride {
+			m.lanes[off+w] |= uint64(blk[j]) << sh
+		}
+	}
+}
+
+// Unpack rebuilds the word sequence from the lanes, the inverse of Pack.
+// dst must have length Len.
+func (m *Matrix) Unpack(dst []uint32) {
+	var blk [32]uint32
+	for base := 0; base < m.n; base += 32 {
+		w, sh := base>>6, uint(base)&63
+		for j, off := 0, 0; j < 32; j, off = j+1, off+m.stride {
+			blk[j] = uint32(m.lanes[off+w] >> sh)
+		}
+		transpose32(&blk)
+		nb := min(32, m.n-base)
+		copy(dst[base:base+nb], blk[:nb])
+	}
+}
+
+// CopyFrom makes m an independent copy of src (same length, same lane
+// contents), reusing m's backing when it is large enough.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	m.reshape(src.n)
+	copy(m.lanes, src.lanes)
+}
+
+// transpose32 transposes a 32x32 bit matrix in place under the LSB-first
+// convention: after the call, bit r of a[c] is what bit c of a[r] was
+// before. Hacker's Delight 7-3, with the half swapped per step mirrored
+// for the bit order.
+func transpose32(a *[32]uint32) {
+	mask := uint32(0x0000ffff)
+	for j := 16; j != 0; j >>= 1 {
+		for k := 0; k < 32; k = (k + j + 1) &^ j {
+			t := (a[k]>>uint(j) ^ a[k+j]) & mask
+			a[k] ^= t << uint(j)
+			a[k+j] ^= t
+		}
+		mask ^= mask << uint(j>>1)
+	}
+}

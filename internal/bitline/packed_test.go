@@ -1,0 +1,202 @@
+package bitline
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The packed engine must agree with the scalar reference functions on
+// every operation: these are the differential property tests the scalar
+// implementation is kept for.
+
+func randWords(rng *rand.Rand, n int) []uint32 {
+	words := make([]uint32, n)
+	for i := range words {
+		words[i] = rng.Uint32()
+	}
+	return words
+}
+
+func TestTranspose32RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		var a, orig [32]uint32
+		for i := range a {
+			a[i] = rng.Uint32()
+		}
+		orig = a
+		transpose32(&a)
+		for r := 0; r < 32; r++ {
+			for c := 0; c < 32; c++ {
+				got := a[c] >> uint(r) & 1
+				want := orig[r] >> uint(c) & 1
+				if got != want {
+					t.Fatalf("trial %d: transposed[%d] bit %d = %d, want orig[%d] bit %d = %d",
+						trial, c, r, got, r, c, want)
+				}
+			}
+		}
+		transpose32(&a)
+		if a != orig {
+			t.Fatalf("trial %d: transpose is not an involution", trial)
+		}
+	}
+}
+
+func TestMatrixPackAgainstExtractAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var m Matrix
+	for _, n := range []int{0, 1, 2, 31, 32, 33, 63, 64, 65, 100, 257} {
+		words := randWords(rng, n)
+		m.Pack(words)
+		if m.Len() != n {
+			t.Fatalf("n=%d: Len=%d", n, m.Len())
+		}
+		streams := ExtractAll(words, 32)
+		for j := 0; j < 32; j++ {
+			lane := m.Lane(j)
+			for i := 0; i < n; i++ {
+				if lane.Bit(i) != streams[j][i] {
+					t.Fatalf("n=%d lane %d bit %d: packed %d, scalar %d",
+						n, j, i, lane.Bit(i), streams[j][i])
+				}
+			}
+			if got, want := lane.Transitions(), Transitions(streams[j]); got != want {
+				t.Fatalf("n=%d lane %d: packed transitions %d, scalar %d", n, j, got, want)
+			}
+		}
+		// Unpack must invert Pack, matching Assemble on the scalar side.
+		dst := make([]uint32, n)
+		m.Unpack(dst)
+		asm := Assemble(streams)
+		for i := 0; i < n; i++ {
+			if dst[i] != words[i] {
+				t.Fatalf("n=%d word %d: unpack %#08x, want %#08x", n, i, dst[i], words[i])
+			}
+			if asm[i] != words[i] {
+				t.Fatalf("n=%d word %d: scalar assemble %#08x, want %#08x", n, i, asm[i], words[i])
+			}
+		}
+	}
+}
+
+func TestMatrixCopyFromIsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	words := randWords(rng, 77)
+	var src, dst Matrix
+	src.Pack(words)
+	dst.CopyFrom(&src)
+	dst.Lane(5).SetBit(10, 1^src.Lane(5).Bit(10))
+	if src.Lane(5).Bit(10) == dst.Lane(5).Bit(10) {
+		t.Fatal("CopyFrom shares backing with its source")
+	}
+	out := make([]uint32, len(words))
+	src.Unpack(out)
+	for i := range words {
+		if out[i] != words[i] {
+			t.Fatalf("source matrix mutated at word %d", i)
+		}
+	}
+}
+
+func TestVecWindowAgainstScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(200)
+		stream := make([]uint8, n)
+		for i := range stream {
+			stream[i] = uint8(rng.Intn(2))
+		}
+		v := PackStream(stream)
+		k := 1 + rng.Intn(16)
+		if k > n {
+			k = n
+		}
+		p := rng.Intn(n - k + 1)
+		var want uint32
+		for i := 0; i < k; i++ {
+			want |= uint32(stream[p+i]) << uint(i)
+		}
+		if got := v.Window(p, k); got != want {
+			t.Fatalf("n=%d p=%d k=%d: Window=%#x, want %#x", n, p, k, got, want)
+		}
+		// SetWindow then re-read: the window holds the new value and no
+		// other bit moved.
+		val := rng.Uint32() & uint32((uint64(1)<<uint(k))-1)
+		v.SetWindow(p, k, val)
+		if got := v.Window(p, k); got != val {
+			t.Fatalf("n=%d p=%d k=%d: SetWindow wrote %#x, read %#x", n, p, k, val, got)
+		}
+		for i := 0; i < n; i++ {
+			want := stream[i]
+			if i >= p && i < p+k {
+				want = uint8(val>>uint(i-p)) & 1
+			}
+			if v.Bit(i) != want {
+				t.Fatalf("n=%d p=%d k=%d: bit %d = %d, want %d", n, p, k, i, v.Bit(i), want)
+			}
+		}
+	}
+}
+
+func TestVecStreamRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 2, 63, 64, 65, 130} {
+		stream := make([]uint8, n)
+		for i := range stream {
+			stream[i] = uint8(rng.Intn(2))
+		}
+		v := PackStream(stream)
+		back := v.Stream()
+		for i := range stream {
+			if back[i] != stream[i] {
+				t.Fatalf("n=%d bit %d: %d != %d", n, i, back[i], stream[i])
+			}
+		}
+		if got, want := v.Transitions(), Transitions(stream); got != want {
+			t.Fatalf("n=%d: packed transitions %d, scalar %d", n, got, want)
+		}
+	}
+}
+
+// FuzzPackedVsScalar cross-checks the packed kernels against the scalar
+// reference on arbitrary word sequences: pack/unpack round trip, per-lane
+// bits, and per-line transition counts.
+func FuzzPackedVsScalar(f *testing.F) {
+	f.Add([]byte{0x01, 0x02, 0x03, 0x04, 0xff, 0x00, 0xff, 0x00})
+	f.Add([]byte{})
+	f.Add([]byte{0xaa})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 4096 {
+			raw = raw[:4096]
+		}
+		n := len(raw) / 4
+		words := make([]uint32, n)
+		for i := range words {
+			words[i] = uint32(raw[4*i]) | uint32(raw[4*i+1])<<8 |
+				uint32(raw[4*i+2])<<16 | uint32(raw[4*i+3])<<24
+		}
+		var m Matrix
+		m.Pack(words)
+		perLine := PerLineTransitions(words, 32)
+		for j := 0; j < 32; j++ {
+			lane := m.Lane(j)
+			if got := lane.Transitions(); got != perLine[j] {
+				t.Fatalf("lane %d: packed transitions %d, scalar %d", j, got, perLine[j])
+			}
+			scal := Extract(words, j)
+			for i := 0; i < n; i++ {
+				if lane.Bit(i) != scal[i] {
+					t.Fatalf("lane %d bit %d: packed %d, scalar %d", j, i, lane.Bit(i), scal[i])
+				}
+			}
+		}
+		dst := make([]uint32, n)
+		m.Unpack(dst)
+		for i := range words {
+			if dst[i] != words[i] {
+				t.Fatalf("word %d: round trip %#08x, want %#08x", i, dst[i], words[i])
+			}
+		}
+	})
+}

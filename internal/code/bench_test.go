@@ -3,6 +3,7 @@ package code
 import (
 	"testing"
 
+	"imtrans/internal/bitline"
 	"imtrans/internal/transform"
 )
 
@@ -35,6 +36,7 @@ func BenchmarkEncodeBlock(b *testing.B) {
 func benchmarkChain(b *testing.B, strat Strategy) {
 	stream := benchStream(256)
 	funcs := transform.Canonical8
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := EncodeChain(stream, 5, funcs, strat); err != nil {
@@ -50,3 +52,26 @@ func BenchmarkEncodeChainGreedy(b *testing.B) { benchmarkChain(b, Greedy) }
 // BenchmarkEncodeChainExact encodes the same line with the exact-DP
 // chaining, the per-last-bit sweep satellite optimisation's hot caller.
 func BenchmarkEncodeChainExact(b *testing.B) { benchmarkChain(b, Exact) }
+
+func benchmarkChainPacked(b *testing.B, strat Strategy) {
+	stream := benchStream(256)
+	src := bitline.PackStream(stream)
+	dst := bitline.PackStream(stream)
+	tauBuf := make([]transform.Func, 0, NumBlocks(len(stream), 5))
+	funcs := transform.Canonical8
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AppendChainPacked(dst, src, 5, funcs, strat, tauBuf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeChainPackedGreedy is the packed-word counterpart of
+// BenchmarkEncodeChainGreedy: same 256-bit line, zero steady-state
+// allocation.
+func BenchmarkEncodeChainPackedGreedy(b *testing.B) { benchmarkChainPacked(b, Greedy) }
+
+// BenchmarkEncodeChainPackedExact is the packed exact-DP chaining.
+func BenchmarkEncodeChainPackedExact(b *testing.B) { benchmarkChainPacked(b, Exact) }

@@ -65,18 +65,14 @@ func transitionsOf(v uint32, k int) int {
 // block b, where both are written values of width k and bit 0 of c is the
 // overlap/passthrough bit. The first decode equation uses the encoded bit
 // c[0] as history; subsequent equations use the original bits, matching
-// the paper's chained-block system.
+// the paper's chained-block system. The whole system is checked
+// word-parallel: the history of equation i is original bit i-1 (shifted
+// original word) except equation 1, whose history is the encoded overlap
+// bit — one patched shift, one gate evaluation, one compare.
 func feasible(f transform.Func, c, b uint32, k int) bool {
-	h := uint8(c) & 1 // history for position 1 is the encoded bit 0
-	for i := 1; i < k; i++ {
-		ci := uint8(c>>uint(i)) & 1
-		bi := uint8(b>>uint(i)) & 1
-		if f.Eval(ci, h) != bi {
-			return false
-		}
-		h = bi // positions >= 2 use original (decoded) history
-	}
-	return true
+	h := (b<<1)&^2 | (c&1)<<1
+	mask := ((uint32(1) << uint(k)) - 1) &^ 1 // equations 1..k-1
+	return (transform.WordEval(f, c, h)^b)&mask == 0
 }
 
 // feasibleTau returns the first transformation in funcs (in the given
@@ -96,8 +92,17 @@ func feasibleTau(c, b uint32, k int, funcs []transform.Func) (transform.Func, bo
 // This is the deterministic search order that reproduces the code-word
 // choices of the paper's Figures 2 and 4. All orders up to MaxBlockSize are
 // precomputed at init (about 128K words in total), so the hot block-search
-// loop reads an immutable table with no synchronisation.
+// loop reads an immutable table with no synchronisation. Each entry packs
+// the candidate's written value in the low 16 bits and its transition
+// count above candTransShift, so the search loop never recounts.
 var candTable [MaxBlockSize + 1][2][]uint32
+
+// candTransShift positions a candidate's transition count above its
+// written value (written values need at most MaxBlockSize = 16 bits).
+const candTransShift = 16
+
+func candValue(e uint32) uint32 { return e & (1<<candTransShift - 1) }
+func candTrans(e uint32) int    { return int(e >> candTransShift) }
 
 func init() {
 	for k := 1; k <= MaxBlockSize; k++ {
@@ -115,12 +120,16 @@ func init() {
 				}
 				return cands[i] < cands[j]
 			})
+			for i, v := range cands {
+				cands[i] = v | uint32(transitionsOf(v, k))<<candTransShift
+			}
 			candTable[k][b0] = cands
 		}
 	}
 }
 
-// candidateOrder returns the precomputed search order for (k, bit0). The
+// candidateOrder returns the precomputed search order for (k, bit0) as
+// packed (value, transitions) entries — see candValue and candTrans. The
 // returned slice is shared and must not be mutated.
 func candidateOrder(k int, bit0 uint8) []uint32 {
 	return candTable[k][bit0&1]
@@ -167,12 +176,12 @@ func encodeBlockPacked(b uint32, k int, c0 uint8, funcs []transform.Func) (code 
 	cands := candidateOrder(k, c0)
 	bestTrans := -1
 	for _, f := range funcs {
-		for _, c := range cands {
-			t := transitionsOf(c, k)
+		for _, e := range cands {
+			t := candTrans(e)
 			if bestTrans >= 0 && t >= bestTrans {
 				break // candidates are sorted; this func cannot improve
 			}
-			if feasible(f, c, b, k) {
+			if c := candValue(e); feasible(f, c, b, k) {
 				code, tau, trans = c, f, t
 				bestTrans = t
 				break
@@ -200,8 +209,9 @@ func encodeBlockPerLastBitPacked(b uint32, k int, c0 uint8, funcs []transform.Fu
 	cands := candidateOrder(k, c0)
 	bestTrans := [2]int{-1, -1}
 	for _, f := range funcs {
-		for _, c := range cands {
-			t := transitionsOf(c, k)
+		for _, e := range cands {
+			t := candTrans(e)
+			c := candValue(e)
 			last := uint8(c>>uint(k-1)) & 1
 			if feas[last] && t >= bestTrans[last] {
 				continue

@@ -1,0 +1,232 @@
+package code
+
+import (
+	"fmt"
+
+	"imtrans/internal/bitline"
+	"imtrans/internal/transform"
+)
+
+// This file is EncodeChain on packed vertical streams. Blocks are at most
+// MaxBlockSize (16) bits, so each one is a masked shift out of a lane word
+// (bitline.Vec.Window), the candidate search runs on written values
+// exactly as in the scalar encoder, and the winning code word is a masked
+// shift back in (SetWindow) — no []uint8 round trips. The scalar
+// EncodeChain stays as the reference implementation; packed_test.go
+// asserts the two produce identical code bits, taus and transition
+// counts on every input.
+
+// AppendChainPacked encodes one vertical stream in packed form: src holds
+// the original bits, dst receives the code bits, and the per-block
+// transformations are appended to taus (pass a zero-length slice with
+// capacity NumBlocks(n, k) for an allocation-free call). dst and src must
+// have equal length and distinct backing. Streams shorter than two bits
+// have no blocks: dst is left untouched (the caller keeps its copy of the
+// original bits) and taus is returned unchanged. On error dst may hold
+// partially written blocks and must be discarded.
+func AppendChainPacked(dst, src bitline.Vec, k int, funcs []transform.Func, strat Strategy, taus []transform.Func) ([]transform.Func, error) {
+	if k < 2 || k > MaxBlockSize {
+		return taus, fmt.Errorf("code: block size %d out of range [2,%d]", k, MaxBlockSize)
+	}
+	if dst.N != src.N {
+		return taus, fmt.Errorf("code: packed dst length %d != src length %d", dst.N, src.N)
+	}
+	if src.N < 2 {
+		return taus, nil
+	}
+	switch strat {
+	case Greedy:
+		return appendChainPackedGreedy(dst, src, k, funcs, nil, taus)
+	case Exact:
+		return appendChainPackedExact(dst, src, k, funcs, nil, taus)
+	default:
+		return taus, fmt.Errorf("code: unknown strategy %d", int(strat))
+	}
+}
+
+// ChainTable precomputes the block search for one (k, funcs, strategy)
+// triple: a full-width block has at most 2^k window values and two overlap
+// bits, so the whole candidate scan collapses into at most 2^(k+1) packed
+// entries built once per encode and shared read-only by every bus line.
+// Tail blocks (width < k) appear at most once per stream and fall back to
+// the direct search. Entry layout: bit 31 feasible, transitions above
+// tabTransShift, the transformation above tabTauShift, the code word in
+// the low bits.
+type ChainTable struct {
+	k      int
+	strat  Strategy
+	greedy []uint32 // [c0<<k | window] (Greedy)
+	exact  []uint32 // [(c0<<k | window)<<1 | lastBit] (Exact)
+}
+
+const (
+	tabOK         = uint32(1) << 31
+	tabTransShift = 20
+	tabTauShift   = 16
+)
+
+// NewChainTable builds the precomputed block table. The cost is one
+// candidate search per (overlap, window) pair — amortised away as soon as
+// more than a couple of full-width blocks are encoded.
+func NewChainTable(k int, funcs []transform.Func, strat Strategy) (*ChainTable, error) {
+	if k < 2 || k > MaxBlockSize {
+		return nil, fmt.Errorf("code: block size %d out of range [2,%d]", k, MaxBlockSize)
+	}
+	t := &ChainTable{k: k, strat: strat}
+	switch strat {
+	case Greedy:
+		t.greedy = make([]uint32, 2<<uint(k))
+		for c0 := uint32(0); c0 < 2; c0++ {
+			for w := uint32(0); w < 1<<uint(k); w++ {
+				if c, tau, trans, ok := encodeBlockPacked(w, k, uint8(c0), funcs); ok {
+					t.greedy[c0<<uint(k)|w] = tabOK |
+						uint32(trans)<<tabTransShift | uint32(tau&0xf)<<tabTauShift | c
+				}
+			}
+		}
+	case Exact:
+		t.exact = make([]uint32, 4<<uint(k))
+		for c0 := uint32(0); c0 < 2; c0++ {
+			for w := uint32(0); w < 1<<uint(k); w++ {
+				codes, taus, trans, feas := encodeBlockPerLastBitPacked(w, k, uint8(c0), funcs)
+				for last := uint32(0); last < 2; last++ {
+					if feas[last] {
+						t.exact[(c0<<uint(k)|w)<<1|last] = tabOK |
+							uint32(trans[last])<<tabTransShift | uint32(taus[last]&0xf)<<tabTauShift | codes[last]
+					}
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("code: unknown strategy %d", int(strat))
+	}
+	return t, nil
+}
+
+// AppendChain is AppendChainPacked driven through the precomputed table:
+// identical results (same search, evaluated ahead of time), far fewer
+// candidate scans. funcs is still consulted for tail blocks narrower
+// than k.
+func (t *ChainTable) AppendChain(dst, src bitline.Vec, funcs []transform.Func, taus []transform.Func) ([]transform.Func, error) {
+	if dst.N != src.N {
+		return taus, fmt.Errorf("code: packed dst length %d != src length %d", dst.N, src.N)
+	}
+	if src.N < 2 {
+		return taus, nil
+	}
+	if t.strat == Greedy {
+		return appendChainPackedGreedy(dst, src, t.k, funcs, t, taus)
+	}
+	return appendChainPackedExact(dst, src, t.k, funcs, t, taus)
+}
+
+func appendChainPackedGreedy(dst, src bitline.Vec, k int, funcs []transform.Func, tab *ChainTable, taus []transform.Func) ([]transform.Func, error) {
+	n := src.N
+	dst.SetBit(0, src.Bit(0)) // x~_0 = x_0 passthrough
+	cPrev := src.Bit(0)       // overlap bit: previous block's last code bit
+	for p := 0; p < n-1; p += k - 1 {
+		end := min(p+k, n)
+		var (
+			c   uint32
+			tau transform.Func
+			ok  bool
+		)
+		if tab != nil && end-p == k {
+			e := tab.greedy[uint32(cPrev)<<uint(k)|src.Window(p, k)]
+			c, tau, ok = e&0xffff, transform.Func(e>>tabTauShift)&0xf, e&tabOK != 0
+		} else {
+			c, tau, _, ok = encodeBlockPacked(src.Window(p, end-p), end-p, cPrev, funcs)
+		}
+		if !ok {
+			return taus, fmt.Errorf("code: no feasible transformation for block at offset %d", p)
+		}
+		dst.SetWindow(p, end-p, c)
+		taus = append(taus, tau)
+		cPrev = uint8(c>>uint(end-p-1)) & 1
+	}
+	return taus, nil
+}
+
+func appendChainPackedExact(dst, src bitline.Vec, k int, funcs []transform.Func, tab *ChainTable, taus []transform.Func) ([]transform.Func, error) {
+	n := src.N
+	nb := NumBlocks(n, k)
+	type choice struct {
+		code uint32
+		tau  transform.Func
+		prev uint8
+	}
+	const inf = int(^uint(0) >> 1)
+	// cost[s]: minimal transitions of a prefix ending with overlap code
+	// bit value s; block 0's first bit is forced to the original.
+	cost := [2]int{inf, inf}
+	cost[src.Bit(0)] = 0
+	back := make([][2]choice, nb)
+	feasState := [2]bool{}
+	feasState[src.Bit(0)] = true
+	for m := 0; m < nb; m++ {
+		p := m * (k - 1)
+		end := min(p+k, n)
+		b := src.Window(p, end-p)
+		nextCost := [2]int{inf, inf}
+		var nextFeas [2]bool
+		var nextBack [2]choice
+		for s := uint8(0); s < 2; s++ {
+			if !feasState[s] {
+				continue
+			}
+			var (
+				codes     [2]uint32
+				blockTaus [2]transform.Func
+				trans     [2]int
+				feas      [2]bool
+			)
+			if tab != nil && end-p == k {
+				base := (uint32(s)<<uint(k) | b) << 1
+				for last := uint32(0); last < 2; last++ {
+					if e := tab.exact[base|last]; e&tabOK != 0 {
+						codes[last] = e & 0xffff
+						blockTaus[last] = transform.Func(e>>tabTauShift) & 0xf
+						trans[last] = int(e >> tabTransShift & 0x7ff)
+						feas[last] = true
+					}
+				}
+			} else {
+				codes, blockTaus, trans, feas = encodeBlockPerLastBitPacked(b, end-p, s, funcs)
+			}
+			for last := uint8(0); last < 2; last++ {
+				if !feas[last] {
+					continue
+				}
+				if c := cost[s] + trans[last]; c < nextCost[last] {
+					nextCost[last] = c
+					nextFeas[last] = true
+					nextBack[last] = choice{code: codes[last], tau: blockTaus[last], prev: s}
+				}
+			}
+		}
+		cost, feasState, back[m] = nextCost, nextFeas, nextBack
+	}
+	final := uint8(0)
+	switch {
+	case feasState[0] && (!feasState[1] || cost[0] <= cost[1]):
+		final = 0
+	case feasState[1]:
+		final = 1
+	default:
+		return taus, fmt.Errorf("code: no feasible chain encoding")
+	}
+	base := len(taus)
+	for m := 0; m < nb; m++ {
+		taus = append(taus, 0)
+	}
+	s := final
+	for m := nb - 1; m >= 0; m-- {
+		cho := back[m][s]
+		p := m * (k - 1)
+		end := min(p+k, n)
+		dst.SetWindow(p, end-p, cho.code)
+		taus[base+m] = cho.tau
+		s = cho.prev
+	}
+	return taus, nil
+}

@@ -1,0 +1,180 @@
+package code
+
+import (
+	"math/rand"
+	"testing"
+
+	"imtrans/internal/bitline"
+	"imtrans/internal/transform"
+)
+
+// encodeChainPackedForTest runs the packed encoder the way core does —
+// dst pre-loaded with the original bits, taus appended into a fresh
+// slice — and returns the result as a Chain for comparison against the
+// scalar encoder.
+func encodeChainPackedForTest(t *testing.T, stream []uint8, k int, funcs []transform.Func, strat Strategy) (Chain, error) {
+	t.Helper()
+	src := bitline.PackStream(stream)
+	dst := bitline.PackStream(stream)
+	taus, err := AppendChainPacked(dst, src, k, funcs, strat, nil)
+	if err != nil {
+		return Chain{}, err
+	}
+	// src must never be written through.
+	for i := range stream {
+		if src.Bit(i) != stream[i] {
+			t.Fatalf("k=%d %v: packed encoder mutated src at bit %d", k, strat, i)
+		}
+	}
+	// The precomputed-table path must agree with the direct search.
+	tab, err := NewChainTable(k, funcs, strat)
+	if err != nil {
+		t.Fatalf("k=%d %v: NewChainTable: %v", k, strat, err)
+	}
+	dstTab := bitline.PackStream(stream)
+	tausTab, errTab := tab.AppendChain(dstTab, src, funcs, nil)
+	if errTab != nil {
+		t.Fatalf("k=%d %v: table path failed where direct search succeeded: %v", k, strat, errTab)
+	}
+	if len(tausTab) != len(taus) {
+		t.Fatalf("k=%d %v: table path emitted %d taus, direct %d", k, strat, len(tausTab), len(taus))
+	}
+	for i := range taus {
+		if tausTab[i] != taus[i] {
+			t.Fatalf("k=%d %v: table path tau %d = %v, direct %v", k, strat, i, tausTab[i], taus[i])
+		}
+	}
+	for i := range stream {
+		if dstTab.Bit(i) != dst.Bit(i) {
+			t.Fatalf("k=%d %v: table path code bit %d differs from direct search", k, strat, i)
+		}
+	}
+	return Chain{K: k, Code: dst.Stream(), Taus: taus}, nil
+}
+
+func chainsEqual(a, b Chain) bool {
+	if a.K != b.K || len(a.Code) != len(b.Code) || len(a.Taus) != len(b.Taus) {
+		return false
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			return false
+		}
+	}
+	for i := range a.Taus {
+		if a.Taus[i] != b.Taus[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPackedChainMatchesScalar is the differential property test of the
+// tentpole: for random streams, every k in 2..7, both strategies and both
+// transformation sets, the packed encoder must produce the identical
+// Chain (code bits and taus) and transition counts as the scalar
+// reference.
+func TestPackedChainMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sets := [][]transform.Func{transform.Canonical8, transform.Preferred()}
+	for trial := 0; trial < 400; trial++ {
+		n := rng.Intn(200)
+		stream := make([]uint8, n)
+		for i := range stream {
+			stream[i] = uint8(rng.Intn(2))
+		}
+		k := 2 + rng.Intn(6) // 2..7, the paper's evaluated range
+		funcs := sets[trial%len(sets)]
+		for _, strat := range []Strategy{Greedy, Exact} {
+			want, errScalar := EncodeChain(stream, k, funcs, strat)
+			got, errPacked := encodeChainPackedForTest(t, stream, k, funcs, strat)
+			if (errScalar == nil) != (errPacked == nil) {
+				t.Fatalf("n=%d k=%d %v: scalar err %v, packed err %v", n, k, strat, errScalar, errPacked)
+			}
+			if errScalar != nil {
+				continue
+			}
+			if !chainsEqual(want, got) {
+				t.Fatalf("n=%d k=%d %v: packed chain differs from scalar\nscalar code %v taus %v\npacked code %v taus %v",
+					n, k, strat, want.Code, want.Taus, got.Code, got.Taus)
+			}
+			if want.Transitions() != got.Transitions() {
+				t.Fatalf("n=%d k=%d %v: transition counts differ: %d vs %d",
+					n, k, strat, want.Transitions(), got.Transitions())
+			}
+		}
+	}
+}
+
+// TestPackedChainValidation mirrors the scalar encoder's error behaviour.
+func TestPackedChainValidation(t *testing.T) {
+	stream := []uint8{1, 0, 1, 1}
+	src := bitline.PackStream(stream)
+	dst := bitline.PackStream(stream)
+	if _, err := AppendChainPacked(dst, src, 1, transform.Canonical8, Greedy, nil); err == nil {
+		t.Error("k=1 accepted")
+	}
+	if _, err := AppendChainPacked(dst, src, MaxBlockSize+1, transform.Canonical8, Greedy, nil); err == nil {
+		t.Error("oversized k accepted")
+	}
+	if _, err := AppendChainPacked(dst, src, 4, transform.Canonical8, Strategy(99), nil); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	short := bitline.PackStream([]uint8{1})
+	if _, err := AppendChainPacked(dst, short, 4, transform.Canonical8, Greedy, nil); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	// A one-bit stream has no blocks on either path.
+	taus, err := AppendChainPacked(bitline.PackStream([]uint8{1}), short, 4, transform.Canonical8, Greedy, nil)
+	if err != nil || len(taus) != 0 {
+		t.Errorf("one-bit stream: taus %v err %v", taus, err)
+	}
+}
+
+// TestPackedGreedyZeroAlloc pins the allocation-free contract of the
+// greedy packed path when the tau slice has capacity: this is what lets
+// warm core.Encode run out of pooled scratch.
+func TestPackedGreedyZeroAlloc(t *testing.T) {
+	stream := benchStream(256)
+	src := bitline.PackStream(stream)
+	dst := bitline.PackStream(stream)
+	tauBuf := make([]transform.Func, 0, NumBlocks(len(stream), 5))
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := AppendChainPacked(dst, src, 5, transform.Canonical8, Greedy, tauBuf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("greedy packed encode: %.0f allocs/op, want 0", allocs)
+	}
+}
+
+// FuzzPackedChainVsScalar extends the differential check to arbitrary
+// fuzzer-chosen streams and block sizes, both strategies.
+func FuzzPackedChainVsScalar(f *testing.F) {
+	f.Add([]byte{}, uint8(5))
+	f.Add([]byte{1}, uint8(2))
+	f.Add([]byte{0, 1, 0, 1, 0, 1}, uint8(5))
+	f.Add([]byte{1, 1, 0, 0, 1, 0, 1, 1, 0}, uint8(3))
+	f.Add([]byte{0xff, 0x00, 0xaa, 0x55, 0x13}, uint8(7))
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw uint8) {
+		k := 2 + int(kRaw%6) // 2..7
+		stream := make([]uint8, len(raw))
+		for i, b := range raw {
+			stream[i] = b & 1
+		}
+		for _, strat := range []Strategy{Greedy, Exact} {
+			want, errScalar := EncodeChain(stream, k, transform.Canonical8, strat)
+			got, errPacked := encodeChainPackedForTest(t, stream, k, transform.Canonical8, strat)
+			if (errScalar == nil) != (errPacked == nil) {
+				t.Fatalf("k=%d %v: scalar err %v, packed err %v", k, strat, errScalar, errPacked)
+			}
+			if errScalar != nil {
+				continue
+			}
+			if !chainsEqual(want, got) {
+				t.Fatalf("k=%d %v: packed chain differs from scalar", k, strat)
+			}
+		}
+	})
+}

@@ -101,8 +101,8 @@ func bestTransPerFunc(k int) [][transform.NumFuncs]int {
 			table[v][f] = -1
 		}
 		b := uint32(v)
-		for _, c := range candidateOrder(k, uint8(b)&1) {
-			t := transitionsOf(c, k)
+		for _, e := range candidateOrder(k, uint8(b)&1) {
+			c, t := candValue(e), candTrans(e)
 			for f := 0; f < transform.NumFuncs; f++ {
 				if table[v][f] >= 0 {
 					continue

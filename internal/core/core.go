@@ -9,6 +9,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -205,18 +206,24 @@ func EncodeCtx(ctx context.Context, g *cfg.Graph, profile []uint64, c Config) (*
 	for _, n := range profile {
 		enc.TotalDynamic += n
 	}
+	// One precomputed block table serves every candidate block and line.
+	tab, err := code.NewChainTable(c.BlockSize, c.Funcs, c.Strategy)
+	if err != nil {
+		return nil, err
+	}
 	// Encode every warm multi-instruction block as a candidate, in heat
 	// order; selection then decides which ones the tables can afford.
 	heat := g.BlockHeat(profile)
-	var cands []Plan
-	for _, bi := range g.HotBlocks(profile) {
+	hot := g.HotBlocks(profile)
+	cands := make([]Plan, 0, len(hot))
+	for _, bi := range hot {
 		if g.Blocks[bi].Count < 2 {
 			continue // a single instruction has no vertical transitions
 		}
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		plan, err := encodeBlock(ctx, g, bi, c)
+		plan, err := encodeBlock(ctx, g, bi, c, tab)
 		if err != nil {
 			return nil, err
 		}
@@ -224,7 +231,6 @@ func EncodeCtx(ctx context.Context, g *cfg.Graph, profile []uint64, c Config) (*
 		cands = append(cands, plan)
 	}
 	var chosen []bool
-	var err error
 	switch c.Selection {
 	case HeatGreedy:
 		chosen = selectGreedy(cands, c, enc)
@@ -338,8 +344,23 @@ func selectKnapsack(cands []Plan, c Config) ([]bool, error) {
 	return chosen, nil
 }
 
-// encodeBlock encodes every vertical bit stream of one basic block.
-func encodeBlock(ctx context.Context, g *cfg.Graph, bi int, c Config) (Plan, error) {
+// encScratch is the reusable working set of one encodeBlock call: the
+// packed source and destination matrices plus a flat line-major tau
+// buffer. Pooled so a warm Encode allocates only its outputs (the plan's
+// tau table and encoded image), never its scratch.
+type encScratch struct {
+	src, dst bitline.Matrix
+	taus     []transform.Func // line-major: taus[line*nb+e]
+}
+
+var encScratchPool = sync.Pool{New: func() any { return new(encScratch) }}
+
+// encodeBlock encodes every vertical bit stream of one basic block, in
+// packed form: the block's words transpose into 32 uint64 lanes once, the
+// per-line chain encoders run directly on the lanes, and the encoded
+// image transposes back out. Lanes at or above the modelled bus width are
+// packed but not encoded, which preserves out-of-model bits verbatim.
+func encodeBlock(ctx context.Context, g *cfg.Graph, bi int, c Config, tab *code.ChainTable) (Plan, error) {
 	b := g.Blocks[bi]
 	words := g.Instructions(bi)
 	k := c.BlockSize
@@ -353,23 +374,43 @@ func encodeBlock(ctx context.Context, g *cfg.Graph, bi int, c Config) (Plan, err
 	if plan.TailCT <= 0 {
 		plan.TailCT = k - 1 // full-length tail
 	}
-	streams := bitline.ExtractAll(words, c.BusWidth)
-	plan.Taus = make([][]transform.Func, plan.TTCount)
-	for e := range plan.Taus {
-		plan.Taus[e] = make([]transform.Func, c.BusWidth)
+	nb := plan.TTCount
+	sc := encScratchPool.Get().(*encScratch)
+	defer encScratchPool.Put(sc)
+	sc.src.Pack(words)
+	sc.dst.CopyFrom(&sc.src)
+	if need := c.BusWidth * nb; cap(sc.taus) < need {
+		sc.taus = make([]transform.Func, need)
+	} else {
+		sc.taus = sc.taus[:need]
 	}
-	// The vertical streams are fully independent, so their chain encodings
-	// fan out over a bounded worker pool; the merge below runs in line
+	// The vertical lanes are fully independent and word-aligned in the
+	// shared matrices, so their chain encodings fan out over a bounded
+	// worker pool with no write sharing; the merge below runs in line
 	// order, keeping results and error selection deterministic at any
 	// parallelism.
-	chains := make([]code.Chain, c.BusWidth)
-	chainErrs := make([]error, c.BusWidth)
+	var (
+		chainErrs [32]error
+		tauCounts [32]int
+		origT     [32]int
+		codeT     [32]int
+	)
 	encodeLines := func(first, stride int) {
 		for line := first; line < c.BusWidth; line += stride {
 			if ctx.Err() != nil {
 				return // per-line cancellation granule inside the pool
 			}
-			chains[line], chainErrs[line] = code.EncodeChain(streams[line], k, c.Funcs, c.Strategy)
+			srcLane := sc.src.Lane(line)
+			dstLane := sc.dst.Lane(line)
+			tauBuf := sc.taus[line*nb : line*nb : (line+1)*nb]
+			taus, err := tab.AppendChain(dstLane, srcLane, c.Funcs, tauBuf)
+			if err != nil {
+				chainErrs[line] = err
+				continue
+			}
+			tauCounts[line] = len(taus)
+			origT[line] = srcLane.Transitions()
+			codeT[line] = dstLane.Transitions()
 		}
 	}
 	if workers := min(Parallelism(), c.BusWidth); workers > 1 {
@@ -386,37 +427,34 @@ func encodeBlock(ctx context.Context, g *cfg.Graph, bi int, c Config) (Plan, err
 		encodeLines(0, 1)
 	}
 	// Check cancellation after the join, before the merge: a worker that
-	// bailed leaves zero-value chains, which must never be mistaken for a
+	// bailed leaves zero-value results, which must never be mistaken for a
 	// shape error on a cancelled encode.
 	if err := ctx.Err(); err != nil {
 		return Plan{}, err
 	}
-	encodedStreams := make([][]uint8, c.BusWidth)
-	for line, stream := range streams {
-		ch, err := chains[line], chainErrs[line]
-		if err != nil {
+	// Plan outputs: one flat backing for the whole tau table (entry-major
+	// rows into it), one image slice.
+	flat := make([]transform.Func, nb*c.BusWidth)
+	plan.Taus = make([][]transform.Func, nb)
+	for e := range plan.Taus {
+		plan.Taus[e] = flat[e*c.BusWidth : (e+1)*c.BusWidth]
+	}
+	for line := 0; line < c.BusWidth; line++ {
+		if err := chainErrs[line]; err != nil {
 			return Plan{}, fmt.Errorf("core: block %d line %d: %w", bi, line, err)
 		}
-		if len(ch.Taus) != plan.TTCount {
+		if tauCounts[line] != nb {
 			return Plan{}, fmt.Errorf("core: block %d line %d: %d chain blocks, want %d",
-				bi, line, len(ch.Taus), plan.TTCount)
+				bi, line, tauCounts[line], nb)
 		}
-		for e, tau := range ch.Taus {
-			plan.Taus[e][line] = tau
+		for e := 0; e < nb; e++ {
+			plan.Taus[e][line] = sc.taus[line*nb+e]
 		}
-		encodedStreams[line] = ch.Code
-		plan.OrigTransitions += bitline.Transitions(stream)
-		plan.CodeTransitions += ch.Transitions()
+		plan.OrigTransitions += origT[line]
+		plan.CodeTransitions += codeT[line]
 	}
-	// Preserve bits above the modelled bus width verbatim.
-	enc := bitline.Assemble(encodedStreams)
-	if c.BusWidth < 32 {
-		hi := ^uint32(0) << uint(c.BusWidth)
-		for i := range enc {
-			enc[i] |= words[i] & hi
-		}
-	}
-	plan.Encoded = enc
+	plan.Encoded = make([]uint32, len(words))
+	sc.dst.Unpack(plan.Encoded)
 	return plan, nil
 }
 
@@ -460,26 +498,55 @@ func (e *Encoding) Coverage() float64 {
 // Verify statically decodes every covered block with the plan's
 // transformations and checks the original instruction words are recovered
 // exactly. It is the software proof that the stored image plus the TT
-// contents reproduce the program.
+// contents reproduce the program. The decode runs word-parallel: each
+// entry's per-line transformations group into per-gate masks, so one
+// instruction costs a handful of word-wide gate evaluations instead of
+// one stream walk per bus line — the same datapath shape as the hw
+// decoder model, derived independently from the plan.
 func (e *Encoding) Verify() error {
 	k := e.Config.BlockSize
+	width := e.Config.BusWidth
+	wmask := ^uint32(0)
+	if width < 32 {
+		wmask = (uint32(1) << uint(width)) - 1
+	}
 	for pi := range e.Plans {
 		p := &e.Plans[pi]
 		orig := e.Graph.Instructions(p.Block)
-		for line := 0; line < e.Config.BusWidth; line++ {
-			taus := make([]transform.Func, p.TTCount)
-			for ei := 0; ei < p.TTCount; ei++ {
-				taus[ei] = p.Taus[ei][line]
-			}
-			ch := code.Chain{K: k, Code: bitline.Extract(p.Encoded, line), Taus: taus}
-			dec := ch.Decode()
-			want := bitline.Extract(orig, line)
-			for i := range want {
-				if dec[i] != want[i] {
-					return fmt.Errorf("core: block %d line %d instr %d: decode mismatch",
-						p.Block, line, i)
+		encw := p.Encoded
+		// The block's first word is the x~_0 = x_0 passthrough.
+		if diff := (encw[0] ^ orig[0]) & wmask; diff != 0 {
+			return fmt.Errorf("core: block %d line %d instr 0: decode mismatch",
+				p.Block, bits.TrailingZeros32(diff))
+		}
+		var masks [transform.NumFuncs]uint32
+		entry := -1
+		prevEnc, prevDec := encw[0], encw[0]
+		for i := 1; i < p.Count; i++ {
+			if en := (i - 1) / (k - 1); en != entry {
+				entry = en
+				masks = [transform.NumFuncs]uint32{}
+				for line := 0; line < width; line++ {
+					masks[p.Taus[entry][line]&0xf] |= uint32(1) << uint(line)
 				}
 			}
+			hist := prevDec
+			if (i-1)%(k-1) == 0 {
+				// First equation of a chain block uses the encoded
+				// overlap bit as history (paper, Section 6).
+				hist = prevEnc
+			}
+			var dec uint32
+			for fn, m := range masks {
+				if m != 0 {
+					dec |= transform.WordEval(transform.Func(fn), encw[i], hist) & m
+				}
+			}
+			if diff := (dec ^ orig[i]) & wmask; diff != 0 {
+				return fmt.Errorf("core: block %d line %d instr %d: decode mismatch",
+					p.Block, bits.TrailingZeros32(diff), i)
+			}
+			prevEnc, prevDec = encw[i], dec
 		}
 	}
 	return nil

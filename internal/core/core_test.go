@@ -366,3 +366,26 @@ func TestVerticalStreamsMatchWords(t *testing.T) {
 		}
 	}
 }
+
+// TestEncodeWarmAllocs pins the pooled-scratch contract of the packed
+// encoder: once the scratch pool is primed, a whole Encode allocates only
+// its outputs (plans, tau tables, encoded image, block table), bounded by
+// a small fixed budget. Run serially so the worker pool does not add
+// goroutine allocations to the count.
+func TestEncodeWarmAllocs(t *testing.T) {
+	g, profile := buildAndProfile(t, loopSrc)
+	prev := SetParallelism(1)
+	defer SetParallelism(prev)
+	if _, err := Encode(g, profile, Config{}); err != nil {
+		t.Fatal(err) // prime the scratch pool
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := Encode(g, profile, Config{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 60
+	if allocs > budget {
+		t.Errorf("warm Encode: %.0f allocs/op, budget %d", allocs, budget)
+	}
+}

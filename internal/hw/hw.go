@@ -188,19 +188,22 @@ func (d *Decoder) buildMasks() {
 
 // buildMaskRow recomputes the word-wide gate masks for one TT row; called
 // at programming time and again when a fault is injected into the row.
+// Masks are emitted in function order so the row layout is deterministic.
 func (d *Decoder) buildMaskRow(i int) {
 	ent := d.tt[i]
-	perFn := map[transform.Func]uint32{}
+	var perFn [transform.NumFuncs]uint32
 	for line := 0; line < d.width; line++ {
-		perFn[ent.Sel[line]] |= 1 << uint(line)
+		perFn[ent.Sel[line]&0xf] |= 1 << uint(line)
 	}
 	// Lines above the modelled width pass through.
 	if d.width < 32 {
-		perFn[transform.Identity] |= ^uint32(0) << uint(d.width)
+		perFn[transform.Identity&0xf] |= ^uint32(0) << uint(d.width)
 	}
-	d.masks[i] = nil
+	d.masks[i] = d.masks[i][:0]
 	for fn, m := range perFn {
-		d.masks[i] = append(d.masks[i], tauMask{fn, m})
+		if m != 0 {
+			d.masks[i] = append(d.masks[i], tauMask{transform.Func(fn), m})
+		}
 	}
 }
 
@@ -253,25 +256,6 @@ func (d *Decoder) Reset() {
 	d.ttIdx, d.decoded = 0, 0
 	d.expectPC, d.prevEnc, d.prevDec = 0, 0, 0
 	d.fallback, d.fallbackPC = false, 0
-}
-
-// wordEval applies a two-input Boolean function bitwise across words:
-// result bit i = fn(x bit i, y bit i).
-func wordEval(fn transform.Func, x, y uint32) uint32 {
-	var r uint32
-	if fn&0b0001 != 0 { // fn(0,0)
-		r |= ^x & ^y
-	}
-	if fn&0b0010 != 0 { // fn(0,1)
-		r |= ^x & y
-	}
-	if fn&0b0100 != 0 { // fn(1,0)
-		r |= x & ^y
-	}
-	if fn&0b1000 != 0 { // fn(1,1)
-		r |= x & y
-	}
-	return r
 }
 
 // OnFetch consumes one bus transfer and returns the restored instruction
@@ -337,7 +321,7 @@ func (d *Decoder) Fetch(pc, busWord uint32) FetchResult {
 		}
 		var dec uint32
 		for _, tm := range d.masks[d.ttIdx] {
-			dec |= wordEval(tm.fn, busWord, hist) & tm.mask
+			dec |= transform.WordEval(tm.fn, busWord, hist) & tm.mask
 		}
 		d.prevEnc, d.prevDec = busWord, dec
 		d.decoded++
@@ -441,3 +425,26 @@ func (d *Decoder) StreamState() StreamState {
 		FallbackPC: d.fallbackPC,
 	}
 }
+
+// SetStreamState restores a previously captured runtime stream state. Only
+// valid with states obtained from StreamState on the same decoder (same
+// tables): it is the inverse of the getter, used by the replay engine to
+// jump the decoder across a memoised block whose exit state it has already
+// observed.
+func (d *Decoder) SetStreamState(s StreamState) {
+	d.active = s.Active
+	d.ttIdx = s.TTIdx
+	d.decoded = s.Decoded
+	d.expectPC = s.ExpectPC
+	d.prevEnc = s.PrevEnc
+	d.prevDec = s.PrevDec
+	d.fallback = s.Fallback
+	d.fallbackPC = s.FallbackPC
+}
+
+// EntryReady reports that the decoder is idle and not degraded — the state
+// in which dispatchInactive overwrites every runtime field on the next
+// covered-block activation. In this state a whole covered block's decode
+// outcome is a pure function of its start index and the encoded image,
+// which is the invariant behind the replay engine's block-outcome memo.
+func (s StreamState) EntryReady() bool { return !s.Active && !s.Fallback }

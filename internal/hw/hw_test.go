@@ -162,7 +162,7 @@ func TestWordEvalMatchesBitEval(t *testing.T) {
 	for _, f := range transform.All() {
 		for x := uint32(0); x < 4; x++ {
 			for y := uint32(0); y < 4; y++ {
-				got := wordEval(f, x, y)
+				got := transform.WordEval(f, x, y)
 				for bit := 0; bit < 2; bit++ {
 					want := f.Eval(uint8(x>>uint(bit))&1, uint8(y>>uint(bit))&1)
 					if uint8(got>>uint(bit))&1 != want {
@@ -524,5 +524,59 @@ func TestRestoreErrorMessage(t *testing.T) {
 	e := &restoreError{4, 1, 2}
 	if !strings.Contains(e.Error(), "decoder") {
 		t.Error("unhelpful error text")
+	}
+}
+
+// TestSetStreamStateRoundTrip pins the getter/setter contract the replay
+// memo relies on: restoring a captured StreamState and re-driving the same
+// fetch sequence reproduces the decoder's outputs exactly.
+func TestSetStreamStateRoundTrip(t *testing.T) {
+	_, enc := prepare(t, core.Config{})
+	dec, err := NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Strict = true
+	p := enc.Plans[0]
+	start := int(p.StartPC-enc.Graph.Base) / 4
+	// Drive partway into the covered block, snapshot mid-decode.
+	mid := start + min(2, p.Count-1)
+	for i := start; i <= mid; i++ {
+		if _, err := dec.OnFetch(enc.Graph.Base+uint32(i)<<2, enc.EncodedWords[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := dec.StreamState()
+	if snap != dec.StreamState() {
+		t.Fatal("StreamState not stable across calls")
+	}
+	// Drive the rest of the block, recording outputs.
+	var want []uint32
+	for i := mid + 1; i < start+p.Count; i++ {
+		w, err := dec.OnFetch(enc.Graph.Base+uint32(i)<<2, enc.EncodedWords[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, w)
+	}
+	// Restore and re-drive: outputs must be identical.
+	dec.SetStreamState(snap)
+	if dec.StreamState() != snap {
+		t.Fatal("SetStreamState did not restore the snapshot")
+	}
+	for j, i := 0, mid+1; i < start+p.Count; i, j = i+1, j+1 {
+		w, err := dec.OnFetch(enc.Graph.Base+uint32(i)<<2, enc.EncodedWords[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if w != want[j] {
+			t.Fatalf("replayed fetch %d restored %#08x, want %#08x", i, w, want[j])
+		}
+	}
+	if !dec.StreamState().EntryReady() {
+		t.Error("decoder should be idle and non-degraded after the block tail")
+	}
+	if (StreamState{Active: true}).EntryReady() || (StreamState{Fallback: true}).EntryReady() {
+		t.Error("EntryReady true for active or degraded state")
 	}
 }

@@ -4,6 +4,8 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"sync"
+
+	"imtrans/internal/cfg"
 )
 
 // Key identifies a capture: a content hash of the program image plus any
@@ -43,6 +45,11 @@ type Capture struct {
 	Key   Key
 	Base  uint32   // text base address
 	Words []uint32 // original text image
+
+	// Graph is the control-flow graph of the text image, built once at
+	// capture time: it depends only on the image, so every configuration
+	// replayed against the capture shares it instead of re-deriving it.
+	Graph *cfg.Graph
 
 	Trace        *Trace
 	Profile      []uint64

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"imtrans/internal/core"
 	"imtrans/internal/hw"
@@ -15,6 +16,12 @@ import (
 type Result struct {
 	Encoded        uint64
 	PerLineEncoded []uint64
+
+	// MemoBlocks counts covered blocks whose outcome was recorded by the
+	// block memo; MemoHits counts the block replays served from it. Both
+	// are diagnostics: the measured totals are bit-identical either way.
+	MemoBlocks int
+	MemoHits   uint64
 }
 
 // Measure replays a captured fetch trace against one encoding. The
@@ -46,23 +53,34 @@ func MeasureCtx(ctx context.Context, cap *Capture, enc *core.Encoding, dec *hw.D
 	if cap.Trace == nil || cap.Trace.N == 0 {
 		return Result{}, fmt.Errorf("replay: empty trace")
 	}
+	sc := scratchPool.Get().(*measureScratch)
 	r := &replayer{
-		ctx:  ctx,
-		base: cap.Base,
-		orig: cap.Words,
-		encW: enc.EncodedWords,
-		dec:  dec,
+		ctx:    ctx,
+		base:   cap.Base,
+		orig:   cap.Words,
+		encW:   enc.EncodedWords,
+		dec:    dec,
+		memoOK: !dec.Protected(),
 	}
-	r.buildPrefixes()
-	r.buildCoverage(enc)
+	r.buildPrefixes(sc)
+	r.buildCoverage(sc, enc)
 	r.step(cap.Trace.First)
 	r.runOps(cap.Trace.Ops)
+	sc.prefix, sc.linePrefix = r.prefix, r.linePrefix
+	sc.kind, sc.blockLen, sc.nextCov = r.kind, r.blockLen, r.nextCov
+	sc.memo = r.memo
+	scratchPool.Put(sc)
 	if r.err != nil {
 		return Result{}, r.err
 	}
 	per := make([]uint64, 32)
 	copy(per, r.perLine[:])
-	return Result{Encoded: r.total, PerLineEncoded: per}, nil
+	return Result{
+		Encoded:        r.total,
+		PerLineEncoded: per,
+		MemoBlocks:     r.memoCount,
+		MemoHits:       r.memoHits,
+	}, nil
 }
 
 type replayer struct {
@@ -91,6 +109,25 @@ type replayer struct {
 	kind    []uint8
 	nextCov []int32
 
+	// Block-outcome memo. A covered block entered with the decoder idle
+	// and non-degraded is a closed system: dispatchInactive overwrites
+	// every runtime field on activation, so the block's per-line
+	// transition deltas and exit StreamState depend only on its start
+	// index and the (fixed) encoded image. The first sequential walk
+	// through each block records that outcome (memo[start], verified
+	// fetch by fetch like any other); later visits with enough
+	// sequential fetches ahead become one table lookup, one entry-word
+	// diff and a state restore. memoOK gates the whole machinery off
+	// for protected decoders, whose fault bookkeeping makes block
+	// outcomes visit-dependent. blockLen[i] is the block word count at
+	// starts (kind[i] == 1), undefined elsewhere.
+	memoOK    bool
+	memo      []*blockMemo
+	blockLen  []int32
+	rec       memoRec
+	memoHits  uint64
+	memoCount int
+
 	started bool
 	lastIdx int32 // index of the previous fetch; bus state is encW[lastIdx]
 	total   uint64
@@ -98,10 +135,59 @@ type replayer struct {
 	err     error
 }
 
-func (r *replayer) buildPrefixes() {
+// blockMemo is the recorded outcome of one covered block replayed from an
+// idle decoder: the transition deltas of its interior (everything except
+// the entry transition, which depends on the bus word before the block)
+// and the decoder state after its tail word. Immutable once stored.
+type blockMemo struct {
+	interior uint64
+	perLine  [32]uint64
+	exit     hw.StreamState
+	words    int32
+}
+
+// memoRec tracks an in-progress first-visit recording: the next index the
+// sequential walk must fetch, how many block words remain, and the
+// counter snapshots taken after the entry transition.
+type memoRec struct {
+	on          bool
+	start, next int32
+	left        int32
+	t0          uint64
+	p0          [32]uint64
+}
+
+// measureScratch holds every per-measure buffer whose size depends only on
+// the image length, pooled so warm replays of same-sized captures do no
+// steady-state allocation.
+type measureScratch struct {
+	prefix     []uint64
+	linePrefix [][32]uint64
+	kind       []uint8
+	blockLen   []int32
+	nextCov    []int32
+	memo       []*blockMemo
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(measureScratch) }}
+
+// growSlice returns s resized to n elements, reallocating only when the
+// capacity is short. Contents are unspecified; callers overwrite or clear.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+func (r *replayer) buildPrefixes(sc *measureScratch) {
 	n := len(r.encW)
-	r.prefix = make([]uint64, n)
-	r.linePrefix = make([][32]uint64, n)
+	r.prefix = growSlice(sc.prefix, n)
+	r.linePrefix = growSlice(sc.linePrefix, n)
+	if n > 0 {
+		r.prefix[0] = 0
+		r.linePrefix[0] = [32]uint64{}
+	}
 	for i := 1; i < n; i++ {
 		diff := r.encW[i] ^ r.encW[i-1]
 		r.prefix[i] = r.prefix[i-1] + uint64(bits.OnesCount32(diff))
@@ -114,18 +200,23 @@ func (r *replayer) buildPrefixes() {
 	}
 }
 
-func (r *replayer) buildCoverage(enc *core.Encoding) {
+func (r *replayer) buildCoverage(sc *measureScratch, enc *core.Encoding) {
 	n := len(r.encW)
-	r.kind = make([]uint8, n)
+	r.kind = growSlice(sc.kind, n)
+	clear(r.kind)
+	r.blockLen = growSlice(sc.blockLen, n) // read only at kind==1 indices
+	r.memo = growSlice(sc.memo, n)
+	clear(r.memo) // stale memos belong to another encoding
 	for pi := range enc.Plans {
 		p := &enc.Plans[pi]
 		start := int(p.StartPC-r.base) / 4
 		r.kind[start] = 1
+		r.blockLen[start] = int32(p.Count)
 		for i := 1; i < p.Count; i++ {
 			r.kind[start+i] = 2
 		}
 	}
-	r.nextCov = make([]int32, n+1)
+	r.nextCov = growSlice(sc.nextCov, n+1)
 	r.nextCov[n] = int32(n)
 	for i := n - 1; i >= 0; i-- {
 		if r.kind[i] != 0 {
@@ -136,13 +227,22 @@ func (r *replayer) buildCoverage(enc *core.Encoding) {
 	}
 }
 
-// step replays one fetch through the bus counters and the decoder.
+// step replays one fetch through the bus counters and the decoder, and
+// feeds the block-memo recorder: a sequential first walk through a covered
+// block is recorded as it is verified; any deviation (branch out, error)
+// simply abandons the recording.
 func (r *replayer) step(idx int32) {
 	if idx < 0 || int(idx) >= len(r.encW) {
 		if r.err == nil {
 			r.err = fmt.Errorf("replay: trace index %d outside text image", idx)
 		}
 		return
+	}
+	if r.rec.on && idx != r.rec.next {
+		r.rec.on = false
+	}
+	if !r.rec.on && r.memoOK && r.kind[idx] == 1 && !r.dec.Active() && r.memo[idx] == nil {
+		r.rec = memoRec{on: true, start: idx, next: idx, left: r.blockLen[idx]}
 	}
 	w := r.encW[idx]
 	if r.started {
@@ -165,6 +265,53 @@ func (r *replayer) step(idx int32) {
 	if restored != r.orig[idx] && r.err == nil {
 		r.err = fmt.Errorf("decoder restored %#08x at pc %#x, want %#08x", restored, pc, r.orig[idx])
 	}
+	if r.rec.on {
+		if r.err != nil {
+			r.rec.on = false
+			return
+		}
+		if idx == r.rec.start {
+			// Snapshot after the entry transition: the memo stores only
+			// the interior deltas, which are entry-independent.
+			r.rec.t0, r.rec.p0 = r.total, r.perLine
+		}
+		r.rec.next = idx + 1
+		if r.rec.left--; r.rec.left == 0 {
+			bm := &blockMemo{
+				interior: r.total - r.rec.t0,
+				exit:     r.dec.StreamState(),
+				words:    r.blockLen[r.rec.start],
+			}
+			for l := 0; l < 32; l++ {
+				bm.perLine[l] = r.perLine[l] - r.rec.p0[l]
+			}
+			r.memo[r.rec.start] = bm
+			r.memoCount++
+			r.rec.on = false
+		}
+	}
+}
+
+// applyMemo replays one whole covered block from its recorded outcome: the
+// entry transition is recomputed from the actual previous bus word, the
+// interior deltas and decoder exit state come from the memo. Only valid
+// when the bus has a previous word (started), the decoder is idle, and the
+// fetch stream is known to walk the block sequentially to its tail.
+func (r *replayer) applyMemo(idx int32, bm *blockMemo) {
+	diff := r.encW[idx] ^ r.encW[r.lastIdx]
+	r.total += uint64(bits.OnesCount32(diff)) + bm.interior
+	for diff != 0 {
+		line := bits.TrailingZeros32(diff)
+		r.perLine[line]++
+		diff &= diff - 1
+	}
+	for l := 0; l < 32; l++ {
+		r.perLine[l] += bm.perLine[l]
+	}
+	r.lastIdx = idx + bm.words - 1
+	r.dec.SetStreamState(bm.exit)
+	r.memoHits++
+	r.rec.on = false
 }
 
 // cancelCheckStride bounds how many fetch steps may pass between context
@@ -215,6 +362,15 @@ func (r *replayer) runRun(delta int32, count int64) {
 			return
 		}
 		if r.dec.Active() || r.kind[idx] != 0 {
+			if r.memoOK && r.kind[idx] == 1 && !r.dec.Active() {
+				// Sequential entry into a memoised block with the whole
+				// block ahead in this run: replay it from the memo.
+				if bm := r.memo[idx]; bm != nil && count >= int64(bm.words) {
+					r.applyMemo(idx, bm)
+					count -= int64(bm.words)
+					continue
+				}
+			}
 			r.step(idx)
 			count--
 			continue
@@ -235,7 +391,7 @@ func (r *replayer) runRun(delta int32, count int64) {
 }
 
 func (r *replayer) runOps(ops []Op) {
-	for i := range ops {
+	for i := 0; i < len(ops); i++ {
 		if r.err != nil {
 			return
 		}
@@ -246,10 +402,45 @@ func (r *replayer) runOps(ops []Op) {
 		op := &ops[i]
 		if op.Repeat > 0 {
 			r.runRepeat(op)
-		} else {
-			r.runRun(op.Delta, op.Count)
+			continue
 		}
+		// Branch-landing memo: loop traces reach a block start as the last
+		// fetch of a branch op, with the block interior at the head of the
+		// following +1 run. If that landing block is memoised and the next
+		// op sequentially covers its interior, replay the pair as
+		// (branch prefix, memo, run remainder).
+		if r.memoOK && r.started && op.Count >= 1 && i+1 < len(ops) {
+			if next := &ops[i+1]; next.Repeat == 0 && next.Delta == 1 {
+				if land := r.landing(op); land >= 0 && r.kind[land] == 1 {
+					if bm := r.memo[land]; bm != nil && next.Count >= int64(bm.words)-1 {
+						r.runRun(op.Delta, op.Count-1)
+						if r.err != nil {
+							return
+						}
+						if !r.dec.Active() && r.lastIdx+op.Delta == land {
+							r.applyMemo(land, bm)
+							r.runRun(1, next.Count-(int64(bm.words)-1))
+							i++ // next op consumed
+						} else {
+							r.runRun(op.Delta, 1) // finish op normally
+						}
+						continue
+					}
+				}
+			}
+		}
+		r.runRun(op.Delta, op.Count)
 	}
+}
+
+// landing returns the image index of an op's final fetch, or -1 when it
+// falls outside the image (the step path will report that as an error).
+func (r *replayer) landing(op *Op) int32 {
+	t := int64(r.lastIdx) + int64(op.Delta)*op.Count
+	if t < 0 || t >= int64(len(r.encW)) {
+		return -1
+	}
+	return int32(t)
 }
 
 // streamState is everything the next fetch's outcome can depend on.

@@ -88,6 +88,27 @@ func (f Func) Eval(x, y uint8) uint8 {
 	return uint8(f>>((x&1)<<1|y&1)) & 1
 }
 
+// WordEval applies tau bitwise across words: result bit i is
+// tau(x bit i, y bit i). It is the word-parallel form of Eval — one
+// mask-select per set minterm of the truth table — used by the decoder
+// datapath model and the encoder's word-parallel verification pass.
+func WordEval(f Func, x, y uint32) uint32 {
+	var r uint32
+	if f&0b0001 != 0 { // tau(0,0)
+		r |= ^x & ^y
+	}
+	if f&0b0010 != 0 { // tau(0,1)
+		r |= ^x & y
+	}
+	if f&0b0100 != 0 { // tau(1,0)
+		r |= x & ^y
+	}
+	if f&0b1000 != 0 { // tau(1,1)
+		r |= x & y
+	}
+	return r
+}
+
 // String returns the analytical form of the function using the paper's
 // notation (x is the encoded bit, y the history bit).
 func (f Func) String() string {

@@ -221,3 +221,21 @@ func TestStringUniqueAndNonEmpty(t *testing.T) {
 		t.Error("invalid Func should still render")
 	}
 }
+
+func TestWordEvalMatchesEval(t *testing.T) {
+	for _, f := range All() {
+		for x := uint32(0); x < 4; x++ {
+			for y := uint32(0); y < 4; y++ {
+				// Two-bit words exercise every per-bit operand pair.
+				got := WordEval(f, x, y) & 3
+				var want uint32
+				for b := uint(0); b < 2; b++ {
+					want |= uint32(f.Eval(uint8(x>>b), uint8(y>>b))) << b
+				}
+				if got != want {
+					t.Fatalf("WordEval(%v, %#b, %#b) = %#b, want %#b", f, x, y, got, want)
+				}
+			}
+		}
+	}
+}

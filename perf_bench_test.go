@@ -22,6 +22,7 @@ func perfBenchmark(b *testing.B, name string) Benchmark {
 // BenchmarkPerfCPUFetchLoop is the raw simulator: one full run of the mmul
 // kernel per iteration, no bus sinks attached.
 func BenchmarkPerfCPUFetchLoop(b *testing.B) {
+	b.ReportAllocs()
 	bm := perfBenchmark(b, "mmul")
 	p, err := bm.Program()
 	if err != nil {
@@ -48,6 +49,7 @@ func BenchmarkPerfCPUFetchLoop(b *testing.B) {
 // allocation, encoded image) from a precomputed profile per iteration —
 // the per-configuration cost the parallel sweep fans out.
 func BenchmarkPerfCoreEncode(b *testing.B) {
+	b.ReportAllocs()
 	bm := perfBenchmark(b, "mmul")
 	p, err := bm.Program()
 	if err != nil {
@@ -72,6 +74,7 @@ func BenchmarkPerfCoreEncode(b *testing.B) {
 // BenchmarkPerfSimulateMeasure is the reference pipeline: two full
 // simulations per measurement call.
 func BenchmarkPerfSimulateMeasure(b *testing.B) {
+	b.ReportAllocs()
 	bm := perfBenchmark(b, "mmul")
 	for i := 0; i < b.N; i++ {
 		if _, err := bm.SimulateMeasure(Config{BlockSize: 5}); err != nil {
@@ -84,6 +87,7 @@ func BenchmarkPerfSimulateMeasure(b *testing.B) {
 // capture/replay engine with the trace already cached — the cost every
 // measurement after the first pays.
 func BenchmarkPerfReplayMeasureWarm(b *testing.B) {
+	b.ReportAllocs()
 	bm := perfBenchmark(b, "mmul")
 	if _, err := bm.Measure(Config{BlockSize: 5}); err != nil {
 		b.Fatal(err) // prime the capture cache
@@ -99,6 +103,7 @@ func BenchmarkPerfReplayMeasureWarm(b *testing.B) {
 // BenchmarkPerfReplayMeasureCold includes the capture: one profiling
 // simulation plus one replay per iteration.
 func BenchmarkPerfReplayMeasureCold(b *testing.B) {
+	b.ReportAllocs()
 	bm := perfBenchmark(b, "mmul")
 	for i := 0; i < b.N; i++ {
 		ClearCaptureCache()
@@ -112,6 +117,7 @@ func BenchmarkPerfReplayMeasureCold(b *testing.B) {
 // sizes) per iteration from a cold cache, the workload BENCH_sweep.json
 // times.
 func BenchmarkPerfSweep(b *testing.B) {
+	b.ReportAllocs()
 	var benches []Benchmark
 	for _, bm := range Benchmarks() {
 		benches = append(benches, testScale(bm))

@@ -78,10 +78,7 @@ func replayMeasureCtx(ctx context.Context, p *Program, setup func(Memory) error,
 	if err != nil {
 		return nil, err
 	}
-	g, err := cfg.Build(p.TextBase, p.Text)
-	if err != nil {
-		return nil, err
-	}
+	g := cap.Graph // built once at capture time, shared by every config
 	out := make([]Measurement, len(cfgs))
 	errs := make([]error, len(cfgs))
 	runPoolCtx(ctx, core.Parallelism(), len(cfgs), func(i int) {
@@ -199,12 +196,17 @@ func captureRun(p *Program, setup func(Memory) error) (*replay.Capture, error) {
 	}
 	profile := append([]uint64(nil), m1.Profile()...)
 	words := append([]uint32(nil), p.Text...)
+	g, err := cfg.Build(base, words)
+	if err != nil {
+		return nil, err
+	}
 	tr := builder.Trace()
 	dict := baseline.BuildDictionary(words, profile, 256)
 	tr.Indices(func(idx int32) { dict.Transfer(words[idx]) })
 	return &replay.Capture{
 		Base:            base,
 		Words:           words,
+		Graph:           g,
 		Trace:           tr,
 		Profile:         profile,
 		Instructions:    m1.InstCount,

@@ -3,6 +3,10 @@ package imtrans
 import (
 	"reflect"
 	"testing"
+
+	"imtrans/internal/core"
+	"imtrans/internal/hw"
+	"imtrans/internal/replay"
 )
 
 // testScale shrinks a paper benchmark to test-sized problems (the same
@@ -121,6 +125,46 @@ func TestSweepMeasureDeterministic(t *testing.T) {
 		if !reflect.DeepEqual(serial[bi], ms) {
 			t.Errorf("%s: sweep row differs from Measure", b.Name)
 		}
+	}
+}
+
+// TestReplayMemoExercised drives the replay engine directly against a
+// loop-heavy kernel and requires the block-outcome memo to fire: at least
+// one covered block recorded on first visit, and later loop iterations of
+// it served from the memo. The equivalence tests above then guarantee the
+// memoised totals are bit-identical to the simulate pipeline.
+func TestReplayMemoExercised(t *testing.T) {
+	ClearCaptureCache()
+	for _, name := range []string{"tri", "sor"} {
+		b := testScale(mustBench(t, name))
+		p, err := b.Program()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap, err := captureProgram(p, b.setup, b.captureSalt())
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := core.Encode(cap.Graph, cap.Profile, Config{BlockSize: 5}.coreConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := hw.NewDecoder(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec.Strict = true
+		res, err := replay.Measure(cap, enc, dec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.MemoBlocks == 0 {
+			t.Errorf("%s: no covered block was memoised", name)
+		}
+		if res.MemoHits == 0 {
+			t.Errorf("%s: memo recorded %d blocks but served no replays", name, res.MemoBlocks)
+		}
+		t.Logf("%s: %d blocks memoised, %d replays served from the memo", name, res.MemoBlocks, res.MemoHits)
 	}
 }
 

@@ -247,11 +247,7 @@ func SweepMeasureCtx(ctx context.Context, benchmarks []Benchmark, cfgs []Config,
 			if err != nil {
 				return err
 			}
-			g, err := cfg.Build(p.TextBase, p.Text)
-			if err != nil {
-				return err
-			}
-			states[bi].cap, states[bi].g = cap, g
+			states[bi].cap, states[bi].g = cap, cap.Graph
 			return nil
 		})
 	})
