@@ -57,6 +57,8 @@ func main() {
 		err = cmdInject(args)
 	case "loadgen":
 		err = cmdLoadgen(args)
+	case "job":
+		err = cmdJob(args)
 	case "version", "-version", "--version":
 		fmt.Println(buildinfo.String("imtrans"))
 	case "help", "-h", "--help":
@@ -107,6 +109,10 @@ commands:
   loadgen             drive a running imtransd (-url, -path, -rps, -duration,
                       -c workers, -body JSON|@file, -max5xx budget) and
                       report throughput plus p50/p90/p99 latency
+  job <sub>           talk to imtransd's durable async job API (-url):
+                      submit -body JSON|@file [-wait], status <id>,
+                      wait <id> [-poll 500ms], result <id> [-o file],
+                      cancel <id>, list
   version             print the build identity (module version, go version,
                       platform, VCS revision)`)
 }

@@ -7,11 +7,20 @@
 // orchestration. SIGINT/SIGTERM drain gracefully: in-flight requests
 // complete, queued ones are released with 503, then the listener closes.
 //
+// With -jobs.dir set the daemon also serves the durable async job API
+// (POST/GET/DELETE /v1/jobs...): sweeps submitted as jobs are journalled
+// to the store and survive any interruption — a restart recovers and
+// resumes them bit-identically. The -chaos.* flags arm a deterministic
+// crash harness (the daemon SIGKILLs itself after a seeded delay) so CI
+// can prove exactly that.
+//
 // Usage:
 //
 //	imtransd [-addr :8080] [-workers N] [-queue N] [-timeout 120s]
 //	         [-cache N] [-rate-rps N] [-rate-burst N] [-drain 30s]
-//	         [-parallelism N] [-version]
+//	         [-parallelism N] [-jobs.dir DIR] [-jobs.max N]
+//	         [-jobs.deadline 1h] [-jobs.fsync] [-chaos.killafter D]
+//	         [-chaos.seed N] [-chaos.jitter F] [-version]
 package main
 
 import (
@@ -20,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -44,6 +54,14 @@ func main() {
 	drain := fs.Duration("drain", 30*time.Second, "graceful-drain bound after SIGINT/SIGTERM")
 	parallelism := fs.Int("parallelism", 0, "measurement-pipeline worker bound (0 = keep default)")
 	captureCache := fs.Int("capture-cache", 0, "fetch-trace capture cache entries (0 = keep default)")
+	jobsDir := fs.String("jobs.dir", "", "durable job store directory (empty = async job API disabled)")
+	jobsMax := fs.Int("jobs.max", 0, "concurrently executing jobs (0 = 1)")
+	jobsParallelism := fs.Int("jobs.parallelism", 0, "per-job sweep worker bound (0 = GOMAXPROCS)")
+	jobDeadline := fs.Duration("jobs.deadline", 0, "default per-job deadline (0 = 1h)")
+	jobsFsync := fs.Bool("jobs.fsync", true, "fsync job records and checkpoint journals (power-fail durability)")
+	chaosKill := fs.Duration("chaos.killafter", 0, "chaos harness: SIGKILL this process after roughly this long (0 = off)")
+	chaosSeed := fs.Int64("chaos.seed", 1, "chaos harness seed (same seed, same kill time)")
+	chaosJitter := fs.Float64("chaos.jitter", 0.5, "chaos kill-time jitter fraction in [0,1]")
 	version := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
@@ -62,14 +80,22 @@ func main() {
 		imtrans.SetCaptureCacheLimit(*captureCache)
 	}
 
-	srv := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		RequestTimeout: *timeout,
-		CacheEntries:   *cache,
-		RateLimit:      *rateRPS,
-		RateBurst:      *rateBurst,
+	srv, err := server.New(server.Config{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		RequestTimeout:    *timeout,
+		CacheEntries:      *cache,
+		RateLimit:         *rateRPS,
+		RateBurst:         *rateBurst,
+		JobsDir:           *jobsDir,
+		JobsMaxConcurrent: *jobsMax,
+		JobsParallelism:   *jobsParallelism,
+		JobDeadline:       *jobDeadline,
+		JobsFsync:         *jobsFsync,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -77,6 +103,31 @@ func main() {
 	}
 	log.Printf("%s", buildinfo.String("imtransd"))
 	log.Printf("listening on %s", l.Addr())
+	if *jobsDir != "" {
+		log.Printf("durable job store at %s (fsync=%v)", *jobsDir, *jobsFsync)
+	}
+
+	if *chaosKill > 0 {
+		// Chaos harness: kill this process the hard way after a seeded,
+		// jittered delay — the fault package's discipline (same seed, same
+		// fault) applied to the daemon's own lifetime. SIGKILL, not
+		// SIGTERM: no drain, no checkpoint flush, no goodbye. Whatever the
+		// job store holds at that instant is what recovery gets.
+		j := *chaosJitter
+		if j < 0 {
+			j = 0
+		}
+		if j > 1 {
+			j = 1
+		}
+		rnd := rand.New(rand.NewSource(*chaosSeed))
+		delay := time.Duration(float64(*chaosKill) * (1 + j*(2*rnd.Float64()-1)))
+		log.Printf("chaos: armed, SIGKILL in %s (seed %d, jitter %g)", delay, *chaosSeed, j)
+		go func() {
+			time.Sleep(delay)
+			syscall.Kill(os.Getpid(), syscall.SIGKILL)
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

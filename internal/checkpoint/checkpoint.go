@@ -173,8 +173,11 @@ func Load(path string) (*File, error) {
 // write atomically replaces path with the serialised, checksummed file:
 // the snapshot lands in a temp file in the same directory and is renamed
 // over the target, so a crash at any point leaves either the old or the
-// new complete journal.
-func (f *File) write(path string) error {
+// new complete journal. With durable set, the temp file is fsynced before
+// the rename and the parent directory after it, extending the guarantee
+// from process crashes to power loss at the cost of two fsyncs per
+// snapshot.
+func (f *File) write(path string, durable bool) error {
 	f.Magic, f.Version = Magic, Version
 	f.Checksum = Checksum(f)
 	data, err := json.MarshalIndent(f, "", " ")
@@ -192,6 +195,13 @@ func (f *File) write(path string) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	if durable {
+		if err := tmp.Sync(); err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("checkpoint: %w", err)
@@ -204,17 +214,43 @@ func (f *File) write(path string) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("checkpoint: %w", err)
 	}
+	if durable {
+		if err := syncDir(dir); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Journal is a live checkpoint: Open it once per sweep, Record each
 // completed cell, and the on-disk snapshot tracks progress atomically.
 // Record is safe for concurrent use by sweep workers.
 type Journal struct {
-	mu   sync.Mutex
-	path string
-	f    File
-	have map[[2]int]bool
+	mu      sync.Mutex
+	path    string
+	durable bool
+	f       File
+	have    map[[2]int]bool
+}
+
+// SetDurable toggles power-fail durability: with it on, every snapshot
+// fsyncs the temp file and the journal's directory around the rename.
+// Default off — the rename alone already survives process crashes, and
+// tests stay fast.
+func (j *Journal) SetDurable(on bool) {
+	j.mu.Lock()
+	j.durable = on
+	j.mu.Unlock()
 }
 
 // Open loads the journal at path, or creates a fresh one if the file does
@@ -280,7 +316,7 @@ func (j *Journal) Record(bench, config int, payload json.RawMessage) error {
 	}
 	j.f.Cells = append(j.f.Cells, Cell{Bench: bench, Config: config, Payload: payload})
 	j.have[key] = true
-	return j.f.write(j.path)
+	return j.f.write(j.path, j.durable)
 }
 
 // Len reports the number of journalled cells.

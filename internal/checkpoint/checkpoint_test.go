@@ -152,3 +152,44 @@ func TestVerifyRejectsBadShapes(t *testing.T) {
 		t.Error("empty config axis accepted")
 	}
 }
+
+// TestJournalDurableWrites exercises the fsync path (SetDurable): records
+// land correctly, stay resumable, and leave no temp files — the same
+// contract as the fast path, plus the file/directory syncs in between.
+func TestJournalDurableWrites(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	grid, bs, cs := testGrid()
+
+	j, _, err := Open(path, grid, bs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.SetDurable(true)
+	if err := j.Record(0, 0, json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.SetDurable(false)
+	if err := j.Record(0, 1, json.RawMessage(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.SetDurable(true)
+	if err := j.Record(1, 0, json.RawMessage(`{"v":3}`)); err != nil {
+		t.Fatal(err)
+	}
+
+	_, cells, err := Open(path, grid, bs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 3 {
+		t.Fatalf("resumed %d cells, want 3", len(cells))
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want just the journal", len(entries))
+	}
+}

@@ -1,0 +1,208 @@
+// Package jobs is the daemon's durable async job engine: a sweep
+// submitted as a job survives any interruption — client timeout, graceful
+// drain, SIGKILL — and owes nothing. Each job persists three artifacts
+// under a content-addressed on-disk store (the job ID is a truncated
+// SHA-256 of the canonical spec): the spec itself, a CRC-guarded state
+// record, and the sweep's checkpoint journal. On boot the engine rescans
+// the store, re-verifies every artifact, and resumes incomplete jobs
+// bit-identically from their last checkpointed cell; execution runs under
+// a per-job supervisor with bounded concurrency, a per-job deadline, and
+// the retry/backoff and panic-isolation machinery the sweep layer already
+// has (internal/runsafe). Corrupted store files mark the job corrupt —
+// never a panic, never a half-trusted resume.
+package jobs
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"imtrans"
+)
+
+// Limits on what a single job may ask for, mirroring the synchronous
+// /v1/measure bounds so the async path cannot smuggle in a bigger grid.
+const (
+	// MaxGridCells bounds benchmarks × configs per job.
+	MaxGridCells = 256
+	// MaxRetries bounds the per-cell supervised attempt budget.
+	MaxRetries = 10
+	// MaxDeadlineSeconds bounds the per-job deadline a spec may request.
+	MaxDeadlineSeconds = 24 * 60 * 60
+	// maxScale bounds benchmark problem sizes and iteration counts.
+	maxScale = 1 << 20
+)
+
+// BenchmarkRef names a built-in kernel, optionally rescaled; zero n/iters
+// keep the kernel's defaults.
+type BenchmarkRef struct {
+	Name  string `json:"name"`
+	N     int    `json:"n,omitempty"`
+	Iters int    `json:"iters,omitempty"`
+}
+
+func (r BenchmarkRef) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("benchmark: name is required")
+	}
+	if r.N < 0 || r.N > maxScale {
+		return fmt.Errorf("benchmark %q: n %d out of range [0, %d]", r.Name, r.N, maxScale)
+	}
+	if r.Iters < 0 || r.Iters > maxScale {
+		return fmt.Errorf("benchmark %q: iters %d out of range [0, %d]", r.Name, r.Iters, maxScale)
+	}
+	return nil
+}
+
+// ConfigRef is the wire form of one encoding configuration.
+type ConfigRef struct {
+	BlockSize    int  `json:"block_size,omitempty"`
+	TTEntries    int  `json:"tt_entries,omitempty"`
+	BBITEntries  int  `json:"bbit_entries,omitempty"`
+	AllFunctions bool `json:"all_functions,omitempty"`
+	Exact        bool `json:"exact,omitempty"`
+	Knapsack     bool `json:"knapsack,omitempty"`
+	BusWidth     int  `json:"bus_width,omitempty"`
+}
+
+// Config converts to the root facade's configuration type.
+func (c ConfigRef) Config() imtrans.Config {
+	return imtrans.Config{
+		BlockSize:    c.BlockSize,
+		TTEntries:    c.TTEntries,
+		BBITEntries:  c.BBITEntries,
+		AllFunctions: c.AllFunctions,
+		Exact:        c.Exact,
+		Knapsack:     c.Knapsack,
+		BusWidth:     c.BusWidth,
+	}
+}
+
+func (c ConfigRef) validate() error {
+	if c.BlockSize != 0 && (c.BlockSize < 2 || c.BlockSize > 16) {
+		return fmt.Errorf("config: block_size %d out of range [2, 16]", c.BlockSize)
+	}
+	if c.TTEntries < 0 || c.TTEntries > 4096 {
+		return fmt.Errorf("config: tt_entries %d out of range [0, 4096]", c.TTEntries)
+	}
+	if c.BBITEntries < 0 || c.BBITEntries > 4096 {
+		return fmt.Errorf("config: bbit_entries %d out of range [0, 4096]", c.BBITEntries)
+	}
+	if c.BusWidth < 0 || c.BusWidth > 32 {
+		return fmt.Errorf("config: bus_width %d out of range [0, 32]", c.BusWidth)
+	}
+	return nil
+}
+
+// Spec is what a job runs: a supervised measurement sweep over built-in
+// benchmarks × configurations — the same grid POST /v1/measure evaluates
+// synchronously, made durable. The spec is the job's identity: its
+// canonical serialisation hashes to the job ID, so byte-equivalent
+// submissions deduplicate onto one job.
+type Spec struct {
+	Benchmarks []BenchmarkRef `json:"benchmarks"`
+	Configs    []ConfigRef    `json:"configs,omitempty"`
+
+	// Retries is the supervised attempt budget per grid cell; 0 means a
+	// single attempt.
+	Retries int `json:"retries,omitempty"`
+
+	// DeadlineSeconds bounds the job's total execution wall clock
+	// (resumed time counts per attempt, not cumulatively); 0 uses the
+	// engine default.
+	DeadlineSeconds int `json:"deadline_seconds,omitempty"`
+}
+
+func (s *Spec) validate() error {
+	if len(s.Benchmarks) == 0 {
+		return fmt.Errorf("at least one benchmark is required")
+	}
+	cols := len(s.Configs)
+	if cols == 0 {
+		cols = 1
+	}
+	if len(s.Benchmarks)*cols > MaxGridCells {
+		return fmt.Errorf("grid of %d cells exceeds the %d-cell limit", len(s.Benchmarks)*cols, MaxGridCells)
+	}
+	for _, b := range s.Benchmarks {
+		if err := b.validate(); err != nil {
+			return err
+		}
+	}
+	for i, c := range s.Configs {
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("configs[%d]: %w", i, err)
+		}
+	}
+	if s.Retries < 0 || s.Retries > MaxRetries {
+		return fmt.Errorf("retries %d out of range [0, %d]", s.Retries, MaxRetries)
+	}
+	if s.DeadlineSeconds < 0 || s.DeadlineSeconds > MaxDeadlineSeconds {
+		return fmt.Errorf("deadline_seconds %d out of range [0, %d]", s.DeadlineSeconds, MaxDeadlineSeconds)
+	}
+	return nil
+}
+
+// Grid reports the spec's cell grid dimensions (benchmarks × configs).
+func (s *Spec) Grid() (rows, cols int) {
+	rows, cols = len(s.Benchmarks), len(s.Configs)
+	if cols == 0 {
+		cols = 1
+	}
+	return rows, cols
+}
+
+// configs returns the configuration axis, a single default when none are
+// given — the same zero-config behaviour as the facade.
+func (s *Spec) configs() []imtrans.Config {
+	if len(s.Configs) == 0 {
+		return []imtrans.Config{{}}
+	}
+	out := make([]imtrans.Config, len(s.Configs))
+	for i, c := range s.Configs {
+		out[i] = c.Config()
+	}
+	return out
+}
+
+// Canonical returns the spec's canonical bytes: the compact JSON of the
+// validated struct, independent of the submitter's whitespace, field
+// order, or numeric formatting. The job ID is a hash of exactly these
+// bytes, so they are also the store's integrity check for the spec file.
+func (s *Spec) Canonical() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Spec is marshal-safe by construction.
+		panic(fmt.Sprintf("jobs: marshalling spec: %v", err))
+	}
+	return b
+}
+
+// ID derives the job's content address: the first 16 hex digits of the
+// SHA-256 of the canonical spec.
+func (s *Spec) ID() string {
+	h := sha256.Sum256(s.Canonical())
+	return fmt.Sprintf("%x", h[:8])
+}
+
+// ParseSpec strictly decodes and validates a job spec: unknown fields,
+// trailing data, and out-of-bounds grids are errors — never a panic.
+// Benchmark-name resolution happens at submit, not here, keeping the
+// parser a pure function of the bytes (and directly fuzzable).
+func ParseSpec(data []byte) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("trailing data after the JSON body")
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -163,7 +163,7 @@ func TestHistogramRender(t *testing.T) {
 }
 
 func TestRenderCountersGroupsFamilies(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	s.counters.Add(`requests_total{endpoint="a",code="200"}`, 2)
 	s.counters.Add(`requests_total{endpoint="b",code="400"}`, 1)
 	s.counters.Add("cache_hits_total", 5)

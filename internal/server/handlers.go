@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"imtrans"
+	"imtrans/internal/jobs"
 	"imtrans/internal/objfile"
 )
 
@@ -230,11 +231,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleReadyz gates traffic: 200 while serving, 503 once draining (or
 // before Serve), so orchestrators stop routing before the listener goes.
+// While job-store recovery is still resuming interrupted work the daemon
+// serves but reports itself degraded — still 200 (it can take traffic),
+// with the debt spelled out in the body and the metrics gauge.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if !s.ready.Load() || s.Draining() {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		fmt.Fprintln(w, "draining")
+		return
+	}
+	if s.jobs != nil && s.jobs.Recovering() {
+		fmt.Fprintln(w, "ready (degraded: job recovery in flight)")
 		return
 	}
 	fmt.Fprintln(w, "ready")
@@ -248,8 +256,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	renderCounters(w, s.counters)
 	fmt.Fprintf(w, "# TYPE %srequest_duration_seconds histogram\n", metricsNamespace)
-	for _, ep := range []string{"encode", "measure", "deploy", "benchmarks"} {
+	for _, ep := range []string{"encode", "measure", "deploy", "benchmarks", "jobs"} {
 		s.hist[ep].render(w, metricsNamespace+"request_duration_seconds", fmt.Sprintf("endpoint=%q", ep))
+	}
+	if s.jobs != nil {
+		counts := s.jobs.StateCounts()
+		fmt.Fprintf(w, "# TYPE %sjobs gauge\n", metricsNamespace)
+		for _, st := range []jobs.State{jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateCancelled, jobs.StateCorrupt} {
+			fmt.Fprintf(w, "%sjobs{state=%q} %d\n", metricsNamespace, st, counts[st])
+		}
+		recovering := 0
+		if s.jobs.Recovering() {
+			recovering = 1
+		}
+		fmt.Fprintf(w, "# TYPE %sjobs_recovering gauge\n%sjobs_recovering %d\n", metricsNamespace, metricsNamespace, recovering)
 	}
 	hits, misses := imtrans.CaptureCacheStats()
 	fmt.Fprintf(w, "# TYPE %scapture_cache_hits_total counter\n%scapture_cache_hits_total %d\n", metricsNamespace, metricsNamespace, hits)

@@ -3,12 +3,14 @@ package server
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"sort"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"imtrans/internal/stats"
@@ -68,11 +70,19 @@ func (o LoadgenOptions) withDefaults() LoadgenOptions {
 // never got a response (dial refused, client saturation timeouts) — the
 // distinction a graceful drain is judged by: accepted requests must
 // complete, refused dials are expected once the listener closes.
+//
+// Connection drops whose error shape is a clean shutdown artifact —
+// ECONNRESET, EPIPE, or a bare/unexpected EOF, exactly what a daemon
+// closing its listener mid-exchange produces — are classified into
+// DrainDrops instead of Resets/NotAccepted, so a drain under load is not
+// misread as server failure and budgets like -max5xx judge only real
+// responses.
 type LoadReport struct {
 	Sent        int
 	Accepted    int
 	NotAccepted int
 	Resets      int
+	DrainDrops  int // reset/EOF-shaped drops, expected during a clean drain
 	Dropped     int // ticks skipped because every client worker was busy
 
 	StatusCounts map[int]int
@@ -102,6 +112,7 @@ func (r *LoadReport) String() string {
 	t.AddRowf("accepted", r.Accepted)
 	t.AddRowf("not accepted", r.NotAccepted)
 	t.AddRowf("resets", r.Resets)
+	t.AddRowf("drain drops (reset/EOF)", r.DrainDrops)
 	t.AddRowf("client-side drops", r.Dropped)
 	codes := make([]int, 0, len(r.StatusCounts))
 	for c := range r.StatusCounts {
@@ -122,6 +133,28 @@ func (r *LoadReport) String() string {
 	return b.String()
 }
 
+// isDrainDrop reports whether err is a reset/EOF-shaped connection drop —
+// the error family a daemon produces when it closes connections during a
+// clean drain: ECONNRESET, EPIPE, or a bare/truncated EOF. Transport
+// errors arrive wrapped (and sometimes flattened to strings by net/http),
+// so after the errors.Is checks a substring fallback catches the rest.
+func isDrainDrop(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return true
+	}
+	msg := err.Error()
+	for _, s := range []string{"connection reset by peer", "broken pipe", "unexpected EOF", "EOF"} {
+		if strings.Contains(msg, s) {
+			return true
+		}
+	}
+	return false
+}
+
 // RunLoadgen drives the target at opts.RPS until opts.Duration elapses
 // (or ctx ends), then drains in-flight requests and aggregates. Each
 // request uses its own connection (no keep-alive): loadgen's job includes
@@ -140,10 +173,11 @@ func RunLoadgen(ctx context.Context, opts LoadgenOptions) (*LoadReport, error) {
 	}
 
 	type sample struct {
-		status   int  // 0 when no response arrived
-		reset    bool // error after response headers
-		latency  time.Duration
-		accepted bool
+		status    int  // 0 when no response arrived
+		reset     bool // error after response headers
+		drainDrop bool // the error was reset/EOF-shaped (clean-drain artifact)
+		latency   time.Duration
+		accepted  bool
 	}
 	var (
 		mu      sync.Mutex
@@ -171,9 +205,15 @@ func RunLoadgen(ctx context.Context, opts LoadgenOptions) (*LoadReport, error) {
 						sm.accepted = true
 						sm.status = resp.StatusCode
 						if _, rerr := io.Copy(io.Discard, resp.Body); rerr != nil {
-							sm.reset = true
+							if isDrainDrop(rerr) {
+								sm.drainDrop = true
+							} else {
+								sm.reset = true
+							}
 						}
 						resp.Body.Close()
+					} else if isDrainDrop(derr) {
+						sm.drainDrop = true
 					}
 				}
 				sm.latency = time.Since(start)
@@ -219,6 +259,8 @@ loop:
 	var lat []time.Duration
 	for _, sm := range samples {
 		switch {
+		case sm.drainDrop:
+			rep.DrainDrops++
 		case sm.reset:
 			rep.Resets++
 		case sm.accepted:

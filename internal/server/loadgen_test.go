@@ -1,0 +1,100 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestIsDrainDrop(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"eof", io.EOF, true},
+		{"unexpected-eof", io.ErrUnexpectedEOF, true},
+		{"econnreset", syscall.ECONNRESET, true},
+		{"epipe", syscall.EPIPE, true},
+		{"wrapped-reset", fmt.Errorf("read tcp: %w", syscall.ECONNRESET), true},
+		{"stringified-reset", errors.New(`Post "http://x": read tcp 127.0.0.1:1->127.0.0.1:2: read: connection reset by peer`), true},
+		{"stringified-eof", errors.New(`Post "http://x": EOF`), true},
+		{"timeout", context.DeadlineExceeded, false},
+		{"refused", syscall.ECONNREFUSED, false},
+		{"other", errors.New("no route to host"), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := isDrainDrop(tc.err); got != tc.want {
+				t.Fatalf("isDrainDrop(%v) = %v, want %v", tc.err, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestLoadgenClassifiesDrainDrops abruptly resets every accepted
+// connection — the shape a daemon closing its listener mid-exchange
+// produces — and asserts the drops land in DrainDrops, not in Resets or
+// NotAccepted, so drain artifacts never charge a failure budget.
+func TestLoadgenClassifiesDrainDrops(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			// Read a little of the request, then reset hard: SetLinger(0)
+			// makes Close send RST, so the client sees ECONNRESET/EOF —
+			// exactly the clean-drain error family.
+			buf := make([]byte, 256)
+			c.Read(buf)
+			if tc, ok := c.(*net.TCPConn); ok {
+				tc.SetLinger(0)
+			}
+			c.Close()
+		}
+	}()
+
+	rep, err := RunLoadgen(context.Background(), LoadgenOptions{
+		BaseURL:     "http://" + l.Addr().String(),
+		Path:        "/v1/encode",
+		Method:      http.MethodPost,
+		Body:        []byte(defaultLoadgenBody),
+		RPS:         200,
+		Duration:    300 * time.Millisecond,
+		Concurrency: 8,
+		Timeout:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	<-done
+
+	if rep.DrainDrops == 0 {
+		t.Fatalf("expected drain drops from reset connections, got report:\n%s", rep)
+	}
+	if rep.Resets != 0 {
+		t.Errorf("resets = %d, want 0 (drops must classify as drain drops)", rep.Resets)
+	}
+	if rep.NotAccepted != 0 {
+		t.Errorf("not accepted = %d, want 0 (drops must classify as drain drops)", rep.NotAccepted)
+	}
+	if rep.Responses5xx() != 0 {
+		t.Errorf("responses5xx = %d, want 0", rep.Responses5xx())
+	}
+}

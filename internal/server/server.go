@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"imtrans/internal/jobs"
 	"imtrans/internal/runsafe"
 	"imtrans/internal/stats"
 )
@@ -60,6 +61,25 @@ type Config struct {
 	// <= 0 divides GOMAXPROCS across the request workers so concurrent
 	// grids don't oversubscribe the host.
 	MeasureParallelism int
+
+	// JobsDir enables the durable async job engine, rooted at this store
+	// directory; empty disables the /v1/jobs API.
+	JobsDir string
+
+	// JobsMaxConcurrent bounds simultaneously executing jobs; <= 0 means 1.
+	JobsMaxConcurrent int
+
+	// JobsParallelism bounds each job's sweep fan-out; <= 0 means
+	// GOMAXPROCS.
+	JobsParallelism int
+
+	// JobDeadline bounds a job attempt's wall clock when its spec doesn't;
+	// <= 0 means 1 h.
+	JobDeadline time.Duration
+
+	// JobsFsync makes job records and checkpoint journals power-fail
+	// durable (fsync before and after every rename).
+	JobsFsync bool
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +114,7 @@ type Server struct {
 	hist     map[string]*histogram
 	cache    *resultCache
 	limiter  *tokenBucket
+	jobs     *jobs.Engine // nil unless Config.JobsDir is set
 
 	sem      chan struct{} // worker slots
 	waiting  atomic.Int64  // requests queued for a slot
@@ -111,8 +132,10 @@ type Server struct {
 // maxBodyBytes caps any request body read by the daemon.
 const maxBodyBytes = 4 << 20
 
-// New builds a ready-to-serve daemon.
-func New(cfg Config) *Server {
+// New builds a ready-to-serve daemon. With Config.JobsDir set it also
+// opens the durable job store, registers the /v1/jobs API, and launches
+// recovery of any jobs an earlier process left incomplete.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:      cfg,
@@ -125,7 +148,7 @@ func New(cfg Config) *Server {
 		draining: make(chan struct{}),
 		started:  time.Now(),
 	}
-	for _, ep := range []string{"encode", "measure", "deploy", "benchmarks"} {
+	for _, ep := range []string{"encode", "measure", "deploy", "benchmarks", "jobs"} {
 		s.hist[ep] = newHistogram()
 	}
 	s.mux.HandleFunc("POST /v1/encode", s.work("encode", s.handleEncode))
@@ -135,14 +158,37 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if cfg.JobsDir != "" {
+		eng, err := jobs.Open(jobs.Config{
+			Dir:             cfg.JobsDir,
+			MaxConcurrent:   cfg.JobsMaxConcurrent,
+			Parallelism:     cfg.JobsParallelism,
+			DefaultDeadline: cfg.JobDeadline,
+			Fsync:           cfg.JobsFsync,
+			Counters:        s.counters,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.jobs = eng
+		s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+		s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+		s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+		s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobResult)
+		s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
+		eng.Resume()
+	}
 	s.http = &http.Server{
 		Handler:           s.mux,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       120 * time.Second,
 	}
 	s.ready.Store(true)
-	return s
+	return s, nil
 }
+
+// Jobs exposes the daemon's job engine (nil when jobs are disabled).
+func (s *Server) Jobs() *jobs.Engine { return s.jobs }
 
 // Counters exposes the daemon's telemetry set (shared, concurrency-safe).
 func (s *Server) Counters() *stats.Counters { return s.counters }
@@ -165,7 +211,10 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Shutdown drains the daemon: readiness goes false, queued requests are
 // released with 503, in-flight requests run to completion (bounded by
-// ctx), and the listener closes. Safe to call more than once.
+// ctx), the listener closes, and the job engine stops — running jobs'
+// contexts are cancelled and their on-disk state stays `running`, the
+// marker the next boot's recovery resumes from. Safe to call more than
+// once.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.ready.Store(false)
 	select {
@@ -173,7 +222,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	default:
 		close(s.draining)
 	}
-	return s.http.Shutdown(ctx)
+	err := s.http.Shutdown(ctx)
+	if s.jobs != nil {
+		if jerr := s.jobs.Stop(ctx); jerr != nil && err == nil {
+			err = jerr
+		}
+	}
+	return err
 }
 
 // Draining reports whether Shutdown has begun.

@@ -29,6 +29,17 @@ var sweepScales = []BenchmarkRef{
 	{Name: "lu", N: 24},
 }
 
+// mustNew builds a daemon or fails the test — the constructor can only
+// error with a jobs store configured, which most tests don't use.
+func mustNew(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
 func post(t *testing.T, h http.Handler, path, body string) *httptest.ResponseRecorder {
 	t.Helper()
 	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
@@ -51,7 +62,7 @@ func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
 // layer adds no rounding (encoding/json round-trips every float64
 // exactly) and no reordering.
 func TestMeasureBitIdentical(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	reqBody, err := json.Marshal(MeasureRequest{Benchmarks: sweepScales})
 	if err != nil {
 		t.Fatal(err)
@@ -99,7 +110,7 @@ func TestMeasureBitIdentical(t *testing.T) {
 // resimulation: the second identical request increments cache_hits_total,
 // never re-enters a worker, and adds no capture-cache traffic.
 func TestRepeatedRequestCacheHit(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	executions := 0
 	s.testHookWorkStarted = func(string) { executions++ }
 	const body = `{"benchmark":{"name":"mmul","n":24}}`
@@ -133,7 +144,7 @@ func TestRepeatedRequestCacheHit(t *testing.T) {
 // request and fires identical concurrent ones: exactly one execution,
 // everyone gets the same 200.
 func TestSingleFlightCoalesces(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var mu sync.Mutex
@@ -182,7 +193,7 @@ func TestSingleFlightCoalesces(t *testing.T) {
 // TestPanicBecomesTyped500 injects a panic into the supervised region and
 // expects a JSON 500 with panic:true — the daemon survives.
 func TestPanicBecomesTyped500(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	s.testHookWorkStarted = func(string) { panic("injected") }
 	w := post(t, s.Handler(), "/v1/encode", `{"benchmark":{"name":"mmul","n":24}}`)
 	if w.Code != http.StatusInternalServerError {
@@ -212,7 +223,7 @@ func TestPanicBecomesTyped500(t *testing.T) {
 // TestBadRequests walks the malformed-input surface: every case is a 400
 // with a JSON error body, never anything worse.
 func TestBadRequests(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	cases := []struct {
 		name, path, body string
 	}{
@@ -259,7 +270,7 @@ func oversizeGrid() string {
 // TestRateLimitSheds configures a one-token bucket and expects the second
 // immediate request to be shed with 429 + Retry-After.
 func TestRateLimitSheds(t *testing.T) {
-	s := New(Config{RateLimit: 0.001, RateBurst: 1})
+	s := mustNew(t, Config{RateLimit: 0.001, RateBurst: 1})
 	const body = `{"benchmark":{"name":"mmul","n":24}}`
 	if w := post(t, s.Handler(), "/v1/encode", body); w.Code != http.StatusOK {
 		t.Fatalf("first: status %d", w.Code)
@@ -279,7 +290,7 @@ func TestRateLimitSheds(t *testing.T) {
 // TestQueueFullSheds saturates a one-worker, one-slot queue with distinct
 // (uncoalesceable) requests and expects the overflow to get 429.
 func TestQueueFullSheds(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s := mustNew(t, Config{Workers: 1, QueueDepth: 1})
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
@@ -325,7 +336,7 @@ func waitFor(t *testing.T, cond func() bool) {
 // listener: the in-flight request completes with 200, the queued one is
 // released with 503, readiness flips, and the listener closes.
 func TestGracefulShutdown(t *testing.T) {
-	s := New(Config{Workers: 1})
+	s := mustNew(t, Config{Workers: 1})
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
@@ -403,7 +414,7 @@ func TestGracefulShutdown(t *testing.T) {
 // resets) — accepted-then-dropped is exactly what a graceful drain
 // forbids.
 func TestLoadgenAgainstDrainingServer(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -447,7 +458,7 @@ func TestLoadgenAgainstDrainingServer(t *testing.T) {
 // healthy daemon under its configured rate serves zero 5xx and the
 // report carries real latency percentiles.
 func TestLoadgenHealthyServer(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	l, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -487,7 +498,7 @@ func TestLoadgenHealthyServer(t *testing.T) {
 
 // TestReadyzAndHealthz checks the orchestration gates across a drain.
 func TestReadyzAndHealthz(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	if w := get(t, s.Handler(), "/readyz"); w.Code != http.StatusOK {
 		t.Errorf("readyz: %d, want 200", w.Code)
 	}
@@ -512,7 +523,7 @@ func TestReadyzAndHealthz(t *testing.T) {
 
 // TestBenchmarksEndpoint lists the paper's six kernels plus the extras.
 func TestBenchmarksEndpoint(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	w := get(t, s.Handler(), "/v1/benchmarks")
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d", w.Code)
@@ -544,7 +555,7 @@ func TestBenchmarksEndpoint(t *testing.T) {
 // the Prometheus text invariants the CI smoke step relies on: labelled
 // request counters, one TYPE header per family, histogram sum/count.
 func TestMetricsExposition(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	post(t, s.Handler(), "/v1/encode", `{"benchmark":{"name":"mmul","n":24}}`)
 	post(t, s.Handler(), "/v1/encode", `{"benchmark":{"name":"mmul","n":24}}`)
 	post(t, s.Handler(), "/v1/encode", `{bad`)
@@ -597,7 +608,7 @@ loop:
 	if err != nil {
 		t.Fatal(err)
 	}
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	w := post(t, s.Handler(), "/v1/measure", string(body))
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body)
@@ -623,7 +634,7 @@ loop:
 // CRC-sealed stream Deployment.Save writes, loadable and verifiable by
 // the client exactly as the daemon promised.
 func TestDeployArtifactRoundTrips(t *testing.T) {
-	s := New(Config{})
+	s := mustNew(t, Config{})
 	w := post(t, s.Handler(), "/v1/deploy", `{"benchmark":{"name":"mmul","n":24}}`)
 	if w.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", w.Code, w.Body)
@@ -655,7 +666,7 @@ func TestDeployArtifactRoundTrips(t *testing.T) {
 // TestRequestTimeout gives the server a tiny deadline and a slow hook:
 // the response must be a 504, not a hang.
 func TestRequestTimeout(t *testing.T) {
-	s := New(Config{RequestTimeout: time.Nanosecond})
+	s := mustNew(t, Config{RequestTimeout: time.Nanosecond})
 	w := post(t, s.Handler(), "/v1/measure", `{"benchmarks":[{"name":"mmul","n":24}]}`)
 	if w.Code != http.StatusGatewayTimeout {
 		t.Fatalf("status %d, want 504 (%s)", w.Code, w.Body)
@@ -671,7 +682,7 @@ func TestRequestTimeout(t *testing.T) {
 }
 
 func ExampleServer() {
-	s := New(Config{Workers: 2})
+	s, _ := New(Config{Workers: 2})
 	w := httptest.NewRecorder()
 	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
 	s.Handler().ServeHTTP(w, req)

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"imtrans/internal/cfg"
@@ -65,6 +66,18 @@ type SweepOptions struct {
 	// Empty disables journaling. A journal written for a different grid
 	// (other benchmarks, configs, or scales) is refused, never mixed in.
 	Checkpoint string
+
+	// CheckpointSync makes every journal snapshot power-fail durable: the
+	// temp file and the journal's directory are fsynced around the rename.
+	// Off by default so tests and interactive sweeps stay fast; the job
+	// engine turns it on for daemon-owned sweeps.
+	CheckpointSync bool
+
+	// Progress, when non-nil, is called with monotonically increasing
+	// (done, total) cell counts: once up front (reporting any cells
+	// restored from the checkpoint journal), then after every cell this
+	// run completes. It may be called concurrently from sweep workers.
+	Progress func(done, total int)
 
 	// FaultInject, when non-nil, runs at the top of every measurement
 	// attempt of every cell — inside the supervision guard, so it may
@@ -194,12 +207,14 @@ func SweepMeasureCtx(ctx context.Context, benchmarks []Benchmark, cfgs []Config,
 	cells := make([]cellState, nb*nc)
 
 	var journal *checkpoint.Journal
+	restored := 0
 	if opts.Checkpoint != "" {
 		grid, benchNames, cfgNames := sweepGrid(benchmarks, cfgs)
 		j, prev, err := checkpoint.Open(opts.Checkpoint, grid, benchNames, cfgNames)
 		if err != nil {
 			return nil, fmt.Errorf("imtrans: %w", err)
 		}
+		j.SetDurable(opts.CheckpointSync)
 		journal = j
 		for _, c := range prev {
 			s := &cells[c.Bench*nc+c.Config]
@@ -208,7 +223,14 @@ func SweepMeasureCtx(ctx context.Context, benchmarks []Benchmark, cfgs []Config,
 					benchNames[c.Bench], cfgNames[c.Config], err)
 			}
 			s.done, s.restored = true, true
+			restored++
 		}
+	}
+
+	var progressDone atomic.Int64
+	progressDone.Store(int64(restored))
+	if opts.Progress != nil {
+		opts.Progress(restored, nb*nc)
 	}
 
 	pol := opts.Retry.policy()
@@ -285,6 +307,9 @@ func SweepMeasureCtx(ctx context.Context, benchmarks []Benchmark, cfgs []Config,
 				err = journal.Record(bi, ci, payload)
 			}
 			s.ckErr = err
+		}
+		if opts.Progress != nil {
+			opts.Progress(int(progressDone.Add(1)), nb*nc)
 		}
 	})
 

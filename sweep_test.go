@@ -385,3 +385,55 @@ func TestSetParallelismContract(t *testing.T) {
 		t.Errorf("Parallelism after negative clamp = %d, want 1", got)
 	}
 }
+
+// TestSweepProgressReporting asserts the Progress callback contract: the
+// restored count is reported up front, every completed cell is reported,
+// counts never decrease, and the final report covers the whole grid.
+func TestSweepProgressReporting(t *testing.T) {
+	ClearCaptureCache()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	benches := sweepTestBenches(t, "mmul", "sor")
+	cfgs := sweepTestConfigs
+	total := len(benches) * len(cfgs)
+
+	var calls []int
+	record := func(done, tot int) {
+		if tot != total {
+			t.Errorf("Progress total = %d, want %d", tot, total)
+		}
+		calls = append(calls, done)
+	}
+	// Serial run so the callback slice needs no locking.
+	if _, err := SweepMeasureCtx(context.Background(), benches, cfgs, SweepOptions{
+		Parallelism: 1, Checkpoint: path, Progress: record,
+	}); err != nil {
+		t.Fatalf("SweepMeasureCtx: %v", err)
+	}
+	if len(calls) != total+1 {
+		t.Fatalf("progress calls = %v, want the restored report plus one per cell", calls)
+	}
+	if calls[0] != 0 {
+		t.Fatalf("first progress report = %d, want 0 restored", calls[0])
+	}
+	for i := 1; i < len(calls); i++ {
+		if calls[i] < calls[i-1] {
+			t.Fatalf("progress went backwards: %v", calls)
+		}
+	}
+	if calls[len(calls)-1] != total {
+		t.Fatalf("final progress = %d, want %d", calls[len(calls)-1], total)
+	}
+
+	// A resumed run reports the journalled cells as already done before
+	// any new work.
+	calls = nil
+	if _, err := SweepMeasureCtx(context.Background(), benches, cfgs, SweepOptions{
+		Parallelism: 1, Checkpoint: path, Progress: record,
+	}); err != nil {
+		t.Fatalf("resumed sweep: %v", err)
+	}
+	if len(calls) == 0 || calls[0] != total {
+		t.Fatalf("resumed progress = %v, want %d restored up front", calls, total)
+	}
+}
