@@ -22,6 +22,7 @@ import (
 type sweepReport struct {
 	GeneratedAt string `json:"generated_at"`
 	GoMaxProcs  int    `json:"gomaxprocs"`
+	NumCPU      int    `json:"num_cpu"`
 	Parallelism int    `json:"parallelism"`
 
 	Configs    []string     `json:"configs"`
@@ -35,6 +36,20 @@ type sweepReport struct {
 	Speedup            float64 `json:"speedup"`
 	CaptureCacheHits   uint64  `json:"capture_cache_hits"`
 	CaptureCacheMisses uint64  `json:"capture_cache_misses"`
+
+	// Cross-configuration memo sharing: blocks recorded locally, replays
+	// served from a memo, and memos adopted from another grid cell of the
+	// same per-block encoding signature.
+	MemoBlocks uint64 `json:"replay_memo_blocks"`
+	MemoHits   uint64 `json:"replay_memo_hits"`
+	MemoShared uint64 `json:"replay_memo_shared"`
+
+	// Scaling is the strong-scaling ladder: the same grid re-swept from
+	// warm captures at GOMAXPROCS 1, 4 and 8, with the sweep parallelism
+	// matched to the proc count. On hosts with fewer cores than a rung the
+	// rung still runs (num_cpu records what the hardware could give) —
+	// speedups are honest wall-clock ratios, never extrapolated.
+	Scaling []scalingEntry `json:"scaling"`
 
 	// Supervision telemetry from the resilient sweep: retry, panic,
 	// cancellation and checkpoint counters, plus every isolated failure.
@@ -60,6 +75,63 @@ type sweepCell struct {
 	Baseline uint64  `json:"baseline_transitions"`
 	Encoded  uint64  `json:"encoded_transitions"`
 	Percent  float64 `json:"reduction_percent"`
+	WallNs   int64   `json:"wall_ns"`
+}
+
+// scalingEntry is one rung of the strong-scaling ladder.
+type scalingEntry struct {
+	Procs        int     `json:"procs"`
+	SweepNs      int64   `json:"sweep_ns"`
+	NsPerMeasure int64   `json:"ns_per_measurement"`
+	SpeedupVs1   float64 `json:"speedup_vs_1proc"`
+	GridWorkers  uint64  `json:"grid_workers"`
+	InnerWorkers uint64  `json:"inner_workers"`
+}
+
+// scalingLadder re-sweeps the grid from warm captures at each proc
+// count, verifying every rung reproduces the reference measurements
+// bit for bit. GOMAXPROCS and the parallelism clamp are restored on
+// return.
+func scalingLadder(ctx context.Context, benches []imtrans.Benchmark, cfgs []imtrans.Config, want [][]imtrans.Measurement) ([]scalingEntry, error) {
+	prevProcs := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prevProcs)
+	var out []scalingEntry
+	for _, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		prevPar := imtrans.SetParallelism(procs)
+		start := time.Now()
+		res, err := imtrans.SweepMeasureCtx(ctx, benches, cfgs, imtrans.SweepOptions{Parallelism: procs})
+		el := time.Since(start).Nanoseconds()
+		imtrans.SetParallelism(prevPar)
+		if err != nil {
+			return nil, fmt.Errorf("scaling rung %d: %w", procs, err)
+		}
+		if serr := res.Err(); serr != nil {
+			return nil, fmt.Errorf("scaling rung %d: %w", procs, serr)
+		}
+		for bi := range want {
+			for ci := range want[bi] {
+				if res.Measurements[bi][ci].Encoded != want[bi][ci].Encoded ||
+					res.Measurements[bi][ci].Baseline != want[bi][ci].Baseline {
+					return nil, fmt.Errorf("scaling rung %d: cell (%d,%d) diverged from the reference sweep", procs, bi, ci)
+				}
+			}
+		}
+		e := scalingEntry{
+			Procs:        procs,
+			SweepNs:      el,
+			NsPerMeasure: el / int64(len(benches)*len(cfgs)),
+			GridWorkers:  res.Counters.Get("sweep_grid_workers"),
+			InnerWorkers: res.Counters.Get("sweep_inner_workers"),
+		}
+		if len(out) > 0 {
+			e.SpeedupVs1 = float64(out[0].SweepNs) / float64(el)
+		} else {
+			e.SpeedupVs1 = 1
+		}
+		out = append(out, e)
+	}
+	return out, nil
 }
 
 // sweepScale shrinks a paper benchmark to the reduced problem sizes the
@@ -156,8 +228,14 @@ func benchSweepJSON(o benchSweepOpts) error {
 			benches[i] = benches[i].WithScale(o.n, o.iters)
 		}
 	}
+	// The Figure 6 block sizes plus a four-way k=5 capacity/selection
+	// spread: the k=5 cells share a per-block encoding signature, so the
+	// sweep's cross-configuration memo store pays each hot block's first
+	// verified walk once for all five of them.
 	cfgs := []imtrans.Config{
 		{BlockSize: 4}, {BlockSize: 5}, {BlockSize: 6}, {BlockSize: 7},
+		{BlockSize: 5, TTEntries: 4}, {BlockSize: 5, TTEntries: 8},
+		{BlockSize: 5, TTEntries: 32}, {BlockSize: 5, Knapsack: true},
 	}
 	total := len(benches) * len(cfgs)
 
@@ -234,13 +312,26 @@ func benchSweepJSON(o benchSweepOpts) error {
 				Baseline: got.Baseline,
 				Encoded:  got.Encoded,
 				Percent:  got.Percent,
+				WallNs:   res.CellNs[bi][ci],
 			})
+		}
+	}
+
+	// Phase 3: the strong-scaling ladder, on warm captures so each rung
+	// times exactly the encode+replay pipeline. Skipped when cells failed
+	// (a fault campaign leaves no trustworthy reference grid).
+	var scaling []scalingEntry
+	if len(res.Errors) == 0 {
+		scaling, err = scalingLadder(ctx, benches, cfgs, res.Measurements)
+		if err != nil {
+			return err
 		}
 	}
 
 	rep := sweepReport{
 		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
 		GoMaxProcs:         runtime.GOMAXPROCS(0),
+		NumCPU:             runtime.NumCPU(),
 		Parallelism:        parallelism,
 		Benchmarks:         info,
 		Measurements:       total,
@@ -251,6 +342,10 @@ func benchSweepJSON(o benchSweepOpts) error {
 		Speedup:            float64(serialNs) / float64(sweepNs),
 		CaptureCacheHits:   hits,
 		CaptureCacheMisses: misses,
+		MemoBlocks:         res.Counters.Get("replay_memo_blocks"),
+		MemoHits:           res.Counters.Get("replay_memo_hits"),
+		MemoShared:         res.Counters.Get("replay_memo_shared"),
+		Scaling:            scaling,
 		Restored:           res.Restored,
 		SweepCounters:      &res.Counters,
 		Grid:               cells,
@@ -278,6 +373,10 @@ func benchSweepJSON(o benchSweepOpts) error {
 		float64(sweepNs)/1e6, float64(rep.SweepNsPerMeasure)/1e6)
 	fmt.Printf("speedup: %.1fx (%d cells verified identical); report written to %s\n",
 		rep.Speedup, len(cells), o.path)
+	for _, s := range rep.Scaling {
+		fmt.Printf("scaling: %d procs: %8.1f ms sweep, %.2fx vs 1 proc (grid %d x inner %d workers)\n",
+			s.Procs, float64(s.SweepNs)/1e6, s.SpeedupVs1, s.GridWorkers, s.InnerWorkers)
+	}
 	if len(res.Errors) > 0 {
 		for _, se := range res.Errors {
 			fmt.Fprintln(os.Stderr, "sweep error:", se.Error())

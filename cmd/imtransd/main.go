@@ -20,7 +20,8 @@
 //	         [-cache N] [-rate-rps N] [-rate-burst N] [-drain 30s]
 //	         [-parallelism N] [-jobs.dir DIR] [-jobs.max N]
 //	         [-jobs.deadline 1h] [-jobs.fsync] [-chaos.killafter D]
-//	         [-chaos.seed N] [-chaos.jitter F] [-version]
+//	         [-chaos.seed N] [-chaos.jitter F]
+//	         [-cpuprofile FILE] [-memprofile FILE] [-version]
 package main
 
 import (
@@ -39,6 +40,7 @@ import (
 
 	"imtrans"
 	"imtrans/internal/buildinfo"
+	"imtrans/internal/prof"
 	"imtrans/internal/server"
 )
 
@@ -62,6 +64,8 @@ func main() {
 	chaosKill := fs.Duration("chaos.killafter", 0, "chaos harness: SIGKILL this process after roughly this long (0 = off)")
 	chaosSeed := fs.Int64("chaos.seed", 1, "chaos harness seed (same seed, same kill time)")
 	chaosJitter := fs.Float64("chaos.jitter", 0.5, "chaos kill-time jitter fraction in [0,1]")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile of the daemon's lifetime to this file (finalised at drain)")
+	memprofile := fs.String("memprofile", "", "write a heap profile (after a final GC) to this file at drain")
 	version := fs.Bool("version", false, "print the build identity and exit")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		os.Exit(2)
@@ -72,6 +76,14 @@ func main() {
 	}
 	log.SetPrefix("imtransd: ")
 	log.SetFlags(log.LstdFlags | log.Lmsgprefix)
+
+	// Profiles cover the daemon's whole service window and are finalised
+	// after the graceful drain, so a SIGTERM-ended run under load yields a
+	// complete capture — the pipeline behind the repo's default.pgo.
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	if *parallelism > 0 {
 		imtrans.SetParallelism(*parallelism)
@@ -148,6 +160,9 @@ func main() {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("serve: %v", err)
+	}
+	if err := stopProf(); err != nil {
+		log.Fatalf("profile: %v", err)
 	}
 	log.Printf("drained cleanly")
 }

@@ -1,0 +1,82 @@
+package code
+
+import (
+	"sync"
+
+	"imtrans/internal/transform"
+)
+
+// TableCache shares ChainTables across encodes that agree on the
+// per-block encoding signature (block size, transformation set, chain
+// strategy). Building a table enumerates every (overlap, window) pair —
+// up to 2^(k+2) candidate searches — so a grid sweep that pays it once
+// per distinct signature instead of once per cell removes the dominant
+// per-cell setup cost. The cache is single-flight: concurrent Get calls
+// for one signature build the table exactly once and share the result.
+// Tables are immutable after construction, so sharing needs no further
+// synchronisation.
+type TableCache struct {
+	mu sync.Mutex
+	m  map[string]*tableEntry
+
+	hits, misses uint64
+}
+
+type tableEntry struct {
+	once sync.Once
+	tab  *ChainTable
+	err  error
+}
+
+// NewTableCache returns an empty cache.
+func NewTableCache() *TableCache { return &TableCache{m: make(map[string]*tableEntry)} }
+
+// SharedTables is the process-wide chain-table cache. Every encode that
+// does not bring its own cache uses it; the population is bounded by the
+// number of distinct (k, funcs, strategy) signatures a process touches,
+// each at most a few megabytes.
+var SharedTables = NewTableCache()
+
+// tableKey serialises the signature. transform.Func is one byte, so the
+// whole key is k, strategy and the function list verbatim.
+func tableKey(k int, funcs []transform.Func, strat Strategy) string {
+	b := make([]byte, 0, 2+len(funcs))
+	b = append(b, byte(k), byte(strat))
+	for _, f := range funcs {
+		b = append(b, byte(f))
+	}
+	return string(b)
+}
+
+// Get returns the cached ChainTable for the signature, building it at
+// most once per cache. Failed builds are cached too: table construction
+// is deterministic, so retrying cannot change the outcome.
+func (c *TableCache) Get(k int, funcs []transform.Func, strat Strategy) (*ChainTable, error) {
+	key := tableKey(k, funcs, strat)
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &tableEntry{}
+		c.m[key] = e
+		c.misses++
+	} else {
+		c.hits++
+	}
+	c.mu.Unlock()
+	e.once.Do(func() { e.tab, e.err = NewChainTable(k, funcs, strat) })
+	return e.tab, e.err
+}
+
+// Stats reports cache hits and misses (misses equal tables built).
+func (c *TableCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the number of cached signatures.
+func (c *TableCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

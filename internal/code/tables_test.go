@@ -1,0 +1,86 @@
+package code
+
+import (
+	"sync"
+	"testing"
+
+	"imtrans/internal/transform"
+)
+
+// TestTableCacheSingleBuild checks one build per signature, pointer
+// sharing across hits, and distinct tables for distinct signatures.
+func TestTableCacheSingleBuild(t *testing.T) {
+	c := NewTableCache()
+	t1, err := c.Get(5, transform.Canonical8, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := c.Get(5, transform.Canonical8, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Error("same signature returned distinct tables")
+	}
+	t3, err := c.Get(6, transform.Canonical8, Greedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t3 == t1 {
+		t.Error("distinct k shared a table")
+	}
+	if _, err := c.Get(5, transform.Canonical8, Exact); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 3 {
+		t.Errorf("stats = (%d hits, %d misses), want (1, 3)", hits, misses)
+	}
+	if c.Len() != 3 {
+		t.Errorf("Len() = %d, want 3", c.Len())
+	}
+}
+
+// TestTableCacheError checks a bad signature caches its error.
+func TestTableCacheError(t *testing.T) {
+	c := NewTableCache()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Get(1, transform.Canonical8, Greedy); err == nil {
+			t.Fatal("k=1 built a table")
+		}
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Error("failed build was not cached")
+	}
+}
+
+// TestTableCacheConcurrent races many getters of one signature; -race
+// proves the single-flight publication, and the hit count proves exactly
+// one build happened.
+func TestTableCacheConcurrent(t *testing.T) {
+	c := NewTableCache()
+	const goroutines = 16
+	tabs := make([]*ChainTable, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tab, err := c.Get(7, transform.Canonical8, Exact)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tabs[g] = tab
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if tabs[g] != tabs[0] {
+			t.Fatalf("goroutine %d got a different table", g)
+		}
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Errorf("%d tables built, want 1", misses)
+	}
+}

@@ -175,6 +175,31 @@ type Encoding struct {
 	planByBlockIdx map[int]int
 }
 
+// EncodeOpts tunes one encode call without changing its results. The
+// zero value matches EncodeCtx: bit-line fan-out bounded by
+// SetParallelism, the process-wide chain-table cache, pooled scratch.
+type EncodeOpts struct {
+	// Workers bounds this call's per-bus-line fan-out; <= 0 means the
+	// package-wide Parallelism() bound. Grid sweeps narrow it so
+	// grid-level workers times bit-line workers never oversubscribes the
+	// clamp (see the imtrans.SetParallelism contract).
+	Workers int
+
+	// Tables overrides the chain-table cache; nil means code.SharedTables.
+	Tables *code.TableCache
+
+	// Arena, when non-nil, supplies this call's block-encoding scratch
+	// instead of the shared pool — one arena per sweep worker keeps the
+	// hot buffers CPU-local across grid cells.
+	Arena *Arena
+}
+
+// Arena is a caller-owned scratch allocation for Encode calls. An Arena
+// must not be used by two encodes concurrently.
+type Arena struct {
+	sc encScratch
+}
+
 // Encode plans the power encoding of the program described by g, using the
 // per-instruction execution profile to rank basic blocks (hottest first).
 // Blocks are admitted while both TT and BBIT capacity remain; a block too
@@ -190,6 +215,13 @@ func Encode(g *cfg.Graph, profile []uint64, c Config) (*Encoding, error) {
 // finishing a large block. A cancelled encode returns ctx.Err(),
 // unwrapped, and no partial Encoding.
 func EncodeCtx(ctx context.Context, g *cfg.Graph, profile []uint64, c Config) (*Encoding, error) {
+	return EncodeCtxOpts(ctx, g, profile, c, EncodeOpts{})
+}
+
+// EncodeCtxOpts is EncodeCtx with per-call tuning. Results are
+// bit-identical for every opts value; only wall time and allocation
+// behaviour change.
+func EncodeCtxOpts(ctx context.Context, g *cfg.Graph, profile []uint64, c Config, opts EncodeOpts) (*Encoding, error) {
 	c = c.WithDefaults()
 	if err := c.validate(); err != nil {
 		return nil, err
@@ -206,10 +238,20 @@ func EncodeCtx(ctx context.Context, g *cfg.Graph, profile []uint64, c Config) (*
 	for _, n := range profile {
 		enc.TotalDynamic += n
 	}
-	// One precomputed block table serves every candidate block and line.
-	tab, err := code.NewChainTable(c.BlockSize, c.Funcs, c.Strategy)
+	// One precomputed block table serves every candidate block and line;
+	// the cache shares it across every encode with the same signature, so
+	// a grid sweep builds it once instead of once per cell.
+	tables := opts.Tables
+	if tables == nil {
+		tables = code.SharedTables
+	}
+	tab, err := tables.Get(c.BlockSize, c.Funcs, c.Strategy)
 	if err != nil {
 		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = Parallelism()
 	}
 	// Encode every warm multi-instruction block as a candidate, in heat
 	// order; selection then decides which ones the tables can afford.
@@ -223,7 +265,7 @@ func EncodeCtx(ctx context.Context, g *cfg.Graph, profile []uint64, c Config) (*
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		plan, err := encodeBlock(ctx, g, bi, c, tab)
+		plan, err := encodeBlock(ctx, g, bi, c, tab, workers, opts.Arena)
 		if err != nil {
 			return nil, err
 		}
@@ -360,7 +402,9 @@ var encScratchPool = sync.Pool{New: func() any { return new(encScratch) }}
 // per-line chain encoders run directly on the lanes, and the encoded
 // image transposes back out. Lanes at or above the modelled bus width are
 // packed but not encoded, which preserves out-of-model bits verbatim.
-func encodeBlock(ctx context.Context, g *cfg.Graph, bi int, c Config, tab *code.ChainTable) (Plan, error) {
+// maxWorkers bounds the per-line fan-out; arena (optional) replaces the
+// pooled scratch with caller-owned buffers.
+func encodeBlock(ctx context.Context, g *cfg.Graph, bi int, c Config, tab *code.ChainTable, maxWorkers int, arena *Arena) (Plan, error) {
 	b := g.Blocks[bi]
 	words := g.Instructions(bi)
 	k := c.BlockSize
@@ -375,8 +419,13 @@ func encodeBlock(ctx context.Context, g *cfg.Graph, bi int, c Config, tab *code.
 		plan.TailCT = k - 1 // full-length tail
 	}
 	nb := plan.TTCount
-	sc := encScratchPool.Get().(*encScratch)
-	defer encScratchPool.Put(sc)
+	var sc *encScratch
+	if arena != nil {
+		sc = &arena.sc
+	} else {
+		sc = encScratchPool.Get().(*encScratch)
+		defer encScratchPool.Put(sc)
+	}
 	sc.src.Pack(words)
 	sc.dst.CopyFrom(&sc.src)
 	if need := c.BusWidth * nb; cap(sc.taus) < need {
@@ -413,7 +462,7 @@ func encodeBlock(ctx context.Context, g *cfg.Graph, bi int, c Config, tab *code.
 			codeT[line] = dstLane.Transitions()
 		}
 	}
-	if workers := min(Parallelism(), c.BusWidth); workers > 1 {
+	if workers := min(maxWorkers, c.BusWidth); workers > 1 {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)

@@ -17,12 +17,53 @@ type Result struct {
 	Encoded        uint64
 	PerLineEncoded []uint64
 
-	// MemoBlocks counts covered blocks whose outcome was recorded by the
-	// block memo; MemoHits counts the block replays served from it. Both
-	// are diagnostics: the measured totals are bit-identical either way.
+	// MemoBlocks counts covered blocks whose outcome this replay recorded
+	// into the block memo; MemoHits counts the block replays served from a
+	// memo; MemoShared counts the distinct blocks whose memo arrived
+	// pre-recorded from a shared MemoStore instead of being walked here.
+	// All three are diagnostics: the measured totals are bit-identical
+	// either way.
 	MemoBlocks int
 	MemoHits   uint64
+	MemoShared int
 }
+
+// Options tunes one Measure call. The zero value is the materialised
+// reference path: per-word index structures, private memo, pooled scratch.
+type Options struct {
+	// Streaming replays the trace without materialising any per-word
+	// index structure: coverage is a sorted span table derived from the
+	// encoding plans and block memos live in a map, so a measure holds
+	// O(covered blocks) state regardless of how large the image is or how
+	// long the trace runs. Uncovered sequential runs are summed by
+	// walking their words instead of differencing precomputed prefixes;
+	// the repeat-group fast-forward bounds how often any word is walked.
+	// Totals are bit-identical to the materialised path.
+	Streaming bool
+
+	// Shared, when non-nil, lets this measure serve block memos from (and
+	// publish its own recordings to) a store shared with other measures.
+	// All measures handed one store must replay the same capture and use
+	// encodings that agree on the per-block signature (BlockSize, Funcs,
+	// Strategy, BusWidth); see MemoStore.
+	Shared *MemoStore
+
+	// Scratch, when non-nil, supplies the per-measure working set from a
+	// caller-owned arena instead of the package pools — one arena per
+	// sweep worker keeps the hot buffers CPU-local across grid cells. A
+	// Scratch must not be used by two measures concurrently.
+	Scratch *Scratch
+}
+
+// Scratch is a caller-owned arena holding the reusable working set of
+// Measure calls in either mode.
+type Scratch struct {
+	m measureScratch
+	s streamScratch
+}
+
+// NewScratch returns an empty arena.
+func NewScratch() *Scratch { return &Scratch{} }
 
 // Measure replays a captured fetch trace against one encoding. The
 // decoder must be freshly built from enc (Strict, unprotected); it is
@@ -30,13 +71,14 @@ type Result struct {
 // instruction bus, and every restored word is checked against the original
 // image. Encoded-stream transition totals for uncovered regions are not
 // accumulated fetch by fetch: a sequential run through uncovered text is a
-// range sum over precomputed per-image transition prefixes, and repeat
-// groups whose decoder/bus state proves periodic are fast-forwarded
-// arithmetically. The output is bit-identical to the simulate path at any
-// of these shortcuts, because each one replaces iteration of a
-// deterministic state machine over inputs it has already seen.
+// range sum (precomputed per-image prefixes in materialised mode, a word
+// walk in streaming mode), and repeat groups whose decoder/bus state
+// proves periodic are fast-forwarded arithmetically. The output is
+// bit-identical to the simulate path at any of these shortcuts, because
+// each one replaces iteration of a deterministic state machine over inputs
+// it has already seen.
 func Measure(cap *Capture, enc *core.Encoding, dec *hw.Decoder) (Result, error) {
-	return MeasureCtx(nil, cap, enc, dec)
+	return MeasureOpts(nil, cap, enc, dec, Options{})
 }
 
 // MeasureCtx is Measure with cooperative cancellation: the context is
@@ -46,6 +88,12 @@ func Measure(cap *Capture, enc *core.Encoding, dec *hw.Decoder) (Result, error) 
 // billion-fetch trace. A cancelled replay returns ctx.Err(), unwrapped.
 // A nil context disables polling (Measure's path).
 func MeasureCtx(ctx context.Context, cap *Capture, enc *core.Encoding, dec *hw.Decoder) (Result, error) {
+	return MeasureOpts(ctx, cap, enc, dec, Options{})
+}
+
+// MeasureOpts is MeasureCtx with per-call tuning; see Options. Results
+// are bit-identical for every opts value.
+func MeasureOpts(ctx context.Context, cap *Capture, enc *core.Encoding, dec *hw.Decoder, opts Options) (Result, error) {
 	n := len(cap.Words)
 	if len(enc.EncodedWords) != n {
 		return Result{}, fmt.Errorf("replay: encoded image has %d words, capture has %d", len(enc.EncodedWords), n)
@@ -53,23 +101,48 @@ func MeasureCtx(ctx context.Context, cap *Capture, enc *core.Encoding, dec *hw.D
 	if cap.Trace == nil || cap.Trace.N == 0 {
 		return Result{}, fmt.Errorf("replay: empty trace")
 	}
-	sc := scratchPool.Get().(*measureScratch)
 	r := &replayer{
-		ctx:    ctx,
-		base:   cap.Base,
-		orig:   cap.Words,
-		encW:   enc.EncodedWords,
-		dec:    dec,
-		memoOK: !dec.Protected(),
+		ctx:       ctx,
+		base:      cap.Base,
+		orig:      cap.Words,
+		encW:      enc.EncodedWords,
+		dec:       dec,
+		memoOK:    !dec.Protected(),
+		streaming: opts.Streaming,
+		shared:    opts.Shared,
 	}
-	r.buildPrefixes(sc)
-	r.buildCoverage(sc, enc)
+	var (
+		sc *measureScratch
+		ss *streamScratch
+	)
+	if opts.Streaming {
+		if opts.Scratch != nil {
+			ss = &opts.Scratch.s
+		} else {
+			ss = streamPool.Get().(*streamScratch)
+		}
+		r.buildSpans(ss, enc)
+	} else {
+		if opts.Scratch != nil {
+			sc = &opts.Scratch.m
+		} else {
+			sc = scratchPool.Get().(*measureScratch)
+		}
+		r.buildPrefixes(sc)
+		r.buildCoverage(sc, enc)
+	}
 	r.step(cap.Trace.First)
 	r.runOps(cap.Trace.Ops)
-	sc.prefix, sc.linePrefix = r.prefix, r.linePrefix
-	sc.kind, sc.blockLen, sc.nextCov = r.kind, r.blockLen, r.nextCov
-	sc.memo = r.memo
-	scratchPool.Put(sc)
+	if sc != nil {
+		sc.prefix, sc.linePrefix = r.prefix, r.linePrefix
+		sc.kind, sc.blockLen, sc.nextCov = r.kind, r.blockLen, r.nextCov
+		sc.memo = r.memo
+		if opts.Scratch == nil {
+			scratchPool.Put(sc)
+		}
+	} else if opts.Scratch == nil {
+		streamPool.Put(ss)
+	}
 	if r.err != nil {
 		return Result{}, r.err
 	}
@@ -80,6 +153,7 @@ func MeasureCtx(ctx context.Context, cap *Capture, enc *core.Encoding, dec *hw.D
 		PerLineEncoded: per,
 		MemoBlocks:     r.memoCount,
 		MemoHits:       r.memoHits,
+		MemoShared:     r.memoShared,
 	}, nil
 }
 
@@ -95,55 +169,50 @@ type replayer struct {
 	// check costs one add+compare per step, not a method call.
 	sincePoll int
 
-	// prefix[i] is the transition count of transmitting encW[0..i] in
-	// layout order; linePrefix is the same per bus line. A sequential
-	// fetch run from index a to b adds prefix[b]-prefix[a] — O(1) per
-	// run instead of per fetch.
+	// Materialised image model (streaming == false). prefix[i] is the
+	// transition count of transmitting encW[0..i] in layout order;
+	// linePrefix is the same per bus line. kind[i] marks covered-block
+	// starts (1) and interiors (2); nextCov[i] is the smallest j >= i
+	// with kind[j] != 0, or len(orig); blockLen[i] is the block word
+	// count at starts. memo holds recorded block outcomes by start index.
 	prefix     []uint64
 	linePrefix [][32]uint64
+	kind       []uint8
+	nextCov    []int32
+	blockLen   []int32
+	memo       []*blockMemo
 
-	// kind[i] marks covered-block starts (1) and interiors (2); nextCov[i]
-	// is the smallest j >= i with kind[j] != 0, or len(orig). Fetches at
-	// covered indices (and any fetch while the decoder is mid-block) must
-	// go through the decoder; everything else is analytic.
-	kind    []uint8
-	nextCov []int32
+	// Streaming image model (streaming == true): the sorted covered-span
+	// table with its seek cursor, and the memo map. See stream.go.
+	streaming bool
+	spans     []covSpan
+	spanCur   int
+	memoM     map[int32]*blockMemo
 
 	// Block-outcome memo. A covered block entered with the decoder idle
 	// and non-degraded is a closed system: dispatchInactive overwrites
 	// every runtime field on activation, so the block's per-line
-	// transition deltas and exit StreamState depend only on its start
-	// index and the (fixed) encoded image. The first sequential walk
-	// through each block records that outcome (memo[start], verified
-	// fetch by fetch like any other); later visits with enough
-	// sequential fetches ahead become one table lookup, one entry-word
-	// diff and a state restore. memoOK gates the whole machinery off
-	// for protected decoders, whose fault bookkeeping makes block
-	// outcomes visit-dependent. blockLen[i] is the block word count at
-	// starts (kind[i] == 1), undefined elsewhere.
-	memoOK    bool
-	memo      []*blockMemo
-	blockLen  []int32
-	rec       memoRec
-	memoHits  uint64
-	memoCount int
+	// transition deltas depend only on its start index and the (fixed)
+	// encoded image. The first sequential walk through each block records
+	// that outcome (verified fetch by fetch like any other); later visits
+	// with enough sequential fetches ahead become one table lookup, one
+	// entry-word diff and a state reset. memoOK gates the whole machinery
+	// off for protected decoders, whose fault bookkeeping makes block
+	// outcomes visit-dependent. shared, when set, extends the lookup to a
+	// store shared across measures; memoShared counts distinct blocks
+	// adopted from it.
+	memoOK     bool
+	shared     *MemoStore
+	rec        memoRec
+	memoHits   uint64
+	memoCount  int
+	memoShared int
 
 	started bool
 	lastIdx int32 // index of the previous fetch; bus state is encW[lastIdx]
 	total   uint64
 	perLine [32]uint64
 	err     error
-}
-
-// blockMemo is the recorded outcome of one covered block replayed from an
-// idle decoder: the transition deltas of its interior (everything except
-// the entry transition, which depends on the bus word before the block)
-// and the decoder state after its tail word. Immutable once stored.
-type blockMemo struct {
-	interior uint64
-	perLine  [32]uint64
-	exit     hw.StreamState
-	words    int32
 }
 
 // memoRec tracks an in-progress first-visit recording: the next index the
@@ -157,9 +226,9 @@ type memoRec struct {
 	p0          [32]uint64
 }
 
-// measureScratch holds every per-measure buffer whose size depends only on
-// the image length, pooled so warm replays of same-sized captures do no
-// steady-state allocation.
+// measureScratch holds every materialised-mode per-measure buffer whose
+// size depends on the image length, pooled so warm replays of same-sized
+// captures do no steady-state allocation.
 type measureScratch struct {
 	prefix     []uint64
 	linePrefix [][32]uint64
@@ -227,6 +296,104 @@ func (r *replayer) buildCoverage(sc *measureScratch, enc *core.Encoding) {
 	}
 }
 
+// kindAt classifies an image index: 1 for a covered-block start, 2 for a
+// covered interior, 0 for uncovered text.
+func (r *replayer) kindAt(idx int32) uint8 {
+	if !r.streaming {
+		return r.kind[idx]
+	}
+	if s := r.spanSeek(idx); s < len(r.spans) && r.spans[s].start <= idx {
+		if idx == r.spans[s].start {
+			return 1
+		}
+		return 2
+	}
+	return 0
+}
+
+// blockWords returns the word count of the covered block starting at idx;
+// valid only where kindAt(idx) == 1.
+func (r *replayer) blockWords(idx int32) int32 {
+	if !r.streaming {
+		return r.blockLen[idx]
+	}
+	return r.spans[r.spanSeek(idx)].words
+}
+
+// nextCovered returns the smallest covered index at or after idx, or the
+// image length when none follows.
+func (r *replayer) nextCovered(idx int32) int32 {
+	if !r.streaming {
+		return r.nextCov[idx]
+	}
+	s := r.spanSeek(idx)
+	if s == len(r.spans) {
+		return int32(len(r.encW))
+	}
+	if r.spans[s].start <= idx {
+		return idx
+	}
+	return r.spans[s].start
+}
+
+// memoAt returns the memo recorded for the block starting at idx, if any,
+// consulting the local view first and the shared store second; a shared
+// hit is adopted into the local view so later visits skip the lock.
+func (r *replayer) memoAt(idx int32) *blockMemo {
+	var bm *blockMemo
+	if r.streaming {
+		bm = r.memoM[idx]
+	} else {
+		bm = r.memo[idx]
+	}
+	if bm == nil && r.shared != nil {
+		if bm = r.shared.get(idx); bm != nil {
+			if r.streaming {
+				r.memoM[idx] = bm
+			} else {
+				r.memo[idx] = bm
+			}
+			r.memoShared++
+		}
+	}
+	return bm
+}
+
+// memoPut records a freshly completed block outcome locally and, when a
+// shared store is attached, publishes it for other measures.
+func (r *replayer) memoPut(idx int32, bm *blockMemo) {
+	if r.streaming {
+		r.memoM[idx] = bm
+	} else {
+		r.memo[idx] = bm
+	}
+	r.shared.put(idx, bm)
+	r.memoCount++
+}
+
+// addRange accumulates the bus transitions of a sequential walk of
+// encW[from..to], where encW[from] is already on the bus: a prefix
+// difference in materialised mode, a word walk in streaming mode.
+func (r *replayer) addRange(from, to int32) {
+	if !r.streaming {
+		r.total += r.prefix[to] - r.prefix[from]
+		la, lb := &r.linePrefix[from], &r.linePrefix[to]
+		for l := 0; l < 32; l++ {
+			r.perLine[l] += lb[l] - la[l]
+		}
+		return
+	}
+	for i := from + 1; i <= to; i++ {
+		diff := r.encW[i] ^ r.encW[i-1]
+		r.total += uint64(bits.OnesCount32(diff))
+		for diff != 0 {
+			line := bits.TrailingZeros32(diff)
+			r.perLine[line]++
+			diff &= diff - 1
+		}
+	}
+}
+
 // step replays one fetch through the bus counters and the decoder, and
 // feeds the block-memo recorder: a sequential first walk through a covered
 // block is recorded as it is verified; any deviation (branch out, error)
@@ -241,8 +408,9 @@ func (r *replayer) step(idx int32) {
 	if r.rec.on && idx != r.rec.next {
 		r.rec.on = false
 	}
-	if !r.rec.on && r.memoOK && r.kind[idx] == 1 && !r.dec.Active() && r.memo[idx] == nil {
-		r.rec = memoRec{on: true, start: idx, next: idx, left: r.blockLen[idx]}
+	wasActive := r.dec.Active()
+	if !r.rec.on && r.memoOK && !wasActive && r.kindAt(idx) == 1 && r.memoAt(idx) == nil {
+		r.rec = memoRec{on: true, start: idx, next: idx, left: r.blockWords(idx)}
 	}
 	w := r.encW[idx]
 	if r.started {
@@ -265,6 +433,19 @@ func (r *replayer) step(idx int32) {
 	if restored != r.orig[idx] && r.err == nil {
 		r.err = fmt.Errorf("decoder restored %#08x at pc %#x, want %#08x", restored, pc, r.orig[idx])
 	}
+	if r.memoOK && wasActive && !r.dec.Active() && r.err == nil {
+		// Covered-block exit: the decoder is idle, cannot be degraded
+		// (memoOK implies unprotected, and only protection engages the
+		// fallback path), and every other stream field is dead until the
+		// next activation overwrites it — so pin the state to its zero
+		// value. The stepped exit then matches the memoised exit
+		// (applyMemo restores the zero state) exactly, which keeps the
+		// repeat-group periodicity check effective across mixed
+		// stepped/memoised iterations, and makes block memos independent
+		// of which TT slots a configuration gave the block — the property
+		// MemoStore sharing rests on.
+		r.dec.SetStreamState(hw.StreamState{})
+	}
 	if r.rec.on {
 		if r.err != nil {
 			r.rec.on = false
@@ -279,14 +460,12 @@ func (r *replayer) step(idx int32) {
 		if r.rec.left--; r.rec.left == 0 {
 			bm := &blockMemo{
 				interior: r.total - r.rec.t0,
-				exit:     r.dec.StreamState(),
-				words:    r.blockLen[r.rec.start],
+				words:    r.blockWords(r.rec.start),
 			}
 			for l := 0; l < 32; l++ {
 				bm.perLine[l] = r.perLine[l] - r.rec.p0[l]
 			}
-			r.memo[r.rec.start] = bm
-			r.memoCount++
+			r.memoPut(r.rec.start, bm)
 			r.rec.on = false
 		}
 	}
@@ -294,9 +473,10 @@ func (r *replayer) step(idx int32) {
 
 // applyMemo replays one whole covered block from its recorded outcome: the
 // entry transition is recomputed from the actual previous bus word, the
-// interior deltas and decoder exit state come from the memo. Only valid
-// when the bus has a previous word (started), the decoder is idle, and the
-// fetch stream is known to walk the block sequentially to its tail.
+// interior deltas come from the memo, and the decoder lands in the
+// normalised idle exit state. Only valid when the bus has a previous word
+// (started), the decoder is idle, and the fetch stream is known to walk
+// the block sequentially to its tail.
 func (r *replayer) applyMemo(idx int32, bm *blockMemo) {
 	diff := r.encW[idx] ^ r.encW[r.lastIdx]
 	r.total += uint64(bits.OnesCount32(diff)) + bm.interior
@@ -309,7 +489,7 @@ func (r *replayer) applyMemo(idx int32, bm *blockMemo) {
 		r.perLine[l] += bm.perLine[l]
 	}
 	r.lastIdx = idx + bm.words - 1
-	r.dec.SetStreamState(bm.exit)
+	r.dec.SetStreamState(hw.StreamState{})
 	r.memoHits++
 	r.rec.on = false
 }
@@ -361,11 +541,12 @@ func (r *replayer) runRun(delta int32, count int64) {
 			r.step(idx) // sets the out-of-image error
 			return
 		}
-		if r.dec.Active() || r.kind[idx] != 0 {
-			if r.memoOK && r.kind[idx] == 1 && !r.dec.Active() {
+		kind := r.kindAt(idx)
+		if r.dec.Active() || kind != 0 {
+			if r.memoOK && kind == 1 && !r.dec.Active() {
 				// Sequential entry into a memoised block with the whole
 				// block ahead in this run: replay it from the memo.
-				if bm := r.memo[idx]; bm != nil && count >= int64(bm.words) {
+				if bm := r.memoAt(idx); bm != nil && count >= int64(bm.words) {
 					r.applyMemo(idx, bm)
 					count -= int64(bm.words)
 					continue
@@ -375,16 +556,12 @@ func (r *replayer) runRun(delta int32, count int64) {
 			count--
 			continue
 		}
-		span := int64(r.nextCov[idx]) - int64(idx)
+		span := int64(r.nextCovered(idx)) - int64(idx)
 		if span > count {
 			span = count
 		}
 		b := idx + int32(span) - 1
-		r.total += r.prefix[b] - r.prefix[r.lastIdx]
-		la, lb := &r.linePrefix[r.lastIdx], &r.linePrefix[b]
-		for l := 0; l < 32; l++ {
-			r.perLine[l] += lb[l] - la[l]
-		}
+		r.addRange(r.lastIdx, b)
 		r.lastIdx = b
 		count -= span
 	}
@@ -411,8 +588,8 @@ func (r *replayer) runOps(ops []Op) {
 		// (branch prefix, memo, run remainder).
 		if r.memoOK && r.started && op.Count >= 1 && i+1 < len(ops) {
 			if next := &ops[i+1]; next.Repeat == 0 && next.Delta == 1 {
-				if land := r.landing(op); land >= 0 && r.kind[land] == 1 {
-					if bm := r.memo[land]; bm != nil && next.Count >= int64(bm.words)-1 {
+				if land := r.landing(op); land >= 0 && r.kindAt(land) == 1 {
+					if bm := r.memoAt(land); bm != nil && next.Count >= int64(bm.words)-1 {
 						r.runRun(op.Delta, op.Count-1)
 						if r.err != nil {
 							return

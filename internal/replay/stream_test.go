@@ -1,0 +1,299 @@
+package replay
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"imtrans/internal/asm"
+	"imtrans/internal/cfg"
+	"imtrans/internal/core"
+	"imtrans/internal/cpu"
+	"imtrans/internal/hw"
+	"imtrans/internal/transform"
+)
+
+// streamLoopSrc has a hot inner loop nested in an outer loop plus cold
+// straight-line stretches, so its trace exercises runs, branch landings
+// and repeat groups.
+const streamLoopSrc = `
+	li   $t0, 40
+	li   $t4, 0
+outer:
+	li   $t1, 50
+	li   $t2, 1
+inner:
+	addu $t2, $t2, $t1
+	sll  $t3, $t2, 1
+	xor  $t2, $t2, $t3
+	srl  $t3, $t2, 3
+	addu $t4, $t4, $t3
+	addiu $t1, $t1, -1
+	bgtz $t1, inner
+	addiu $t0, $t0, -1
+	bgtz $t0, outer
+	li $v0, 10
+	syscall
+`
+
+// captureSource assembles and runs src, returning a replay capture of its
+// fetch stream — the internal-package equivalent of the facade's capture
+// path, without the baseline comparators.
+func captureSource(t *testing.T, src string) *Capture {
+	t.Helper()
+	obj, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	c, err := cpu.New(cpu.Program{Base: obj.TextBase, Words: obj.TextWords}, nil)
+	if err != nil {
+		t.Fatalf("cpu: %v", err)
+	}
+	b := NewBuilder()
+	c.OnFetch = func(pc, word uint32) { b.Add(int(pc-obj.TextBase) / 4) }
+	if err := c.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	g, err := cfg.Build(obj.TextBase, obj.TextWords)
+	if err != nil {
+		t.Fatalf("cfg: %v", err)
+	}
+	return &Capture{
+		Base:         obj.TextBase,
+		Words:        obj.TextWords,
+		Graph:        g,
+		Trace:        b.Trace(),
+		Profile:      append([]uint64(nil), c.Profile()...),
+		Instructions: c.InstCount,
+	}
+}
+
+// measureWith encodes cp under cfg and replays it with the given options
+// on a fresh strict decoder.
+func measureWith(t *testing.T, cp *Capture, cfg core.Config, opts Options) Result {
+	t.Helper()
+	enc, err := core.Encode(cp.Graph, cp.Profile, cfg)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	dec, err := hw.NewDecoder(enc)
+	if err != nil {
+		t.Fatalf("decoder: %v", err)
+	}
+	dec.Strict = true
+	res, err := MeasureOpts(nil, cp, enc, dec, opts)
+	if err != nil {
+		t.Fatalf("measure: %v", err)
+	}
+	return res
+}
+
+// TestStreamingMatchesMaterialised checks the streaming path is
+// bit-identical to the materialised reference — totals, per-line counts
+// and even the memo diagnostics, since both modes make the same coverage
+// and memo decisions.
+func TestStreamingMatchesMaterialised(t *testing.T) {
+	cp := captureSource(t, streamLoopSrc)
+	cfgs := []core.Config{
+		{},
+		{BlockSize: 4},
+		{BlockSize: 7, TTEntries: 32},
+		{TTEntries: 4},
+		{Selection: core.Knapsack},
+		{Funcs: transform.Canonical8[:4]},
+	}
+	for _, cfg := range cfgs {
+		want := measureWith(t, cp, cfg, Options{})
+		got := measureWith(t, cp, cfg, Options{Streaming: true})
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("config %+v: streaming %+v != materialised %+v", cfg, got, want)
+		}
+		if want.MemoBlocks == 0 || want.MemoHits == 0 {
+			t.Errorf("config %+v: memo idle (blocks %d, hits %d); test is not exercising the memo paths",
+				cfg, want.MemoBlocks, want.MemoHits)
+		}
+	}
+}
+
+// TestStreamingStateIsBlockBounded whitebox-checks the streaming working
+// set: the arena must hold per-block state only, never the per-word
+// arrays of the materialised path.
+func TestStreamingStateIsBlockBounded(t *testing.T) {
+	cp := captureSource(t, streamLoopSrc)
+	enc, err := core.Encode(cp.Graph, cp.Profile, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := hw.NewDecoder(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec.Strict = true
+	arena := NewScratch()
+	if _, err := MeasureOpts(nil, cp, enc, dec, Options{Streaming: true, Scratch: arena}); err != nil {
+		t.Fatal(err)
+	}
+	if arena.m.prefix != nil || arena.m.kind != nil || arena.m.nextCov != nil {
+		t.Error("streaming measure materialised per-word arrays")
+	}
+	if got, max := cap(arena.s.spans), len(enc.Plans); got > max {
+		t.Errorf("span table capacity %d exceeds covered-block count %d", got, max)
+	}
+	if got, max := len(arena.s.memo), len(enc.Plans); got > max {
+		t.Errorf("memo map holds %d entries, more than the %d covered blocks", got, max)
+	}
+}
+
+// TestMemoStoreSharing replays one capture under four configurations that
+// share the per-block signature but disagree on selection and capacity.
+// With a shared store, later cells must adopt earlier cells' memos (fewer
+// local recordings, MemoShared > 0) and still produce totals identical to
+// unshared replays.
+func TestMemoStoreSharing(t *testing.T) {
+	cp := captureSource(t, streamLoopSrc)
+	cfgs := []core.Config{
+		{},
+		{TTEntries: 32},
+		{TTEntries: 8, BBITEntries: 4},
+		{Selection: core.Knapsack},
+	}
+	store := NewMemoStore()
+	var recorded, adopted int
+	for i, cfg := range cfgs {
+		solo := measureWith(t, cp, cfg, Options{Streaming: true})
+		shared := measureWith(t, cp, cfg, Options{Streaming: true, Shared: store})
+		if solo.Encoded != shared.Encoded ||
+			!reflect.DeepEqual(solo.PerLineEncoded, shared.PerLineEncoded) {
+			t.Fatalf("config %d: shared-store totals diverge: %d != %d", i, shared.Encoded, solo.Encoded)
+		}
+		recorded += shared.MemoBlocks
+		adopted += shared.MemoShared
+		if i > 0 && shared.MemoShared == 0 {
+			t.Errorf("config %d adopted no shared memos", i)
+		}
+	}
+	if adopted == 0 {
+		t.Fatal("no memo crossed configurations")
+	}
+	if store.Blocks() == 0 || store.Hits() == 0 {
+		t.Errorf("store stats idle: %d blocks, %d hits", store.Blocks(), store.Hits())
+	}
+	// Every distinct covered block is recorded exactly once across the
+	// group: total local recordings equal the store population.
+	if recorded != store.Blocks() {
+		t.Errorf("%d local recordings for %d distinct blocks: duplicate first walks", recorded, store.Blocks())
+	}
+}
+
+// TestMemoStoreConcurrent races many measures of the same signature group
+// against one store; -race proves the publication protocol, equality
+// proves results stay exact under interleaving.
+func TestMemoStoreConcurrent(t *testing.T) {
+	cp := captureSource(t, streamLoopSrc)
+	want := measureWith(t, cp, core.Config{}, Options{})
+	store := NewMemoStore()
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			enc, err := core.Encode(cp.Graph, cp.Profile, core.Config{})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			dec, err := hw.NewDecoder(enc)
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			dec.Strict = true
+			res, err := MeasureOpts(nil, cp, enc, dec, Options{Streaming: g%2 == 0, Shared: store})
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			if res.Encoded != want.Encoded {
+				errs[g] = &mismatchError{got: res.Encoded, want: want.Encoded}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Errorf("goroutine %d: %v", g, err)
+		}
+	}
+}
+
+type mismatchError struct{ got, want uint64 }
+
+func (e *mismatchError) Error() string { return "total mismatch" }
+
+// countdownCtx counts Err() polls and reports cancellation from the
+// fire-th poll on — a deterministic probe for the replay loops' poll
+// points, unlike timer-based cancellation.
+type countdownCtx struct {
+	context.Context
+	polls atomic.Int64
+	fire  int64 // 0 = never fire, only count
+}
+
+func (c *countdownCtx) Err() error {
+	if n := c.polls.Add(1); c.fire > 0 && n >= c.fire {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestCancellationPollParity pins the cancellation contract of both
+// replay engines. The poll schedule — one context check per trace op
+// plus one every cancelCheckStride fetch steps inside runs — must be
+// identical in streaming and materialised mode (they make the same
+// stepping and memo decisions), and a context that fires at a mid-replay
+// poll must abort both with ctx.Err().
+func TestCancellationPollParity(t *testing.T) {
+	cp := captureSource(t, streamLoopSrc)
+	measure := func(ctx context.Context, streaming bool) error {
+		enc, err := core.Encode(cp.Graph, cp.Profile, core.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := hw.NewDecoder(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec.Strict = true
+		_, err = MeasureOpts(ctx, cp, enc, dec, Options{Streaming: streaming})
+		return err
+	}
+
+	polls := make([]int64, 2)
+	for i, streaming := range []bool{false, true} {
+		ctr := &countdownCtx{Context: context.Background()}
+		if err := measure(ctr, streaming); err != nil {
+			t.Fatalf("streaming=%v: %v", streaming, err)
+		}
+		polls[i] = ctr.polls.Load()
+	}
+	if polls[0] != polls[1] {
+		t.Errorf("poll schedules diverge: materialised polled %d times, streaming %d", polls[0], polls[1])
+	}
+	if polls[0] < 2 {
+		t.Fatalf("only %d polls over the whole trace; mid-replay cancellation has no coverage", polls[0])
+	}
+
+	// Fire at a poll in the middle of the replay: both engines must stop
+	// there and surface the context error.
+	for _, streaming := range []bool{false, true} {
+		ctr := &countdownCtx{Context: context.Background(), fire: polls[0] / 2}
+		if err := measure(ctr, streaming); !errors.Is(err, context.Canceled) {
+			t.Errorf("streaming=%v: mid-replay cancellation returned %v, want context.Canceled", streaming, err)
+		}
+	}
+}

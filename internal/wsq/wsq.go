@@ -1,0 +1,131 @@
+// Package wsq implements a lock-free work-stealing index queue for grid
+// sweeps: the index space [0, n) is split into one contiguous interval per
+// worker, owners pop from the front of their own interval, and a worker
+// whose interval is exhausted steals the back half of the fullest
+// remaining interval. Contiguous intervals keep neighbouring grid cells —
+// which share captures, chain tables and block memos — on the same worker
+// while idle workers still drain stragglers, so the queue load-balances
+// grids whose cells have wildly different costs without giving up
+// locality.
+//
+// Every interval lives in one uint64 (head<<32 | tail) mutated only by
+// compare-and-swap, so pops and steals are linearizable and each index in
+// [0, n) is delivered exactly once. Delivery order is unspecified; callers
+// that need determinism must write into index-addressed slots, the same
+// contract as a strided pool.
+package wsq
+
+import "sync/atomic"
+
+// Queue distributes the indices [0, n) across a fixed set of workers.
+type Queue struct {
+	slots []slot
+	n     int
+}
+
+// slot is one worker's interval, padded to its own cache line so owner
+// pops and thief steals on different workers never false-share.
+type slot struct {
+	state atomic.Uint64 // head<<32 | tail; the interval is [head, tail)
+	_     [56]byte
+}
+
+func pack(head, tail uint32) uint64 { return uint64(head)<<32 | uint64(tail) }
+
+func unpack(s uint64) (head, tail uint32) { return uint32(s >> 32), uint32(s) }
+
+// New builds a queue over [0, n) for the given worker count. Workers are
+// identified by index 0..workers-1 in calls to Next. workers below 1 is
+// treated as 1.
+func New(n, workers int) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	q := &Queue{slots: make([]slot, workers), n: n}
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		q.slots[w].state.Store(pack(uint32(lo), uint32(hi)))
+	}
+	return q
+}
+
+// Next returns the next index for the given worker, preferring the front
+// of the worker's own interval and stealing the back half of the fullest
+// other interval once it is empty. The second result is false when every
+// interval is exhausted — the worker should exit.
+func (q *Queue) Next(worker int) (int, bool) {
+	if i, ok := q.pop(worker); ok {
+		return i, true
+	}
+	for {
+		victim, avail := -1, uint32(0)
+		for w := range q.slots {
+			if w == worker {
+				continue
+			}
+			head, tail := unpack(q.slots[w].state.Load())
+			if tail-head > avail {
+				victim, avail = w, tail-head
+			}
+		}
+		if victim < 0 {
+			return 0, false
+		}
+		if i, ok := q.steal(worker, victim); ok {
+			return i, true
+		}
+		// The victim's interval changed under the CAS; rescan. Progress is
+		// guaranteed: every failed steal means some other worker popped or
+		// stole, and the index space is finite.
+	}
+}
+
+// pop takes the front index of the worker's own interval.
+func (q *Queue) pop(worker int) (int, bool) {
+	s := &q.slots[worker].state
+	for {
+		old := s.Load()
+		head, tail := unpack(old)
+		if head >= tail {
+			return 0, false
+		}
+		if s.CompareAndSwap(old, pack(head+1, tail)) {
+			return int(head), true
+		}
+	}
+}
+
+// steal moves the back half of the victim's interval (at least one index)
+// into the thief's own empty slot and returns the first stolen index.
+func (q *Queue) steal(thief, victim int) (int, bool) {
+	vs := &q.slots[victim].state
+	old := vs.Load()
+	head, tail := unpack(old)
+	if head >= tail {
+		return 0, false
+	}
+	take := (tail - head + 1) / 2
+	mid := tail - take
+	if !vs.CompareAndSwap(old, pack(head, mid)) {
+		return 0, false
+	}
+	// The thief owns [mid, tail) now: consume the first index and park the
+	// rest in its own slot. The slot is empty (Next steals only after pop
+	// failed) and only the owner installs into it, so a plain store would
+	// do — the CAS-free store is still atomic for readers scanning for
+	// victims.
+	q.slots[thief].state.Store(pack(uint32(mid)+1, tail))
+	return int(mid), true
+}
+
+// Remaining reports how many indices have not been handed out yet —
+// diagnostic only, racy by nature.
+func (q *Queue) Remaining() int {
+	total := uint32(0)
+	for w := range q.slots {
+		head, tail := unpack(q.slots[w].state.Load())
+		total += tail - head
+	}
+	return int(total)
+}

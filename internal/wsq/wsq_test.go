@@ -1,0 +1,116 @@
+package wsq
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestExactlyOnceSerial drains the queue from a single worker and checks
+// every index arrives exactly once.
+func TestExactlyOnceSerial(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64} {
+		q := New(n, 1)
+		seen := make([]bool, n)
+		for {
+			i, ok := q.Next(0)
+			if !ok {
+				break
+			}
+			if seen[i] {
+				t.Fatalf("n=%d: index %d delivered twice", n, i)
+			}
+			seen[i] = true
+		}
+		for i, s := range seen {
+			if !s {
+				t.Fatalf("n=%d: index %d never delivered", n, i)
+			}
+		}
+	}
+}
+
+// TestExactlyOnceConcurrent hammers the queue from many workers with
+// uneven per-index work and checks exactly-once delivery. CI runs this
+// under -race, which also proves the CAS protocol publishes safely.
+func TestExactlyOnceConcurrent(t *testing.T) {
+	const n, workers = 2048, 8
+	q := New(n, workers)
+	var hits [n]atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i, ok := q.Next(w)
+				if !ok {
+					return
+				}
+				if i%97 == 0 {
+					time.Sleep(20 * time.Microsecond) // skewed cell costs
+				}
+				hits[i].Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := range hits {
+		if got := hits[i].Load(); got != 1 {
+			t.Fatalf("index %d delivered %d times", i, got)
+		}
+	}
+	if rem := q.Remaining(); rem != 0 {
+		t.Fatalf("Remaining() = %d after drain", rem)
+	}
+}
+
+// TestStealingHappens starves all but one interval and checks the idle
+// workers steal the loaded one dry instead of exiting early.
+func TestStealingHappens(t *testing.T) {
+	const n, workers = 256, 4
+	q := New(n, workers)
+	// Worker 0 never calls Next; workers 1..3 must steal its interval.
+	var got atomic.Int32
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if _, ok := q.Next(w); !ok {
+					return
+				}
+				got.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if int(got.Load()) != n {
+		t.Fatalf("workers 1..3 drained %d of %d indices; worker 0's interval was not stolen", got.Load(), n)
+	}
+}
+
+// TestMoreWorkersThanWork checks tiny grids with wide pools terminate.
+func TestMoreWorkersThanWork(t *testing.T) {
+	q := New(3, 16)
+	var total atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				if _, ok := q.Next(w); !ok {
+					return
+				}
+				total.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if total.Load() != 3 {
+		t.Fatalf("delivered %d indices, want 3", total.Load())
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"imtrans/internal/baseline"
 	"imtrans/internal/cfg"
@@ -13,6 +14,25 @@ import (
 	"imtrans/internal/replay"
 	"imtrans/internal/trace"
 )
+
+// streamingReplay selects the replay engine's image model. On (the
+// default), replays hold O(covered blocks) state and drive the decoder
+// straight off the compressed trace; off restores the materialised
+// per-word reference path, kept as the differential oracle.
+var streamingReplay atomic.Bool
+
+func init() { streamingReplay.Store(true) }
+
+// SetStreamingReplay switches the replay engine between the streaming
+// image model (on, the default: per-measure state proportional to the
+// covered-block count, so a 100x larger program replays in the same
+// memory) and the materialised per-word reference model (off), returning
+// the previous setting. Measurements are bit-identical in both modes;
+// only memory footprint and wall time change.
+func SetStreamingReplay(on bool) bool { return streamingReplay.Swap(on) }
+
+// StreamingReplay reports whether the streaming replay model is active.
+func StreamingReplay() bool { return streamingReplay.Load() }
 
 // ReplayMeasure produces the same measurements as MeasureProgram — bit for
 // bit — from a single profiling run per program. The run's fetch stream is
@@ -81,8 +101,17 @@ func replayMeasureCtx(ctx context.Context, p *Program, setup func(Memory) error,
 	g := cap.Graph // built once at capture time, shared by every config
 	out := make([]Measurement, len(cfgs))
 	errs := make([]error, len(cfgs))
-	runPoolCtx(ctx, core.Parallelism(), len(cfgs), func(i int) {
-		out[i], errs[i] = replayOneCtx(ctx, cap, g, cfgs[i])
+	// Split the clamp between the two nesting levels: with several
+	// configurations in flight, each one's encoder narrows its bit-line
+	// fan-out so config-workers x encode-workers never exceeds the
+	// SetParallelism bound.
+	clamp := core.Parallelism()
+	workers := min(clamp, len(cfgs))
+	inner := max(1, clamp/workers)
+	stores := memoStores(cfgs)
+	runPoolCtx(ctx, workers, len(cfgs), func(i int) {
+		env := replayEnv{encWorkers: inner, shared: stores[i]}
+		out[i], _, errs[i] = replayOneCtx(ctx, cap, g, cfgs[i], env)
 	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -218,27 +247,91 @@ func captureRun(p *Program, setup func(Memory) error) (*replay.Capture, error) {
 	}, nil
 }
 
+// memoSig returns the per-block encoding signature of a configuration.
+// Per-block encoding is a pure function of (BlockSize, Funcs, Strategy,
+// BusWidth) — the selection policy and table capacities only decide which
+// blocks get covered — so configurations with equal signatures produce
+// identical encoded words for every block they both cover, and their
+// replays of one capture may share block-outcome memos.
+func memoSig(c Config) string {
+	cc := c.coreConfig()
+	b := make([]byte, 0, 3+len(cc.Funcs))
+	b = append(b, byte(cc.BlockSize), byte(cc.Strategy), byte(cc.BusWidth))
+	for _, f := range cc.Funcs {
+		b = append(b, byte(f))
+	}
+	return string(b)
+}
+
+// memoStores groups a configuration list by memo signature and allocates
+// one shared MemoStore per group of two or more; singleton groups get nil
+// — there is nothing to share, so they skip the store locking entirely.
+func memoStores(cfgs []Config) []*replay.MemoStore {
+	groups := make(map[string][]int, len(cfgs))
+	for i, c := range cfgs {
+		sig := memoSig(c)
+		groups[sig] = append(groups[sig], i)
+	}
+	out := make([]*replay.MemoStore, len(cfgs))
+	for _, idxs := range groups {
+		if len(idxs) < 2 {
+			continue
+		}
+		s := replay.NewMemoStore()
+		for _, i := range idxs {
+			out[i] = s
+		}
+	}
+	return out
+}
+
+// replayEnv is the per-worker execution environment of one replay cell:
+// the encoder's bit-line fan-out bound, the shared memo store of the
+// cell's signature group, and the worker's scratch arena. The zero value
+// is the standalone default — package-wide parallelism, no sharing,
+// pooled scratch.
+type replayEnv struct {
+	encWorkers int
+	shared     *replay.MemoStore
+	arena      *measureArena
+}
+
+// measureArena is one sweep worker's reusable scratch, carried across
+// every grid cell the worker measures.
+type measureArena struct {
+	enc core.Arena
+	rep replay.Scratch
+}
+
 // replayOneCtx evaluates one configuration against a capture: plan the
 // encoding from the cached profile, statically verify it, then replay the
 // trace through a fresh strict decoder. Cancellation is polled inside
 // both the encoder's bit-line pool and the replay fetch loop; a
-// cancelled cell returns ctx.Err() wrapped with the configuration.
-func replayOneCtx(ctx context.Context, cap *replay.Capture, g *cfg.Graph, c Config) (Measurement, error) {
-	enc, err := core.EncodeCtx(ctx, g, cap.Profile, c.coreConfig())
+// cancelled cell returns ctx.Err() wrapped with the configuration. The
+// replay.Result accompanies the Measurement so sweeps can aggregate the
+// memo diagnostics.
+func replayOneCtx(ctx context.Context, cap *replay.Capture, g *cfg.Graph, c Config, env replayEnv) (Measurement, replay.Result, error) {
+	encOpts := core.EncodeOpts{Workers: env.encWorkers}
+	mOpts := replay.Options{Streaming: StreamingReplay(), Shared: env.shared}
+	if env.arena != nil {
+		encOpts.Arena = &env.arena.enc
+		mOpts.Scratch = &env.arena.rep
+	}
+	enc, err := core.EncodeCtxOpts(ctx, g, cap.Profile, c.coreConfig(), encOpts)
 	if err != nil {
-		return Measurement{}, fmt.Errorf("imtrans: %v: %w", c, err)
+		return Measurement{}, replay.Result{}, fmt.Errorf("imtrans: %v: %w", c, err)
 	}
 	if err := enc.Verify(); err != nil {
-		return Measurement{}, fmt.Errorf("imtrans: %v: %w", c, err)
+		return Measurement{}, replay.Result{}, fmt.Errorf("imtrans: %v: %w", c, err)
 	}
 	dec, err := hw.NewDecoder(enc)
 	if err != nil {
-		return Measurement{}, fmt.Errorf("imtrans: %v: %w", c, err)
+		return Measurement{}, replay.Result{}, fmt.Errorf("imtrans: %v: %w", c, err)
 	}
 	dec.Strict = true
-	res, err := replay.MeasureCtx(ctx, cap, enc, dec)
+	res, err := replay.MeasureOpts(ctx, cap, enc, dec, mOpts)
 	if err != nil {
-		return Measurement{}, fmt.Errorf("imtrans: %v: %w", c, err)
+		return Measurement{}, replay.Result{}, fmt.Errorf("imtrans: %v: %w", c, err)
 	}
 	m := Measurement{
 		Config:          c,
@@ -261,5 +354,5 @@ func replayOneCtx(ctx context.Context, cap *replay.Capture, g *cfg.Graph, c Conf
 	m.DictionaryPercent = power.Reduction(m.Baseline, m.Dictionary)
 	m.EnergySavedOnChipJ, _ = power.OnChip.Saved(m.Baseline, m.Encoded)
 	m.EnergySavedOffChipJ, _ = power.OffChip.Saved(m.Baseline, m.Encoded)
-	return m, nil
+	return m, res, nil
 }

@@ -1,0 +1,262 @@
+package imtrans
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// withReplayMode runs f with the streaming-replay switch forced to on,
+// restoring the previous mode afterwards.
+func withReplayMode(t *testing.T, streaming bool, f func()) {
+	t.Helper()
+	prev := SetStreamingReplay(streaming)
+	defer SetStreamingReplay(prev)
+	f()
+}
+
+// TestStreamingMatchesMaterialisedFacade is the facade-level differential
+// oracle: for every paper kernel and every configuration variant, the
+// streaming replay engine must produce Measurements identical — every
+// field, bit for bit — to the materialised per-word reference path.
+func TestStreamingMatchesMaterialisedFacade(t *testing.T) {
+	for _, b := range Benchmarks() {
+		b := testScale(b)
+		t.Run(b.Name, func(t *testing.T) {
+			var ref, got []Measurement
+			var err error
+			withReplayMode(t, false, func() {
+				ref, err = b.Measure(replayTestConfigs...)
+			})
+			if err != nil {
+				t.Fatalf("materialised Measure: %v", err)
+			}
+			withReplayMode(t, true, func() {
+				got, err = b.Measure(replayTestConfigs...)
+			})
+			if err != nil {
+				t.Fatalf("streaming Measure: %v", err)
+			}
+			for i := range ref {
+				if !reflect.DeepEqual(ref[i], got[i]) {
+					t.Errorf("config %v: streaming differs from materialised\nmaterialised: %+v\nstreaming:    %+v",
+						replayTestConfigs[i], ref[i], got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSweepWorkerClamp pins the two-level parallelism contract: the
+// sweep's grid fan-out times each cell's encoder fan-out never exceeds
+// the SetParallelism clamp, whatever combination of clamp, requested
+// sweep parallelism and grid size is in play. The counters the sweep
+// publishes are the observable.
+func TestSweepWorkerClamp(t *testing.T) {
+	benches := []Benchmark{testScale(mustBench(t, "tri"))}
+	cfgs := []Config{{BlockSize: 5}, {BlockSize: 6}, {BlockSize: 4}}
+	cases := []struct {
+		clamp, par          int
+		wantGrid, wantInner uint64
+	}{
+		// Wide clamp, narrow grid: grid workers bounded by the cell count,
+		// leftover clamp goes to the encoders.
+		{clamp: 8, par: 8, wantGrid: 3, wantInner: 2},
+		// Clamp narrower than the request: the clamp wins.
+		{clamp: 2, par: 8, wantGrid: 2, wantInner: 1},
+		// Serial clamp: everything single-threaded.
+		{clamp: 1, par: 8, wantGrid: 1, wantInner: 1},
+		// Request narrower than the clamp: encoders soak up the quotient.
+		{clamp: 6, par: 2, wantGrid: 2, wantInner: 3},
+	}
+	for _, tc := range cases {
+		prev := SetParallelism(tc.clamp)
+		res, err := SweepMeasureCtx(context.Background(), benches, cfgs,
+			SweepOptions{Parallelism: tc.par})
+		SetParallelism(prev)
+		if err != nil {
+			t.Fatalf("clamp=%d par=%d: %v", tc.clamp, tc.par, err)
+		}
+		grid := res.Counters.Get("sweep_grid_workers")
+		inner := res.Counters.Get("sweep_inner_workers")
+		if grid != tc.wantGrid || inner != tc.wantInner {
+			t.Errorf("clamp=%d par=%d: grid=%d inner=%d, want grid=%d inner=%d",
+				tc.clamp, tc.par, grid, inner, tc.wantGrid, tc.wantInner)
+		}
+		if grid*inner > uint64(tc.clamp) {
+			t.Errorf("clamp=%d par=%d: grid(%d) x inner(%d) exceeds the clamp",
+				tc.clamp, tc.par, grid, inner)
+		}
+	}
+}
+
+// sharedSigConfigs is a four-way signature group: equal block size,
+// chaining strategy, function set and bus width, so every covered block
+// encodes identically across the group — only the selection policy and
+// table capacities differ.
+var sharedSigConfigs = []Config{
+	{BlockSize: 5},
+	{BlockSize: 5, TTEntries: 4},
+	{BlockSize: 5, TTEntries: 8},
+	{BlockSize: 5, Knapsack: true},
+}
+
+// TestSweepSharedMemoCounters proves cross-configuration memo sharing
+// does real work: a sweep over a four-config signature group must adopt
+// memos across cells (replay_memo_shared > 0), record strictly fewer
+// blocks locally than four isolated single-config sweeps, and serve at
+// least as many replays from memo. Serial parallelism keeps the
+// record/adopt split deterministic.
+func TestSweepSharedMemoCounters(t *testing.T) {
+	benches := []Benchmark{testScale(mustBench(t, "tri")), testScale(mustBench(t, "sor"))}
+	opts := SweepOptions{Parallelism: 1}
+
+	shared, err := SweepMeasureCtx(context.Background(), benches, sharedSigConfigs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var soloBlocks, soloHits uint64
+	solo := make([][]Measurement, len(benches))
+	for bi := range benches {
+		solo[bi] = make([]Measurement, len(sharedSigConfigs))
+	}
+	for ci, c := range sharedSigConfigs {
+		res, err := SweepMeasureCtx(context.Background(), benches, []Config{c}, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloBlocks += res.Counters.Get("replay_memo_blocks")
+		soloHits += res.Counters.Get("replay_memo_hits")
+		for bi := range benches {
+			solo[bi][ci] = res.Measurements[bi][0]
+		}
+	}
+
+	adopted := shared.Counters.Get("replay_memo_shared")
+	blocks := shared.Counters.Get("replay_memo_blocks")
+	hits := shared.Counters.Get("replay_memo_hits")
+	if adopted == 0 {
+		t.Error("shared sweep adopted no cross-config memos")
+	}
+	if blocks >= soloBlocks {
+		t.Errorf("shared sweep recorded %d blocks, isolated sweeps %d; sharing saved nothing", blocks, soloBlocks)
+	}
+	if hits < soloHits {
+		t.Errorf("shared sweep served %d memo replays, isolated sweeps %d; sharing lost hits", hits, soloHits)
+	}
+	// Sharing must be invisible in the measurements themselves.
+	if !reflect.DeepEqual(shared.Measurements, solo) {
+		t.Error("shared-memo sweep measurements differ from isolated sweeps")
+	}
+}
+
+// TestStreamingReplayWarmAllocs pins the streaming engine's constant-
+// memory claim at the allocation level: warm replays of the same kernel
+// text at 10x the loop count must allocate the same, because streaming
+// state scales with the covered-block count, never the trace or the
+// instruction stream.
+func TestStreamingReplayWarmAllocs(t *testing.T) {
+	prev := SetParallelism(1)
+	defer SetParallelism(prev)
+	ClearCaptureCache()
+	small := mustBench(t, "tri").WithScale(32, 4)
+	large := mustBench(t, "tri").WithScale(32, 40)
+	cfg := Config{BlockSize: 5}
+	warmAllocs := func(b Benchmark) float64 {
+		if _, err := b.Measure(cfg); err != nil {
+			t.Fatal(err) // capture + prime the scratch pools
+		}
+		return testing.AllocsPerRun(10, func() {
+			if _, err := b.Measure(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	a1 := warmAllocs(small)
+	a2 := warmAllocs(large)
+	// The two programs share text, so coverage — and with it the entire
+	// streaming working set — is identical; a couple of allocs of slack
+	// absorb pool misses under GC pressure.
+	if math.Abs(a1-a2) > 2 {
+		t.Errorf("warm streaming allocs scale with trace length: %.0f at iters=4, %.0f at iters=40", a1, a2)
+	}
+}
+
+// TestStreamingSweepFaultParity runs one fault campaign through both
+// replay engines and requires the supervision outcome — every isolated
+// SweepError, the completion grid and the surviving measurements — to be
+// identical. The streaming engine must not change what fails, how often
+// it is retried, or what the rest of the grid reports.
+func TestStreamingSweepFaultParity(t *testing.T) {
+	benches := []Benchmark{testScale(mustBench(t, "tri")), testScale(mustBench(t, "sor"))}
+	cfgs := []Config{{BlockSize: 5}, {BlockSize: 6}}
+	plan := SweepFaultPlan{
+		PanicCells: [][2]int{{0, 0}},
+		ErrorCells: [][2]int{{1, 1}},
+	}
+	opts := SweepOptions{
+		Parallelism: 1,
+		Retry:       RetryPolicy{MaxAttempts: 2},
+		FaultInject: plan.Injector(),
+	}
+	run := func(streaming bool) *SweepResult {
+		var res *SweepResult
+		var err error
+		withReplayMode(t, streaming, func() {
+			res, err = SweepMeasureCtx(context.Background(), benches, cfgs, opts)
+		})
+		if err != nil {
+			t.Fatalf("streaming=%v: %v", streaming, err)
+		}
+		return res
+	}
+	mat := run(false)
+	str := run(true)
+
+	if len(mat.Errors) != 2 || len(str.Errors) != len(mat.Errors) {
+		t.Fatalf("error counts differ: materialised %d, streaming %d (want 2)",
+			len(mat.Errors), len(str.Errors))
+	}
+	for i := range mat.Errors {
+		me, se := mat.Errors[i], str.Errors[i]
+		if me.Benchmark != se.Benchmark || me.BenchIndex != se.BenchIndex ||
+			me.ConfigIndex != se.ConfigIndex || me.Stage != se.Stage ||
+			me.Attempts != se.Attempts || me.Error() != se.Error() {
+			t.Errorf("error %d differs:\nmaterialised: %v\nstreaming:    %v", i, me.Error(), se.Error())
+		}
+	}
+	if !reflect.DeepEqual(mat.Done, str.Done) {
+		t.Error("completion grids differ between replay engines")
+	}
+	if !reflect.DeepEqual(mat.Measurements, str.Measurements) {
+		t.Error("surviving measurements differ between replay engines")
+	}
+}
+
+// TestStreamingSweepCancellationParity pre-cancels the context under
+// both replay engines: each must stop without measuring, report every
+// cell cancelled, and surface a wrapped context.Canceled — the
+// streaming fetch loop honours the same poll points as the materialised
+// one.
+func TestStreamingSweepCancellationParity(t *testing.T) {
+	benches := []Benchmark{testScale(mustBench(t, "tri"))}
+	cfgs := []Config{{BlockSize: 5}, {BlockSize: 6}}
+	for _, streaming := range []bool{false, true} {
+		withReplayMode(t, streaming, func() {
+			ctx, cancel := context.WithCancel(context.Background())
+			cancel()
+			res, err := SweepMeasureCtx(ctx, benches, cfgs, SweepOptions{Parallelism: 1})
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("streaming=%v: err = %v, want wrapped context.Canceled", streaming, err)
+			}
+			if res.Cancelled != len(cfgs) {
+				t.Errorf("streaming=%v: Cancelled = %d, want %d", streaming, res.Cancelled, len(cfgs))
+			}
+			if len(res.Errors) != 0 {
+				t.Errorf("streaming=%v: cancellation produced sweep errors: %v", streaming, res.Errors)
+			}
+		})
+	}
+}

@@ -9,14 +9,17 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"imtrans/internal/cfg"
 	"imtrans/internal/checkpoint"
+	"imtrans/internal/core"
 	"imtrans/internal/replay"
 	"imtrans/internal/runsafe"
 	"imtrans/internal/stats"
+	"imtrans/internal/wsq"
 )
 
 // RetryPolicy bounds the per-cell retry loop of a supervised sweep. The
@@ -128,6 +131,11 @@ type SweepResult struct {
 	Done         [][]bool
 	Errors       []SweepError
 
+	// CellNs[bench][config] is the wall time of the cell's successful
+	// measurement attempt in nanoseconds; zero for cells restored from a
+	// checkpoint or never completed.
+	CellNs [][]int64
+
 	Restored  int // cells restored from the checkpoint journal
 	Completed int // cells measured by this run
 	Cancelled int // cells abandoned by context cancellation
@@ -169,6 +177,46 @@ func isCtxErr(err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
+// runStealCtx runs f(worker, 0..n-1) over a work-stealing worker pool:
+// each worker owns a contiguous interval of the index space (neighbouring
+// grid cells share captures, chain tables and memo stores, so locality is
+// worth keeping) and steals the back half of the fullest remaining
+// interval once its own drains — skewed per-cell costs cannot strand a
+// core the way strided assignment can. Each index runs exactly once;
+// callers needing determinism write into index-addressed slots, the same
+// contract as runPoolCtx. The worker id is passed through so callers can
+// bind per-worker state such as scratch arenas.
+func runStealCtx(ctx context.Context, workers, n int, f func(worker, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return
+			}
+			f(0, i)
+		}
+		return
+	}
+	q := wsq.New(n, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i, ok := q.Next(w)
+				if !ok {
+					return
+				}
+				f(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // SweepMeasureCtx evaluates every (benchmark, configuration) pair of a
 // grid under supervision: each capture and each cell runs with a
 // recover() guard, the retry policy, and the circuit breaker from opts,
@@ -198,6 +246,8 @@ func SweepMeasureCtx(ctx context.Context, benchmarks []Benchmark, cfgs []Config,
 
 	type cellState struct {
 		m        Measurement
+		rr       replay.Result
+		wallNs   int64
 		done     bool
 		restored bool
 		err      error
@@ -274,14 +324,53 @@ func SweepMeasureCtx(ctx context.Context, benchmarks []Benchmark, cfgs []Config,
 		})
 	})
 
-	// Measure phase: one supervised task per pending cell. Failures stay
-	// in the cell — the pool keeps draining the rest of the grid.
-	runPoolCtx(ctx, par, nb*nc, func(t int) {
+	// Measure phase: one supervised task per pending cell, distributed by
+	// a work-stealing queue so a few expensive cells cannot strand the
+	// other workers. Failures stay in the cell — the pool keeps draining
+	// the rest of the grid.
+	//
+	// The SetParallelism clamp is split across the two nesting levels:
+	// grid workers get min(requested, clamp) and each cell's encoder
+	// narrows its bit-line fan-out to the quotient, so grid-workers x
+	// encode-workers never exceeds the clamp. Wide grids therefore run
+	// one cell per core with serial encoders; narrow grids keep the
+	// encoder fan-out instead.
+	clamp := core.Parallelism()
+	gridPar := min(par, clamp, nb*nc)
+	if gridPar < 1 {
+		gridPar = 1
+	}
+	inner := max(1, clamp/gridPar)
+	// One scratch arena per worker (encode matrices + replay working
+	// set), reused across every cell the worker measures; one shared memo
+	// store per (benchmark, per-block signature) group with two or more
+	// configurations, so grid cells that encode blocks identically pay
+	// each block's first verified walk once.
+	arenas := make([]measureArena, gridPar)
+	stores := make([]*replay.MemoStore, nb*nc)
+	sigGroups := make(map[string][]int, nc)
+	for ci, c := range cfgs {
+		sig := memoSig(c)
+		sigGroups[sig] = append(sigGroups[sig], ci)
+	}
+	for _, idxs := range sigGroups {
+		if len(idxs) < 2 {
+			continue // nothing to share; skip the store locking entirely
+		}
+		for bi := 0; bi < nb; bi++ {
+			store := replay.NewMemoStore() // memos never cross programs
+			for _, ci := range idxs {
+				stores[bi*nc+ci] = store
+			}
+		}
+	}
+	runStealCtx(ctx, gridPar, nb*nc, func(worker, t int) {
 		bi, ci := t/nc, t%nc
 		s := &cells[t]
 		if s.done || !pending[bi] || states[bi].err != nil {
 			return
 		}
+		env := replayEnv{encWorkers: inner, shared: stores[t], arena: &arenas[worker]}
 		attempt := 0
 		s.attempts, s.err = runsafe.Do(ctx, pol, brk, func(tctx context.Context) error {
 			attempt++
@@ -290,11 +379,13 @@ func SweepMeasureCtx(ctx context.Context, benchmarks []Benchmark, cfgs []Config,
 					return err
 				}
 			}
-			m, err := replayOneCtx(tctx, states[bi].cap, states[bi].g, cfgs[ci])
+			start := time.Now()
+			m, rr, err := replayOneCtx(tctx, states[bi].cap, states[bi].g, cfgs[ci], env)
 			if err != nil {
 				return err
 			}
-			s.m = m
+			s.m, s.rr = m, rr
+			s.wallNs = time.Since(start).Nanoseconds()
 			return nil
 		})
 		if s.err != nil {
@@ -318,9 +409,12 @@ func SweepMeasureCtx(ctx context.Context, benchmarks []Benchmark, cfgs []Config,
 	res := &SweepResult{
 		Measurements: make([][]Measurement, nb),
 		Done:         make([][]bool, nb),
+		CellNs:       make([][]int64, nb),
 	}
 	cancelled := ctx.Err() != nil
 	var retries, panics, tripped, failed, skipped, recorded, ckErrs int
+	var memoBlocks, memoShared int
+	var memoHits uint64
 	noteErr := func(err error) {
 		var pe *runsafe.PanicError
 		if errors.As(err, &pe) {
@@ -333,6 +427,7 @@ func SweepMeasureCtx(ctx context.Context, benchmarks []Benchmark, cfgs []Config,
 	for bi := 0; bi < nb; bi++ {
 		res.Measurements[bi] = make([]Measurement, nc)
 		res.Done[bi] = make([]bool, nc)
+		res.CellNs[bi] = make([]int64, nc)
 		st := &states[bi]
 		if st.attempts > 1 {
 			retries += st.attempts - 1
@@ -358,10 +453,14 @@ func SweepMeasureCtx(ctx context.Context, benchmarks []Benchmark, cfgs []Config,
 			case s.done:
 				res.Measurements[bi][ci] = s.m
 				res.Done[bi][ci] = true
+				res.CellNs[bi][ci] = s.wallNs
 				if s.restored {
 					res.Restored++
 				} else {
 					res.Completed++
+					memoBlocks += s.rr.MemoBlocks
+					memoHits += s.rr.MemoHits
+					memoShared += s.rr.MemoShared
 					if journal != nil && s.ckErr == nil {
 						recorded++
 					}
@@ -408,6 +507,11 @@ func SweepMeasureCtx(ctx context.Context, benchmarks []Benchmark, cfgs []Config,
 	c.Add("sweep_retries", uint64(retries))
 	c.Add("sweep_panics", uint64(panics))
 	c.Add("sweep_breaker_tripped", uint64(tripped))
+	c.Add("sweep_grid_workers", uint64(gridPar))
+	c.Add("sweep_inner_workers", uint64(inner))
+	c.Add("replay_memo_blocks", uint64(memoBlocks))
+	c.Add("replay_memo_hits", memoHits)
+	c.Add("replay_memo_shared", uint64(memoShared))
 	c.Add("checkpoint_restored", uint64(res.Restored))
 	c.Add("checkpoint_recorded", uint64(recorded))
 	c.Add("checkpoint_errors", uint64(ckErrs))
