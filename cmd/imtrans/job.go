@@ -7,6 +7,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -46,12 +47,18 @@ func jobFlags(fs *flag.FlagSet) *string {
 	return fs.String("url", "http://127.0.0.1:8080", "base URL of the imtransd to talk to")
 }
 
-// jobCall performs one HTTP exchange with the job API and decodes the
-// response into out (skipped when out is nil). Non-2xx responses become
-// errors carrying the server's error body.
+// jobCall performs one HTTP exchange with the job API under a
+// signal-cancelled context; see jobCallCtx.
 func jobCall(base, method, path string, body []byte, out any) (int, error) {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	return jobCallCtx(ctx, base, method, path, body, out)
+}
+
+// jobCallCtx performs one HTTP exchange with the job API and decodes the
+// response into out (skipped when out is nil). Non-2xx responses become
+// errors carrying the server's error body.
+func jobCallCtx(ctx context.Context, base, method, path string, body []byte, out any) (int, error) {
 	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(base, "/")+path, bytes.NewReader(body))
 	if err != nil {
 		return 0, err
@@ -126,7 +133,9 @@ func jobSubmit(args []string) error {
 	}
 	printJobRecord(res.Job)
 	if *wait {
-		return waitForJob(*url, res.Job.ID, 500*time.Millisecond)
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return waitForJob(ctx, *url, res.Job.ID, 500*time.Millisecond)
 	}
 	return nil
 }
@@ -158,18 +167,56 @@ func jobWait(args []string) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("job wait wants one job ID")
 	}
-	return waitForJob(*url, fs.Arg(0), *interval)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	return waitForJob(ctx, *url, fs.Arg(0), *interval)
 }
 
-// waitForJob polls until the job is terminal. Done exits 0; failed,
-// cancelled or corrupt exit non-zero with the typed error spelled out.
-func waitForJob(url, id string, interval time.Duration) error {
-	if interval <= 0 {
-		interval = 500 * time.Millisecond
+// pollBackoffCap bounds the un-jittered poll delay: long sweeps settle
+// into one status round-trip every few seconds instead of hammering the
+// daemon at the initial rate for hours.
+const pollBackoffCap = 5 * time.Second
+
+// pollBackoff returns the delay before poll n (0-based): base doubled
+// per poll, capped at pollBackoffCap, then jittered to 0.5–1.5× so a
+// fleet of waiting clients spreads out instead of polling in lockstep.
+// rnd supplies the jitter draw in [0,1); tests pin it.
+func pollBackoff(n int, base time.Duration, rnd func() float64) time.Duration {
+	if base <= 0 {
+		base = 500 * time.Millisecond
 	}
-	for {
+	d := base
+	for i := 0; i < n && d < pollBackoffCap; i++ {
+		d *= 2
+	}
+	if d > pollBackoffCap {
+		d = pollBackoffCap
+	}
+	return time.Duration(float64(d) * (0.5 + rnd()))
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled, whichever comes
+// first — a waiting client answers ^C between polls, not after the next
+// interval expires.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// waitForJob polls until the job is terminal, backing off exponentially
+// from base with jitter (see pollBackoff) and honouring ctx between and
+// during polls. Done exits 0; failed, cancelled or corrupt exit non-zero
+// with the typed error spelled out.
+func waitForJob(ctx context.Context, url, id string, base time.Duration) error {
+	for n := 0; ; n++ {
 		var rec jobs.Record
-		if _, err := jobCall(url, http.MethodGet, "/v1/jobs/"+id, nil, &rec); err != nil {
+		if _, err := jobCallCtx(ctx, url, http.MethodGet, "/v1/jobs/"+id, nil, &rec); err != nil {
 			return err
 		}
 		if rec.State.Terminal() {
@@ -183,7 +230,9 @@ func waitForJob(url, id string, interval time.Duration) error {
 			return nil
 		}
 		fmt.Printf("job %s %s: %d/%d cells\n", id, rec.State, rec.CellsDone, rec.CellsTotal)
-		time.Sleep(interval)
+		if err := sleepCtx(ctx, pollBackoff(n, base, rand.Float64)); err != nil {
+			return err
+		}
 	}
 }
 

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestPollBackoff: the un-jittered schedule doubles from base and caps
+// at pollBackoffCap; jitter scales the result into 0.5–1.5×.
+func TestPollBackoff(t *testing.T) {
+	mid := func() float64 { return 0.5 } // jitter factor exactly 1.0
+	cases := []struct {
+		n    int
+		base time.Duration
+		want time.Duration
+	}{
+		{0, 100 * time.Millisecond, 100 * time.Millisecond},
+		{1, 100 * time.Millisecond, 200 * time.Millisecond},
+		{2, 100 * time.Millisecond, 400 * time.Millisecond},
+		{5, 100 * time.Millisecond, 3200 * time.Millisecond},
+		{6, 100 * time.Millisecond, pollBackoffCap},
+		{50, 100 * time.Millisecond, pollBackoffCap}, // no overflow, stays capped
+		{0, 0, 500 * time.Millisecond},               // non-positive base defaults
+		{3, -time.Second, 4 * time.Second},
+	}
+	for _, c := range cases {
+		if got := pollBackoff(c.n, c.base, mid); got != c.want {
+			t.Errorf("pollBackoff(%d, %v, mid) = %v, want %v", c.n, c.base, got, c.want)
+		}
+	}
+
+	// Jitter bounds: the draw scales a capped delay into [0.5, 1.5)×.
+	lo := pollBackoff(0, time.Second, func() float64 { return 0 })
+	hi := pollBackoff(0, time.Second, func() float64 { return 0.999999 })
+	if lo != 500*time.Millisecond {
+		t.Errorf("zero draw gives %v, want 500ms", lo)
+	}
+	if hi < 1400*time.Millisecond || hi >= 1500*time.Millisecond {
+		t.Errorf("max draw gives %v, want just under 1.5s", hi)
+	}
+}
+
+// TestWaitForJobHonoursCancellation is the regression for the old
+// time.Sleep poll loop: against a daemon whose job never finishes, a
+// context cancelled after a few polls must end the wait promptly — not
+// after the next (long) interval expires, and never hang.
+func TestWaitForJobHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	polled := make(chan struct{}, 16)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		polled <- struct{}{}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"id":"j1","state":"running","cells_done":1,"cells_total":9}`)
+	}))
+	defer srv.Close()
+
+	// A one-hour base stalls the old time.Sleep implementation for an
+	// hour after the first poll; the fix must return as soon as ctx does.
+	done := make(chan error, 1)
+	go func() { done <- waitForJob(ctx, srv.URL, "j1", time.Hour) }()
+	select {
+	case <-polled:
+	case <-time.After(10 * time.Second):
+		t.Fatal("waitForJob never polled")
+	}
+	time.Sleep(100 * time.Millisecond) // let the waiter settle into its sleep
+	cancel()                           // lands mid-backoff, not between polls
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waitForJob returned %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waitForJob ignored context cancellation mid-backoff")
+	}
+}

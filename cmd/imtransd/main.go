@@ -14,12 +14,27 @@
 // crash harness (the daemon SIGKILLs itself after a seeded delay) so CI
 // can prove exactly that.
 //
+// With -store.dir set the daemon keeps a persistent content-addressed
+// artifact store under its caches: captures, result bodies and job
+// results land there keyed by content hash, verified (CRC + digest) on
+// every read, scrubbed in the background, and shared across restarts —
+// and across replicas pointing at the same directory.
+//
+// With -route set (a comma-separated list of replica base URLs) the
+// process runs as a routing gateway instead of a replica: requests are
+// rendezvous-hashed across the replicas, backends are health-checked via
+// /readyz, and a failed replica is retried on the next one with jittered
+// backoff behind a per-backend circuit breaker.
+//
 // Usage:
 //
 //	imtransd [-addr :8080] [-workers N] [-queue N] [-timeout 120s]
 //	         [-cache N] [-rate-rps N] [-rate-burst N] [-drain 30s]
 //	         [-parallelism N] [-jobs.dir DIR] [-jobs.max N]
-//	         [-jobs.deadline 1h] [-jobs.fsync] [-chaos.killafter D]
+//	         [-jobs.deadline 1h] [-jobs.fsync] [-store.dir DIR]
+//	         [-store.max-bytes N] [-store.fsync] [-store.scrub 10m]
+//	         [-route URL,URL,...] [-route.health 1s] [-route.backoff 25ms]
+//	         [-route.breaker N] [-chaos.killafter D]
 //	         [-chaos.seed N] [-chaos.jitter F]
 //	         [-cpuprofile FILE] [-memprofile FILE] [-version]
 package main
@@ -35,6 +50,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -61,6 +77,14 @@ func main() {
 	jobsParallelism := fs.Int("jobs.parallelism", 0, "per-job sweep worker bound (0 = GOMAXPROCS)")
 	jobDeadline := fs.Duration("jobs.deadline", 0, "default per-job deadline (0 = 1h)")
 	jobsFsync := fs.Bool("jobs.fsync", true, "fsync job records and checkpoint journals (power-fail durability)")
+	storeDir := fs.String("store.dir", "", "persistent content-addressed artifact store directory (empty = disabled)")
+	storeMaxBytes := fs.Int64("store.max-bytes", 0, "store byte budget before LRU eviction (0 = unbounded)")
+	storeFsync := fs.Bool("store.fsync", false, "fsync store writes (power-fail durability)")
+	storeScrub := fs.Duration("store.scrub", 0, "background store-scrub interval (0 = 10m)")
+	route := fs.String("route", "", "run as a routing gateway over these comma-separated replica URLs instead of serving")
+	routeHealth := fs.Duration("route.health", 0, "router backend health-probe interval (0 = 1s)")
+	routeBackoff := fs.Duration("route.backoff", 0, "router failover backoff base (0 = 25ms)")
+	routeBreaker := fs.Int("route.breaker", 0, "router per-backend breaker threshold (0 = 3)")
 	chaosKill := fs.Duration("chaos.killafter", 0, "chaos harness: SIGKILL this process after roughly this long (0 = off)")
 	chaosSeed := fs.Int64("chaos.seed", 1, "chaos harness seed (same seed, same kill time)")
 	chaosJitter := fs.Float64("chaos.jitter", 0.5, "chaos kill-time jitter fraction in [0,1]")
@@ -85,6 +109,54 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *route != "" {
+		// Routing gateway mode: this process proxies, it does not measure.
+		var backends []string
+		for _, b := range strings.Split(*route, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				backends = append(backends, b)
+			}
+		}
+		rt, err := server.NewRouter(server.RouterConfig{
+			Backends:         backends,
+			HealthInterval:   *routeHealth,
+			RetryBackoff:     *routeBackoff,
+			BreakerThreshold: *routeBreaker,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		l, err := net.Listen("tcp", *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%s", buildinfo.String("imtransd"))
+		log.Printf("routing on %s across %d replicas: %s", l.Addr(), len(backends), strings.Join(backends, ", "))
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		errc := make(chan error, 1)
+		go func() { errc <- rt.Serve(l) }()
+		select {
+		case err := <-errc:
+			log.Fatalf("serve: %v", err)
+		case <-ctx.Done():
+		}
+		stop()
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := rt.Shutdown(dctx); err != nil {
+			log.Fatalf("drain: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("serve: %v", err)
+		}
+		if err := stopProf(); err != nil {
+			log.Fatalf("profile: %v", err)
+		}
+		log.Printf("router drained cleanly")
+		return
+	}
+
 	if *parallelism > 0 {
 		imtrans.SetParallelism(*parallelism)
 	}
@@ -93,17 +165,21 @@ func main() {
 	}
 
 	srv, err := server.New(server.Config{
-		Workers:           *workers,
-		QueueDepth:        *queue,
-		RequestTimeout:    *timeout,
-		CacheEntries:      *cache,
-		RateLimit:         *rateRPS,
-		RateBurst:         *rateBurst,
-		JobsDir:           *jobsDir,
-		JobsMaxConcurrent: *jobsMax,
-		JobsParallelism:   *jobsParallelism,
-		JobDeadline:       *jobDeadline,
-		JobsFsync:         *jobsFsync,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		RequestTimeout:     *timeout,
+		CacheEntries:       *cache,
+		RateLimit:          *rateRPS,
+		RateBurst:          *rateBurst,
+		JobsDir:            *jobsDir,
+		JobsMaxConcurrent:  *jobsMax,
+		JobsParallelism:    *jobsParallelism,
+		JobDeadline:        *jobDeadline,
+		JobsFsync:          *jobsFsync,
+		StoreDir:           *storeDir,
+		StoreMaxBytes:      *storeMaxBytes,
+		StoreFsync:         *storeFsync,
+		StoreScrubInterval: *storeScrub,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -117,6 +193,9 @@ func main() {
 	log.Printf("listening on %s", l.Addr())
 	if *jobsDir != "" {
 		log.Printf("durable job store at %s (fsync=%v)", *jobsDir, *jobsFsync)
+	}
+	if *storeDir != "" {
+		log.Printf("content-addressed artifact store at %s (fsync=%v)", *storeDir, *storeFsync)
 	}
 
 	if *chaosKill > 0 {

@@ -1,0 +1,65 @@
+package cas
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// FuzzUnsealBlob hammers the envelope decoder with corrupt headers,
+// truncated bodies and trailing garbage. The contract is totality: any
+// input yields either the exact sealed payload or an error — never a
+// panic, never a huge allocation from a lying length field.
+func FuzzUnsealBlob(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add(SealBlob(nil))
+	f.Add(SealBlob([]byte("payload")))
+	f.Add(append(SealBlob([]byte("payload")), "trailing"...))
+	truncated := SealBlob([]byte("a longer payload to truncate"))
+	f.Add(truncated[:len(truncated)-3])
+	bigLen := SealBlob([]byte("x"))
+	binary.LittleEndian.PutUint64(bigLen[len(Magic)+4:], 1<<62)
+	f.Add(bigLen)
+	badVersion := SealBlob([]byte("x"))
+	binary.LittleEndian.PutUint32(badVersion[len(Magic):], 99)
+	f.Add(badVersion)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, err := UnsealBlob(data)
+		if err != nil {
+			if payload != nil {
+				t.Fatalf("error %v returned alongside a payload", err)
+			}
+			return
+		}
+		// A successful unseal must round-trip bit-identically.
+		if !bytes.Equal(SealBlob(payload), data) {
+			t.Fatalf("unsealed payload does not re-seal to the input")
+		}
+	})
+}
+
+// FuzzCASKey hammers the key parser: any string either parses to a key
+// whose canonical rendering is the input, or errors — never panics.
+func FuzzCASKey(f *testing.F) {
+	f.Add("")
+	f.Add(strings.Repeat("0", 64))
+	f.Add(strings.Repeat("f", 64))
+	f.Add(strings.Repeat("F", 64)) // uppercase is non-canonical
+	f.Add(strings.Repeat("0", 63))
+	f.Add(strings.Repeat("0", 65))
+	f.Add(KeyOf([]byte("seed")).String())
+	f.Add(strings.Repeat("0", 62) + "zz")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		key, err := ParseKey(s)
+		if err != nil {
+			return
+		}
+		if key.String() != s {
+			t.Fatalf("ParseKey(%q) round-trips to %q", s, key.String())
+		}
+	})
+}

@@ -188,38 +188,92 @@ func (f *File) write(path string, durable bool) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
 	if err != nil {
-		return fmt.Errorf("checkpoint: %w", err)
+		return &WriteError{Path: path, Err: err}
 	}
-	if _, err := tmp.Write(data); err != nil {
+	fail := func(err error) error {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return fmt.Errorf("checkpoint: %w", err)
+		return &WriteError{Path: path, Err: err}
+	}
+	if fault := currentWriteFault(); fault != nil {
+		n, ferr := fault(path, data)
+		if ferr != nil {
+			if n > len(data) {
+				n = len(data)
+			}
+			if n > 0 {
+				tmp.Write(data[:n]) // the simulated torn write
+			}
+			return fail(ferr)
+		}
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(err)
 	}
 	if durable {
 		if err := tmp.Sync(); err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-			return fmt.Errorf("checkpoint: %w", err)
+			return fail(err)
 		}
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("checkpoint: %w", err)
+		return &WriteError{Path: path, Err: err}
 	}
 	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("checkpoint: %w", err)
+		return &WriteError{Path: path, Err: err}
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		os.Remove(tmp.Name())
-		return fmt.Errorf("checkpoint: %w", err)
+		return &WriteError{Path: path, Err: err}
 	}
 	if durable {
 		if err := syncDir(dir); err != nil {
-			return fmt.Errorf("checkpoint: %w", err)
+			return &WriteError{Path: path, Err: err}
 		}
 	}
 	return nil
+}
+
+// WriteError reports a failed snapshot write. The journal previously on
+// disk is intact — the atomic writer never lets the target transition
+// through a partial state — and the failed cell is not recorded, so the
+// caller may retry the Record once the fault (ENOSPC, say) clears.
+type WriteError struct {
+	Path string
+	Err  error
+}
+
+func (e *WriteError) Error() string {
+	return fmt.Sprintf("checkpoint: writing %s: %v", e.Path, e.Err)
+}
+
+func (e *WriteError) Unwrap() error { return e.Err }
+
+// writeFault, when non-nil, intercepts every snapshot write for fault
+// injection: it may report part of the data as written (a short write)
+// and returns the error to inject. Tests use it to prove a failed
+// snapshot — ENOSPC, a torn buffer — leaves the previous journal intact
+// and surfaces a typed *WriteError.
+var (
+	writeFaultMu sync.Mutex
+	writeFault   func(path string, data []byte) (int, error)
+)
+
+// SetWriteFault installs (or, with nil, clears) the write-fault
+// injection hook and returns the previous one. Test-only.
+func SetWriteFault(f func(path string, data []byte) (int, error)) func(path string, data []byte) (int, error) {
+	writeFaultMu.Lock()
+	defer writeFaultMu.Unlock()
+	prev := writeFault
+	writeFault = f
+	return prev
+}
+
+func currentWriteFault() func(path string, data []byte) (int, error) {
+	writeFaultMu.Lock()
+	defer writeFaultMu.Unlock()
+	return writeFault
 }
 
 // syncDir fsyncs a directory so a just-renamed entry survives power loss.
@@ -316,7 +370,15 @@ func (j *Journal) Record(bench, config int, payload json.RawMessage) error {
 	}
 	j.f.Cells = append(j.f.Cells, Cell{Bench: bench, Config: config, Payload: payload})
 	j.have[key] = true
-	return j.f.write(j.path, j.durable)
+	if err := j.f.write(j.path, j.durable); err != nil {
+		// Roll the cell back so a retry after the fault clears (disk
+		// freed, say) re-attempts the snapshot instead of no-opping
+		// against an in-memory state the disk never saw.
+		j.f.Cells = j.f.Cells[:len(j.f.Cells)-1]
+		delete(j.have, key)
+		return err
+	}
+	return nil
 }
 
 // Len reports the number of journalled cells.

@@ -2,6 +2,7 @@ package checkpoint
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -191,5 +192,76 @@ func TestJournalDurableWrites(t *testing.T) {
 	}
 	if len(entries) != 1 {
 		t.Fatalf("directory has %d entries, want just the journal", len(entries))
+	}
+}
+
+// TestRecordWriteFaultPreservesJournal: an injected ENOSPC mid-snapshot
+// fails the Record with a typed *WriteError, leaves the previous journal
+// on disk intact and loadable, leaves no temp debris, and the same cell
+// records cleanly once the fault clears.
+func TestRecordWriteFaultPreservesJournal(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.json")
+	grid, bs, cs := testGrid()
+	j, _, err := Open(path, grid, bs, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(0, 0, json.RawMessage(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	prev := SetWriteFault(func(p string, data []byte) (int, error) {
+		return len(data) / 2, errors.New("no space left on device")
+	})
+	defer SetWriteFault(prev)
+
+	err = j.Record(0, 1, json.RawMessage(`{"v":2}`))
+	var werr *WriteError
+	if !errors.As(err, &werr) {
+		t.Fatalf("faulted Record returned %v, want *WriteError", err)
+	}
+	if werr.Path != path {
+		t.Fatalf("WriteError.Path = %q, want %q", werr.Path, path)
+	}
+
+	// The old snapshot is byte-identical and still verifies.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Fatal("failed snapshot altered the journal on disk")
+	}
+	if _, err := Load(path); err != nil {
+		t.Fatalf("journal unloadable after faulted write: %v", err)
+	}
+
+	// No half-written temp files left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".checkpoint-") {
+			t.Fatalf("temp debris %s survived the faulted write", e.Name())
+		}
+	}
+
+	// Fault cleared: the same cell records and persists.
+	SetWriteFault(prev)
+	if err := j.Record(0, 1, json.RawMessage(`{"v":2}`)); err != nil {
+		t.Fatalf("Record after fault cleared: %v", err)
+	}
+	f, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Cells) != 2 {
+		t.Fatalf("journal holds %d cells after retry, want 2", len(f.Cells))
 	}
 }

@@ -2,6 +2,7 @@ package jobs
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"imtrans"
+	"imtrans/internal/cas"
 	"imtrans/internal/checkpoint"
 	"imtrans/internal/runsafe"
 	"imtrans/internal/stats"
@@ -46,6 +48,13 @@ type Config struct {
 	// jobs_resumed_total, job_cells_restored_total, ...); nil allocates a
 	// private set.
 	Counters *stats.Counters
+
+	// Store, when non-nil, is the persistent content-addressed tier:
+	// finished results are also stored there by digest (linked under
+	// job-result/<id>), and ResultBytes serves from it first, falling back
+	// to the per-job result file. Replicas sharing a store serve each
+	// other's results.
+	Store *cas.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -361,6 +370,13 @@ func (e *Engine) ResultBytes(id string) ([]byte, Record, error) {
 		}
 		return nil, rec, ErrNotFinished
 	}
+	if e.cfg.Store != nil {
+		// The store verifies CRC and digest; any failure (miss, corruption
+		// — already quarantined) falls back to the sealed result file.
+		if payload, serr := e.cfg.Store.GetNamed(resultStoreName(id)); serr == nil {
+			return payload, rec, nil
+		}
+	}
 	payload, err := readResultPayload(filepath.Join(e.cfg.Dir, id, resultFile))
 	if err != nil {
 		return nil, rec, err
@@ -576,14 +592,33 @@ func (e *Engine) persistLocked(j *job, important bool) {
 	}
 }
 
-// writeResultLocked seals and stores a finished job's result payload.
+// writeResultLocked seals and stores a finished job's result payload:
+// the sealed per-job result file stays the local source of truth, and
+// with a content-addressed store attached the compact payload also lands
+// there by digest (best effort — a store write failure is counted, not
+// fatal, since the result file already has the bytes).
 func (e *Engine) writeResultLocked(id string, res *Result) error {
 	data, err := seal(res)
 	if err != nil {
 		return err
 	}
-	return writeFileAtomic(filepath.Join(e.cfg.Dir, id, resultFile), data, e.cfg.Fsync)
+	if err := writeFileAtomic(filepath.Join(e.cfg.Dir, id, resultFile), data, e.cfg.Fsync); err != nil {
+		return err
+	}
+	if e.cfg.Store != nil {
+		payload, merr := json.Marshal(res)
+		if merr == nil {
+			_, merr = e.cfg.Store.PutNamed(resultStoreName(id), payload)
+		}
+		if merr != nil {
+			e.cfg.Counters.Add("job_result_store_errors_total", 1)
+		}
+	}
+	return nil
 }
+
+// resultStoreName is a job result's name in the content-addressed store.
+func resultStoreName(id string) string { return "job-result/" + id }
 
 // classify maps an execution error to the typed terminal payload.
 func classify(err error) *ErrorInfo {

@@ -81,6 +81,13 @@ type Cache struct {
 	limit int
 
 	hits, misses, evictions uint64
+
+	// tier is the optional persistent layer (SetTier): read through on a
+	// miss, written behind on a fresh capture. tierWG tracks in-flight
+	// write-behind puts for FlushTier.
+	tier               Tier
+	tierWG             sync.WaitGroup
+	tierHits, tierPuts uint64
 }
 
 type cacheEntry struct {
@@ -141,9 +148,16 @@ func (c *Cache) evictLocked() {
 // GetOrCapture returns the cached capture for key, running capture exactly
 // once per key to produce it. A failed capture is cached too: determinism
 // means retrying cannot help, and callers get the same error.
+//
+// With a persistent tier installed, a miss first tries the tier: a stored
+// payload that decodes cleanly and carries the right key short-circuits
+// the profiling run entirely (a restart or a sibling replica's work pays
+// off here). A fresh capture is written behind to the tier
+// asynchronously — the caller never waits on store I/O.
 func (c *Cache) GetOrCapture(key Key, capture func() (*Capture, error)) (*Capture, error) {
 	c.mu.Lock()
 	e := c.m[key]
+	tier := c.tier
 	if e == nil {
 		e = &cacheEntry{}
 		c.m[key] = e
@@ -154,7 +168,36 @@ func (c *Cache) GetOrCapture(key Key, capture func() (*Capture, error)) (*Captur
 		c.hits++
 	}
 	c.mu.Unlock()
-	e.once.Do(func() { e.cap, e.err = capture() })
+	e.once.Do(func() {
+		if tier != nil {
+			if data, terr := tier.Get(tierName(key)); terr == nil {
+				if cap, derr := DecodeCapture(data); derr == nil && cap.Key == key {
+					e.cap = cap
+					c.mu.Lock()
+					c.tierHits++
+					c.mu.Unlock()
+					return
+				}
+				// A payload that resolved but failed to decode or names a
+				// different program is as good as absent: fall through and
+				// re-profile (the fresh capture overwrites it below).
+			}
+		}
+		e.cap, e.err = capture()
+		if e.err == nil && tier != nil {
+			if data, eerr := EncodeCapture(e.cap); eerr == nil {
+				c.tierWG.Add(1)
+				go func() {
+					defer c.tierWG.Done()
+					if tier.Put(tierName(key), data) == nil {
+						c.mu.Lock()
+						c.tierPuts++
+						c.mu.Unlock()
+					}
+				}()
+			}
+		}
+	})
 	return e.cap, e.err
 }
 

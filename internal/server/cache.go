@@ -34,6 +34,15 @@ type resultCache struct {
 	lru      *list.List               // front = most recently used
 	idx      map[string]*list.Element // key -> lru element
 	inflight map[string]*flight
+
+	// tierGet/tierPut, when set, are the persistent layer under the LRU
+	// (the content-addressed store): the leader reads through it before
+	// computing, and stores successful results behind it asynchronously.
+	// tierGet errors are misses; tierPut is fire-and-forget (flushTier
+	// waits for stragglers at shutdown).
+	tierGet func(key string) ([]byte, error)
+	tierPut func(key string, body []byte)
+	tierWG  sync.WaitGroup
 }
 
 // lruEntry is what lru elements hold.
@@ -58,10 +67,21 @@ func newResultCache(limit int) *resultCache {
 type cacheOutcome int
 
 const (
-	cacheMiss   cacheOutcome = iota // ran fn
-	cacheHit                        // replayed a stored result
-	cacheShared                     // coalesced onto an identical in-flight request
+	cacheMiss    cacheOutcome = iota // ran fn
+	cacheHit                         // replayed a stored result
+	cacheShared                      // coalesced onto an identical in-flight request
+	cacheTierHit                     // served from the persistent store under the LRU
 )
+
+// setTier installs the persistent layer hooks (see the field docs).
+func (c *resultCache) setTier(get func(string) ([]byte, error), put func(string, []byte)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tierGet, c.tierPut = get, put
+}
+
+// flushTier blocks until every write-behind put issued so far finishes.
+func (c *resultCache) flushTier() { c.tierWG.Wait() }
 
 // do returns the cached result for key, waits on an identical in-flight
 // computation, or runs fn as the leader. Only 2xx results are stored;
@@ -87,9 +107,31 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() (*cachedResu
 	}
 	fl := &flight{done: make(chan struct{})}
 	c.inflight[key] = fl
+	tierGet, tierPut := c.tierGet, c.tierPut
 	c.mu.Unlock()
 
-	fl.res, fl.err = fn()
+	outcome := cacheMiss
+	if tierGet != nil {
+		if body, terr := tierGet(key); terr == nil && len(body) > 0 {
+			// The store verified the envelope CRC and content digest; the
+			// body is a response this (or a sibling) daemon stored for the
+			// identical request, replayed as the 200 it was.
+			fl.res = &cachedResult{status: 200, body: body}
+			outcome = cacheTierHit
+		}
+	}
+	if fl.res == nil {
+		fl.res, fl.err = fn()
+		if fl.err == nil && fl.res != nil && fl.res.status == 200 &&
+			fl.res.contentType == "" && tierPut != nil {
+			res := fl.res
+			c.tierWG.Add(1)
+			go func() {
+				defer c.tierWG.Done()
+				tierPut(key, res.body)
+			}()
+		}
+	}
 	c.mu.Lock()
 	delete(c.inflight, key)
 	if fl.err == nil && fl.res != nil && fl.res.status >= 200 && fl.res.status < 300 {
@@ -97,7 +139,7 @@ func (c *resultCache) do(ctx context.Context, key string, fn func() (*cachedResu
 	}
 	c.mu.Unlock()
 	close(fl.done)
-	return fl.res, cacheMiss, fl.err
+	return fl.res, outcome, fl.err
 }
 
 // insertLocked stores a result, evicting from the cold end past the limit.

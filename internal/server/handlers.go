@@ -12,6 +12,7 @@ import (
 	"imtrans"
 	"imtrans/internal/jobs"
 	"imtrans/internal/objfile"
+	"imtrans/internal/replay"
 )
 
 // handleEncode plans an encoding for a source program or benchmark:
@@ -270,6 +271,14 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			recovering = 1
 		}
 		fmt.Fprintf(w, "# TYPE %sjobs_recovering gauge\n%sjobs_recovering %d\n", metricsNamespace, metricsNamespace, recovering)
+	}
+	if s.store != nil {
+		blobs, bytes := s.store.Stats()
+		fmt.Fprintf(w, "# TYPE %scas_blobs gauge\n%scas_blobs %d\n", metricsNamespace, metricsNamespace, blobs)
+		fmt.Fprintf(w, "# TYPE %scas_bytes gauge\n%scas_bytes %d\n", metricsNamespace, metricsNamespace, bytes)
+		tierHits, tierPuts := replay.Shared.TierStats()
+		fmt.Fprintf(w, "# TYPE %scapture_tier_hits_total counter\n%scapture_tier_hits_total %d\n", metricsNamespace, metricsNamespace, tierHits)
+		fmt.Fprintf(w, "# TYPE %scapture_tier_puts_total counter\n%scapture_tier_puts_total %d\n", metricsNamespace, metricsNamespace, tierPuts)
 	}
 	hits, misses := imtrans.CaptureCacheStats()
 	fmt.Fprintf(w, "# TYPE %scapture_cache_hits_total counter\n%scapture_cache_hits_total %d\n", metricsNamespace, metricsNamespace, hits)

@@ -1,0 +1,424 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"imtrans/internal/runsafe"
+	"imtrans/internal/stats"
+)
+
+// RouterConfig parameterises the routing gateway. Only Backends is
+// required.
+type RouterConfig struct {
+	// Backends are the replica base URLs (e.g. http://127.0.0.1:8101).
+	Backends []string
+
+	// HealthInterval spaces the /readyz probes of every backend;
+	// <= 0 means 1 s.
+	HealthInterval time.Duration
+
+	// RetryBackoff is the base of the jittered exponential backoff slept
+	// between failover attempts; <= 0 means 25 ms.
+	RetryBackoff time.Duration
+
+	// MaxAttempts bounds how many backends one request tries;
+	// <= 0 means all of them.
+	MaxAttempts int
+
+	// BreakerThreshold opens a backend's circuit breaker after this many
+	// consecutive proxy failures (skipped until a health probe succeeds);
+	// <= 0 means 3.
+	BreakerThreshold int
+
+	// Counters receives the router's telemetry; nil allocates a private
+	// set.
+	Counters *stats.Counters
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.HealthInterval <= 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 25 * time.Millisecond
+	}
+	if c.MaxAttempts <= 0 || c.MaxAttempts > len(c.Backends) {
+		c.MaxAttempts = len(c.Backends)
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.Counters == nil {
+		c.Counters = &stats.Counters{}
+	}
+	return c
+}
+
+// backend is one routed replica: its base URL, the latest health-probe
+// verdict, and a circuit breaker fed by proxy outcomes.
+type backend struct {
+	url     string
+	up      atomic.Bool
+	breaker *runsafe.Breaker
+}
+
+// Router is the cluster gateway: it rendezvous-hashes each request's
+// content key across the replicas — so identical requests land on the
+// same replica and its caches, while distinct keys spread the load — and
+// on a replica failure transparently retries the next one in the key's
+// preference order with jittered backoff. Killing any one replica is a
+// failover counter, not a client-visible error.
+type Router struct {
+	cfg      RouterConfig
+	backends []*backend
+	mux      *http.ServeMux
+	http     *http.Server
+	client   *http.Client
+	probe    *http.Client
+	counters *stats.Counters
+	started  time.Time
+
+	rndMu sync.Mutex
+	rnd   *rand.Rand
+
+	draining chan struct{}
+	healthWG sync.WaitGroup
+}
+
+// NewRouter builds a gateway over the given replica URLs. The health
+// loop starts immediately; Serve accepts traffic.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("router: at least one backend is required")
+	}
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		client:   &http.Client{},
+		probe:    &http.Client{Timeout: cfg.HealthInterval},
+		counters: cfg.Counters,
+		started:  time.Now(),
+		rnd:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		draining: make(chan struct{}),
+	}
+	for _, raw := range cfg.Backends {
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("router: backend %q is not an absolute URL", raw)
+		}
+		b := &backend{
+			url:     strings.TrimRight(raw, "/"),
+			breaker: runsafe.NewBreaker(cfg.BreakerThreshold),
+		}
+		b.up.Store(true) // optimistic until the first probe says otherwise
+		rt.backends = append(rt.backends, b)
+	}
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("/", rt.handleProxy)
+	rt.http = &http.Server{
+		Handler:           rt.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
+	}
+	rt.healthWG.Add(1)
+	go rt.healthLoop()
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler, for tests and embedding.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Counters exposes the router's telemetry set.
+func (rt *Router) Counters() *stats.Counters { return rt.counters }
+
+// Serve accepts connections on l until Shutdown.
+func (rt *Router) Serve(l net.Listener) error { return rt.http.Serve(l) }
+
+// ListenAndServe listens on addr and serves until Shutdown.
+func (rt *Router) ListenAndServe(addr string) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return rt.Serve(l)
+}
+
+// Shutdown drains the router: the health loop stops, in-flight proxies
+// complete (bounded by ctx), the listener closes. Safe to call twice.
+func (rt *Router) Shutdown(ctx context.Context) error {
+	select {
+	case <-rt.draining:
+	default:
+		close(rt.draining)
+	}
+	err := rt.http.Shutdown(ctx)
+	rt.healthWG.Wait()
+	return err
+}
+
+// routeKey is the request's placement identity. Deterministic work
+// requests hash by endpoint + body — the same identity the replicas'
+// result caches key on, so the replica that already computed an answer
+// keeps getting asked for it. Job-instance paths hash by job ID, keeping
+// every poll of one job on the replica that owns it.
+func routeKey(r *http.Request, body []byte) string {
+	if id, ok := strings.CutPrefix(r.URL.Path, "/v1/jobs/"); ok && id != "" {
+		id, _, _ = strings.Cut(id, "/")
+		return "jobs/" + id
+	}
+	h := sha256.Sum256(body)
+	return fmt.Sprintf("%s %s:%x", r.Method, r.URL.Path, h)
+}
+
+// rank orders the backends by rendezvous (highest-random-weight) score
+// for key: every router ranks identically, each key gets an independent
+// pseudo-random preference order, and removing one backend only moves
+// the keys that ranked it first.
+func (rt *Router) rank(key string) []*backend {
+	type scored struct {
+		b     *backend
+		score uint64
+	}
+	s := make([]scored, len(rt.backends))
+	for i, b := range rt.backends {
+		h := sha256.Sum256([]byte(b.url + "\x00" + key))
+		s[i] = scored{b, binary.BigEndian.Uint64(h[:8])}
+	}
+	sort.Slice(s, func(i, j int) bool { return s[i].score > s[j].score })
+	out := make([]*backend, len(s))
+	for i := range s {
+		out[i] = s[i].b
+	}
+	return out
+}
+
+// handleProxy forwards one request along its key's preference order.
+// A transport error, 502 or 503 from a backend fails over to the next
+// after a jittered backoff; any other response — including 4xx and
+// deterministic 500s, which every replica would reproduce — goes back to
+// the client as-is.
+func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(r)
+	if err != nil {
+		rt.reply(w, errResult(http.StatusBadRequest, err.Error()))
+		return
+	}
+	ranked := rt.rank(routeKey(r, body))
+
+	// First preference: healthy backends with closed breakers, in rank
+	// order. If that filters everything out (all probes failing, say),
+	// fall back to the full ranking — a stale verdict must not turn a
+	// reachable cluster into a hard outage.
+	candidates := make([]*backend, 0, len(ranked))
+	for _, b := range ranked {
+		if b.up.Load() && b.breaker.Allow() == nil {
+			candidates = append(candidates, b)
+		}
+	}
+	if len(candidates) == 0 {
+		candidates = ranked
+	}
+	if len(candidates) > rt.cfg.MaxAttempts {
+		candidates = candidates[:rt.cfg.MaxAttempts]
+	}
+
+	var lastErr string
+	for i, b := range candidates {
+		if i > 0 {
+			rt.counters.Add("router_failovers_total", 1)
+			select {
+			case <-time.After(rt.backoff(i)):
+			case <-r.Context().Done():
+				rt.count(statusClientClosed)
+				return
+			}
+		}
+		res, rerr := rt.forward(r, b, body)
+		if rerr != nil {
+			b.breaker.Record(rerr)
+			lastErr = rerr.Error()
+			continue
+		}
+		b.breaker.Record(nil)
+		rt.count(res.status)
+		rt.reply(w, res)
+		return
+	}
+	rt.count(http.StatusBadGateway)
+	rt.reply(w, errResult(http.StatusBadGateway,
+		fmt.Sprintf("router: no backend could serve the request: %s", lastErr)))
+}
+
+// forward proxies one attempt to one backend. A transport failure or a
+// 502/503 — the replica is gone, drained or overloaded in a way a
+// sibling can absorb — returns an error (failover); everything else is
+// the response.
+func (rt *Router) forward(r *http.Request, b *backend, body []byte) (*cachedResult, error) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, b.url+r.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		if r.Context().Err() != nil {
+			// The client went away, not the backend; don't punish it.
+			return errResult(statusClientClosed, r.Context().Err().Error()), nil
+		}
+		return nil, fmt.Errorf("router: %s: %w", b.url, err)
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("router: reading %s response: %w", b.url, err)
+	}
+	if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
+		return nil, fmt.Errorf("router: %s answered %d", b.url, resp.StatusCode)
+	}
+	return &cachedResult{
+		status:      resp.StatusCode,
+		body:        respBody,
+		contentType: resp.Header.Get("Content-Type"),
+	}, nil
+}
+
+// backoff returns the jittered exponential delay before retry attempt n
+// (n >= 1), capped at 1 s.
+func (rt *Router) backoff(n int) time.Duration {
+	d := rt.cfg.RetryBackoff << (n - 1)
+	if d > time.Second {
+		d = time.Second
+	}
+	rt.rndMu.Lock()
+	f := 0.5 + rt.rnd.Float64() // jitter in [0.5, 1.5)
+	rt.rndMu.Unlock()
+	return time.Duration(float64(d) * f)
+}
+
+// reply writes a proxied (or router-generated) response.
+func (rt *Router) reply(w http.ResponseWriter, res *cachedResult) {
+	if res.status == statusClientClosed {
+		return
+	}
+	ct := res.contentType
+	if ct == "" {
+		ct = "application/json"
+	}
+	w.Header().Set("Content-Type", ct)
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// count records one client-visible response code.
+func (rt *Router) count(status int) {
+	rt.counters.Add(fmt.Sprintf("router_requests_total{code=\"%d\"}", status), 1)
+}
+
+// healthLoop probes every backend's /readyz on the configured cadence. A
+// ready answer marks the backend up and closes its breaker, putting it
+// back in rotation; anything else marks it down so the proxy path skips
+// it without burning an attempt.
+func (rt *Router) healthLoop() {
+	defer rt.healthWG.Done()
+	rt.probeAll()
+	tick := time.NewTicker(rt.cfg.HealthInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-rt.draining:
+			return
+		case <-tick.C:
+			rt.probeAll()
+		}
+	}
+}
+
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	for _, b := range rt.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			resp, err := rt.probe.Get(b.url + "/readyz")
+			ok := err == nil && resp.StatusCode == http.StatusOK
+			if resp != nil {
+				io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+				resp.Body.Close()
+			}
+			was := b.up.Swap(ok)
+			if ok {
+				b.breaker.Record(nil)
+			}
+			if was != ok {
+				state := "down"
+				if ok {
+					state = "up"
+				}
+				rt.counters.Add(fmt.Sprintf("router_backend_transitions_total{state=%q}", state), 1)
+			}
+		}(b)
+	}
+	wg.Wait()
+}
+
+// handleHealthz reports router process liveness.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz gates traffic: ready while serving and at least one
+// backend looks up.
+func (rt *Router) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	select {
+	case <-rt.draining:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	default:
+	}
+	for _, b := range rt.backends {
+		if b.up.Load() {
+			fmt.Fprintln(w, "ready")
+			return
+		}
+	}
+	w.WriteHeader(http.StatusServiceUnavailable)
+	fmt.Fprintln(w, "no backend is up")
+}
+
+// handleMetrics renders the router's telemetry in Prometheus text form.
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	renderCounters(w, rt.counters)
+	fmt.Fprintf(w, "# TYPE %srouter_backend_up gauge\n", metricsNamespace)
+	for _, b := range rt.backends {
+		up := 0
+		if b.up.Load() {
+			up = 1
+		}
+		fmt.Fprintf(w, "%srouter_backend_up{backend=%q} %d\n", metricsNamespace, b.url, up)
+	}
+	fmt.Fprintf(w, "# TYPE %srouter_backends gauge\n%srouter_backends %d\n", metricsNamespace, metricsNamespace, len(rt.backends))
+	fmt.Fprintf(w, "# TYPE %suptime_seconds gauge\n%suptime_seconds %g\n", metricsNamespace, metricsNamespace, time.Since(rt.started).Seconds())
+}

@@ -1,0 +1,305 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoBackend is a trivial replica stub: 200 with its own tag for any
+// POST, ready on /readyz, countable.
+func echoBackend(tag string) (*httptest.Server, *atomic.Int64) {
+	var hits atomic.Int64
+	h := http.NewServeMux()
+	h.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ready")
+	})
+	h.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"served_by":%q}`+"\n", tag)
+	})
+	return httptest.NewServer(h), &hits
+}
+
+func mustRouter(t *testing.T, cfg RouterConfig) *Router {
+	t.Helper()
+	rt, err := NewRouter(cfg)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	t.Cleanup(func() { shutdownRouter(t, rt) })
+	return rt
+}
+
+func shutdownRouter(t *testing.T, rt *Router) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := rt.Shutdown(ctx); err != nil {
+		t.Fatalf("router shutdown: %v", err)
+	}
+}
+
+// failing502Backend probes ready but answers every proxied request 502 —
+// a replica that is reachable yet broken, the breaker's target case.
+func failing502Backend() *httptest.Server {
+	h := http.NewServeMux()
+	h.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ready") })
+	h.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "broken", http.StatusBadGateway)
+	})
+	return httptest.NewServer(h)
+}
+
+// TestRouterStickyAndSpread: identical bodies always land on one
+// replica (cache affinity), while distinct bodies spread across several.
+func TestRouterStickyAndSpread(t *testing.T) {
+	var urls []string
+	var hitss []*atomic.Int64
+	for i := 0; i < 3; i++ {
+		srv, hits := echoBackend(fmt.Sprintf("b%d", i))
+		defer srv.Close()
+		urls = append(urls, srv.URL)
+		hitss = append(hitss, hits)
+	}
+	rt := mustRouter(t, RouterConfig{Backends: urls})
+
+	// Sticky: ten identical requests, one replica.
+	var firstBody string
+	for i := 0; i < 10; i++ {
+		w := post(t, rt.Handler(), "/v1/encode", `{"same":"body"}`)
+		if w.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", w.Code, w.Body)
+		}
+		if firstBody == "" {
+			firstBody = w.Body.String()
+		} else if w.Body.String() != firstBody {
+			t.Fatalf("identical requests routed to different replicas: %q vs %q", w.Body.String(), firstBody)
+		}
+	}
+	var nonzero int
+	for _, h := range hitss {
+		if n := h.Load(); n == 10 {
+			nonzero++
+		} else if n != 0 {
+			t.Fatalf("identical requests split across replicas")
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("%d replicas served the sticky key, want 1", nonzero)
+	}
+
+	// Spread: many distinct bodies reach more than one replica.
+	for i := 0; i < 32; i++ {
+		post(t, rt.Handler(), "/v1/encode", fmt.Sprintf(`{"n":%d}`, i))
+	}
+	var reached int
+	for _, h := range hitss {
+		if h.Load() > 0 {
+			reached++
+		}
+	}
+	if reached < 2 {
+		t.Fatalf("32 distinct keys reached only %d of 3 replicas", reached)
+	}
+}
+
+// TestRouterFailover: a replica killed after the router came up (so the
+// health loop still believes in it) makes every request that prefers it
+// fail over to the next replica in the key's order with no
+// client-visible error, and the failover counter moves.
+func TestRouterFailover(t *testing.T) {
+	alive, _ := echoBackend("alive")
+	defer alive.Close()
+	dead, _ := echoBackend("dead")
+
+	rt := mustRouter(t, RouterConfig{
+		Backends:       []string{dead.URL, alive.URL},
+		RetryBackoff:   time.Millisecond,
+		HealthInterval: time.Hour, // the kill below stays unnoticed
+	})
+	time.Sleep(100 * time.Millisecond) // let the boot probe see it alive
+	dead.Close()                       // SIGKILL, as far as the router can tell
+	for i := 0; i < 8; i++ {
+		w := post(t, rt.Handler(), "/v1/encode", fmt.Sprintf(`{"n":%d}`, i))
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d: %s (failover should hide the dead replica)", i, w.Code, w.Body)
+		}
+		if !strings.Contains(w.Body.String(), "alive") {
+			t.Fatalf("request %d served by %q", i, w.Body.String())
+		}
+	}
+	if n := rt.Counters().Get("router_failovers_total"); n == 0 {
+		t.Fatal("router_failovers_total stayed zero with a dead replica in rotation")
+	}
+}
+
+// TestRouterBreakerSkipsDeadBackend: after enough consecutive failures
+// the broken replica's breaker opens and later requests skip it without
+// burning an attempt (no failover increment). The replica stays
+// probe-ready throughout, so only the breaker — not the health verdict —
+// can be doing the skipping.
+func TestRouterBreakerSkipsDeadBackend(t *testing.T) {
+	alive, _ := echoBackend("alive")
+	defer alive.Close()
+	broken := failing502Backend()
+	defer broken.Close()
+
+	rt := mustRouter(t, RouterConfig{
+		Backends:         []string{broken.URL, alive.URL},
+		RetryBackoff:     time.Millisecond,
+		BreakerThreshold: 2,
+		HealthInterval:   time.Hour, // no probe closes the breaker mid-test
+	})
+	// Drive enough distinct keys that some prefer the broken backend,
+	// tripping its breaker.
+	for i := 0; i < 40; i++ {
+		w := post(t, rt.Handler(), "/v1/encode", fmt.Sprintf(`{"n":%d}`, i))
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, w.Code)
+		}
+	}
+	before := rt.Counters().Get("router_failovers_total")
+	if before == 0 {
+		t.Fatal("no failovers recorded while tripping the breaker")
+	}
+	for i := 0; i < 10; i++ {
+		w := post(t, rt.Handler(), "/v1/encode", fmt.Sprintf(`{"m":%d}`, i))
+		if w.Code != http.StatusOK {
+			t.Fatalf("post-trip request %d: status %d", i, w.Code)
+		}
+	}
+	if after := rt.Counters().Get("router_failovers_total"); after != before {
+		t.Fatalf("breaker-open backend still consumed attempts: failovers %d -> %d", before, after)
+	}
+}
+
+// TestRouterRetriesOn503: a replica answering 503 (draining) fails over
+// like a dead one; a 400 does not.
+func TestRouterRetriesOn503(t *testing.T) {
+	h := http.NewServeMux()
+	h.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ready") })
+	h.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+	})
+	draining := httptest.NewServer(h)
+	defer draining.Close()
+	alive, _ := echoBackend("alive")
+	defer alive.Close()
+
+	rt := mustRouter(t, RouterConfig{
+		Backends:     []string{draining.URL, alive.URL},
+		RetryBackoff: time.Millisecond,
+	})
+	for i := 0; i < 8; i++ {
+		w := post(t, rt.Handler(), "/v1/encode", fmt.Sprintf(`{"n":%d}`, i))
+		if w.Code != http.StatusOK {
+			t.Fatalf("request %d: status %d (503 should fail over)", i, w.Code)
+		}
+	}
+
+	// 400s come straight back: they are the replica's verdict, not its
+	// health.
+	bh := http.NewServeMux()
+	bh.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) { fmt.Fprintln(w, "ready") })
+	bh.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"bad"}`, http.StatusBadRequest)
+	})
+	bad := httptest.NewServer(bh)
+	defer bad.Close()
+	rt2 := mustRouter(t, RouterConfig{
+		Backends:     []string{bad.URL},
+		RetryBackoff: time.Millisecond,
+	})
+	if w := post(t, rt2.Handler(), "/v1/encode", `{}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("400 from the backend surfaced as %d", w.Code)
+	}
+}
+
+// TestRouterAllBackendsDown: total outage is a 502, not a hang.
+func TestRouterAllBackendsDown(t *testing.T) {
+	dead, _ := echoBackend("dead")
+	deadURL := dead.URL
+	dead.Close()
+	rt := mustRouter(t, RouterConfig{
+		Backends:     []string{deadURL},
+		RetryBackoff: time.Millisecond,
+	})
+	w := post(t, rt.Handler(), "/v1/encode", `{}`)
+	if w.Code != http.StatusBadGateway {
+		t.Fatalf("total outage answered %d, want 502", w.Code)
+	}
+	var resp errorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("502 body is not a JSON error: %s", w.Body)
+	}
+}
+
+// TestRouterJobPathAffinity: every path under one job ID routes to the
+// same replica regardless of subresource.
+func TestRouterJobPathAffinity(t *testing.T) {
+	var urls []string
+	var hitss []*atomic.Int64
+	for i := 0; i < 3; i++ {
+		srv, hits := echoBackend(fmt.Sprintf("b%d", i))
+		defer srv.Close()
+		urls = append(urls, srv.URL)
+		hitss = append(hitss, hits)
+	}
+	rt := mustRouter(t, RouterConfig{Backends: urls})
+	for i := 0; i < 4; i++ {
+		get(t, rt.Handler(), "/v1/jobs/abc123")
+		get(t, rt.Handler(), "/v1/jobs/abc123/result")
+	}
+	var reached int
+	for _, h := range hitss {
+		if h.Load() > 0 {
+			reached++
+		}
+	}
+	if reached != 1 {
+		t.Fatalf("one job's requests reached %d replicas, want 1", reached)
+	}
+}
+
+// TestRouterHealthGatesReadyz: with every backend down the router's own
+// /readyz goes 503; with one up it is 200.
+func TestRouterHealthGatesReadyz(t *testing.T) {
+	dead, _ := echoBackend("dead")
+	deadURL := dead.URL
+	dead.Close()
+	rt := mustRouter(t, RouterConfig{
+		Backends:       []string{deadURL},
+		HealthInterval: 20 * time.Millisecond,
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if w := get(t, rt.Handler(), "/readyz"); w.Code == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("router never noticed its only backend is down")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	alive, _ := echoBackend("alive")
+	defer alive.Close()
+	rt2 := mustRouter(t, RouterConfig{
+		Backends:       []string{alive.URL},
+		HealthInterval: 20 * time.Millisecond,
+	})
+	if w := get(t, rt2.Handler(), "/readyz"); w.Code != http.StatusOK {
+		t.Fatalf("router with a live backend reports %d", w.Code)
+	}
+	if w := get(t, rt2.Handler(), "/metrics"); !strings.Contains(w.Body.String(), "router_backend_up") {
+		t.Fatal("router /metrics misses the backend gauge")
+	}
+}

@@ -28,7 +28,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"imtrans/internal/cas"
 	"imtrans/internal/jobs"
+	"imtrans/internal/replay"
 	"imtrans/internal/runsafe"
 	"imtrans/internal/stats"
 )
@@ -80,6 +82,23 @@ type Config struct {
 	// JobsFsync makes job records and checkpoint journals power-fail
 	// durable (fsync before and after every rename).
 	JobsFsync bool
+
+	// StoreDir enables the persistent content-addressed artifact store:
+	// captures, result bodies and job results land there keyed by content
+	// hash, so restarts — and sibling replicas sharing the directory —
+	// serve store hits instead of re-deriving. Empty disables the store.
+	StoreDir string
+
+	// StoreMaxBytes bounds the store's blob payload bytes (LRU eviction
+	// past it); <= 0 means unbounded.
+	StoreMaxBytes int64
+
+	// StoreFsync makes store writes power-fail durable.
+	StoreFsync bool
+
+	// StoreScrubInterval spaces the periodic background integrity scrubs
+	// (one also runs at boot); <= 0 means 10 min.
+	StoreScrubInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +120,9 @@ func (c Config) withDefaults() Config {
 			c.MeasureParallelism = 1
 		}
 	}
+	if c.StoreScrubInterval <= 0 {
+		c.StoreScrubInterval = 10 * time.Minute
+	}
 	return c
 }
 
@@ -115,6 +137,11 @@ type Server struct {
 	cache    *resultCache
 	limiter  *tokenBucket
 	jobs     *jobs.Engine // nil unless Config.JobsDir is set
+	store    *cas.Store   // nil unless Config.StoreDir is set
+
+	// prevCaptureTier is what replay.Shared.SetTier displaced; Shutdown
+	// restores it so stacked test servers unwind cleanly.
+	prevCaptureTier replay.Tier
 
 	sem      chan struct{} // worker slots
 	waiting  atomic.Int64  // requests queued for a slot
@@ -158,6 +185,27 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if cfg.StoreDir != "" {
+		store, err := cas.Open(cfg.StoreDir, cas.Options{
+			Fsync:    cfg.StoreFsync,
+			MaxBytes: cfg.StoreMaxBytes,
+			Counters: s.counters,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.store = store
+		// Read-through/write-behind: the result LRU persists response
+		// bodies, the process-wide capture cache persists captures. Both
+		// go through the store's name→digest index, so every byte served
+		// from disk is CRC- and digest-verified first.
+		s.cache.setTier(
+			func(key string) ([]byte, error) { return store.GetNamed("resp/" + key) },
+			func(key string, body []byte) { store.PutNamed("resp/"+key, body) },
+		)
+		s.prevCaptureTier = replay.Shared.SetTier(storeTier{store})
+		go s.scrubLoop()
+	}
 	if cfg.JobsDir != "" {
 		eng, err := jobs.Open(jobs.Config{
 			Dir:             cfg.JobsDir,
@@ -166,6 +214,7 @@ func New(cfg Config) (*Server, error) {
 			DefaultDeadline: cfg.JobDeadline,
 			Fsync:           cfg.JobsFsync,
 			Counters:        s.counters,
+			Store:           s.store,
 		})
 		if err != nil {
 			return nil, err
@@ -187,8 +236,41 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
+// storeTier adapts the content-addressed store to replay's Tier.
+type storeTier struct{ store *cas.Store }
+
+func (t storeTier) Get(name string) ([]byte, error) { return t.store.GetNamed(name) }
+func (t storeTier) Put(name string, data []byte) error {
+	_, err := t.store.PutNamed(name, data)
+	return err
+}
+
+// scrubLoop runs the boot-time integrity scrub and then one per
+// StoreScrubInterval until the daemon drains; each scrub verifies every
+// blob and index entry and quarantines what fails.
+func (s *Server) scrubLoop() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { <-s.draining; cancel() }()
+	s.store.Scrub(ctx)
+	tick := time.NewTicker(s.cfg.StoreScrubInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.draining:
+			return
+		case <-tick.C:
+			s.store.Scrub(ctx)
+		}
+	}
+}
+
 // Jobs exposes the daemon's job engine (nil when jobs are disabled).
 func (s *Server) Jobs() *jobs.Engine { return s.jobs }
+
+// Store exposes the daemon's persistent artifact store (nil when
+// disabled).
+func (s *Server) Store() *cas.Store { return s.store }
 
 // Counters exposes the daemon's telemetry set (shared, concurrency-safe).
 func (s *Server) Counters() *stats.Counters { return s.counters }
@@ -227,6 +309,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if jerr := s.jobs.Stop(ctx); jerr != nil && err == nil {
 			err = jerr
 		}
+	}
+	if s.store != nil {
+		// Let straggling write-behind puts land, then give the capture
+		// cache back whatever tier it had before this daemon.
+		s.cache.flushTier()
+		replay.Shared.FlushTier()
+		replay.Shared.SetTier(s.prevCaptureTier)
 	}
 	return err
 }
@@ -302,6 +391,8 @@ func (s *Server) serveWork(r *http.Request, endpoint string, handle func(ctx con
 		s.counters.Add("cache_hits_total", 1)
 	case cacheShared:
 		s.counters.Add("singleflight_shared_total", 1)
+	case cacheTierHit:
+		s.counters.Add("cache_tier_hits_total", 1)
 	default:
 		s.counters.Add("cache_misses_total", 1)
 	}
