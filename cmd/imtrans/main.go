@@ -45,6 +45,10 @@ func main() {
 		err = cmdMeasure(args)
 	case "bench":
 		err = cmdBench(args)
+	case "compare":
+		err = cmdCompare(args)
+	case "schemes":
+		err = cmdSchemes(args)
 	case "encode":
 		err = cmdEncode(args)
 	case "verify":
@@ -92,6 +96,16 @@ commands:
                       retries faulty cells with backoff, and -inject
                       "panic@B,C;error@B,C;attempts=N" runs a fault
                       campaign proving failures stay isolated
+  compare [name...]   measure every registered encoding scheme (paper
+                      pipeline, bus-invert, dictionary, gray, T0, codebook,
+                      limited-weight) on the same captured instruction
+                      streams and rank them per benchmark (-schemes
+                      name[:entries[:extra_lines]],... selects and knobs
+                      the fleet; paper takes -k/-tt/...; -json/-o write a
+                      report; -checkpoint/-timeout/-retries/-j supervise
+                      the grid like bench -json)
+  schemes             list the registered encoding schemes and their
+                      tunable knobs (-json)
   encode <file.s>     profile, encode and write a deployment artifact
                       (-o out.imtd: encoded image + TT/BBIT contents)
   verify <file.s> <out.imtd>

@@ -1,0 +1,519 @@
+package imtrans
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"imtrans/internal/checkpoint"
+	"imtrans/internal/core"
+	"imtrans/internal/replay"
+	"imtrans/internal/runsafe"
+	"imtrans/internal/scheme"
+	"imtrans/internal/stats"
+)
+
+// SchemeSpec selects one scheme column of a comparison sweep: a registered
+// scheme name plus the knobs it reads. Config carries the paper TT/BBIT
+// knobs (ignored by every other scheme); Entries and ExtraLines carry the
+// related-work knobs. The zero knobs are each scheme's default operating
+// point.
+type SchemeSpec struct {
+	Name       string
+	Config     Config // paper knobs, read by the "paper" scheme
+	Entries    int    // codebook / dictionary / lwc book capacity (0 = default)
+	ExtraLines int    // lwc redundant bus lines (0 = default)
+}
+
+func (s SchemeSpec) params() scheme.Params {
+	p := s.Config.schemeParams()
+	p.Entries = s.Entries
+	p.ExtraLines = s.ExtraLines
+	return p
+}
+
+// Validate checks that the scheme exists and accepts the knobs.
+func (s SchemeSpec) Validate() error {
+	sc, err := scheme.Get(s.Name)
+	if err != nil {
+		return fmt.Errorf("imtrans: %w", err)
+	}
+	if err := sc.Validate(s.params()); err != nil {
+		return fmt.Errorf("imtrans: %w", err)
+	}
+	return nil
+}
+
+// Label renders the spec as "name[knobs]" — the deterministic column
+// identity comparison grids, checkpoint journals and reports use.
+func (s SchemeSpec) Label() string {
+	sc, err := scheme.Get(s.Name)
+	if err != nil {
+		return s.Name
+	}
+	return s.Name + "[" + sc.Spec(s.params()) + "]"
+}
+
+// SchemeKnob describes one tunable of a registered scheme (booleans span
+// 0..1).
+type SchemeKnob struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+	Min  int    `json:"min"`
+	Max  int    `json:"max"`
+}
+
+// SchemeInfo describes one registered encoding scheme.
+type SchemeInfo struct {
+	Name        string       `json:"name"`
+	Description string       `json:"description"`
+	Knobs       []SchemeKnob `json:"knobs"`
+}
+
+// Schemes lists every registered encoding scheme with its configuration
+// space, in name order.
+func Schemes() []SchemeInfo {
+	all := scheme.All()
+	out := make([]SchemeInfo, 0, len(all))
+	for _, s := range all {
+		info := SchemeInfo{Name: s.Name(), Description: s.Description()}
+		for _, k := range s.ConfigSpace() {
+			info.Knobs = append(info.Knobs, SchemeKnob(k))
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// SchemeByName reports whether a scheme with that name is registered.
+func SchemeByName(name string) bool {
+	_, err := scheme.Get(name)
+	return err == nil
+}
+
+// SchemeMeasurement is one scheme's measurement of one benchmark inside a
+// comparison sweep. Baseline is the unencoded transition count of the bus
+// the scheme drives — the instruction data bus for every scheme except
+// the address-bus codes (gray, t0), whose Baseline is the binary address
+// bus and whose Detail carries bus_addr=1 to mark it.
+type SchemeMeasurement struct {
+	Scheme string `json:"scheme"`
+	Spec   string `json:"spec"`
+
+	Instructions uint64  `json:"instructions"`
+	Baseline     uint64  `json:"baseline"`
+	Transitions  uint64  `json:"transitions"`
+	Percent      float64 `json:"percent"`
+
+	OverheadBits  int `json:"overhead_bits"`
+	ExtraBusLines int `json:"extra_bus_lines"`
+
+	EnergySavedOnChipJ  float64 `json:"energy_saved_onchip_j"`
+	EnergySavedOffChipJ float64 `json:"energy_saved_offchip_j"`
+
+	Detail map[string]float64 `json:"detail,omitempty"`
+}
+
+func schemeMeasurement(r *scheme.Result) SchemeMeasurement {
+	return SchemeMeasurement{
+		Scheme:              r.Scheme,
+		Spec:                r.Spec,
+		Instructions:        r.Instructions,
+		Baseline:            r.Baseline,
+		Transitions:         r.Transitions,
+		Percent:             r.Percent,
+		OverheadBits:        r.OverheadBits,
+		ExtraBusLines:       r.ExtraBusLines,
+		EnergySavedOnChipJ:  r.EnergySavedOnChipJ,
+		EnergySavedOffChipJ: r.EnergySavedOffChipJ,
+		Detail:              r.Detail,
+	}
+}
+
+// CompareError is one isolated comparison failure, the cross-scheme
+// analogue of SweepError.
+type CompareError struct {
+	Benchmark   string
+	Scheme      string
+	BenchIndex  int
+	SchemeIndex int    // -1 when the whole benchmark failed to capture
+	Stage       string // "capture", "measure" or "checkpoint"
+	Attempts    int
+	Err         error
+}
+
+// Error implements the error interface.
+func (e *CompareError) Error() string {
+	where := e.Benchmark
+	if e.SchemeIndex >= 0 {
+		where += " [" + e.Scheme + "]"
+	}
+	return fmt.Sprintf("imtrans: compare %s stage, %s (%d attempts): %v", e.Stage, where, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is / errors.As.
+func (e *CompareError) Unwrap() error { return e.Err }
+
+// CompareResult is the outcome of a cross-scheme comparison sweep.
+// Results is indexed [benchmark][scheme]; Done marks which cells hold a
+// valid measurement. Rankings[bench] lists the completed scheme indices
+// of that benchmark ordered by ascending transition count — the
+// per-workload ranking the paper never ran.
+type CompareResult struct {
+	Benchmarks []string
+	Schemes    []string // SchemeSpec labels, in spec order
+	Results    [][]SchemeMeasurement
+	Done       [][]bool
+	Errors     []CompareError
+	Rankings   [][]int
+
+	Restored  int // cells restored from the checkpoint journal
+	Completed int // cells measured by this run
+	Cancelled int // cells abandoned by context cancellation
+
+	Counters stats.Counters
+}
+
+// Err returns the first isolated failure in grid order, or nil.
+func (r *CompareResult) Err() error {
+	if len(r.Errors) == 0 {
+		return nil
+	}
+	return &r.Errors[0]
+}
+
+// compareGrid derives the checkpoint identity of a comparison: a hash over
+// every benchmark's capture salt and every scheme spec's full parameter
+// set. Journals written for a different comparison are refused.
+func compareGrid(benchmarks []Benchmark, specs []SchemeSpec) (grid string, benchNames, specNames []string) {
+	h := sha256.New()
+	fmt.Fprintf(h, "imtrans-compare-grid 1 %d %d\n", len(benchmarks), len(specs))
+	benchNames = make([]string, len(benchmarks))
+	for i, b := range benchmarks {
+		benchNames[i] = b.Name
+		fmt.Fprintf(h, "bench %s\n", b.captureSalt())
+	}
+	specNames = make([]string, len(specs))
+	for i, s := range specs {
+		specNames[i] = s.Label()
+		fmt.Fprintf(h, "scheme %s %#v\n", s.Name, s.params())
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)), benchNames, specNames
+}
+
+// CompareMeasure runs a cross-scheme comparison with default supervision.
+func CompareMeasure(benchmarks []Benchmark, specs []SchemeSpec, parallelism int) (*CompareResult, error) {
+	return CompareMeasureCtx(context.Background(), benchmarks, specs, SweepOptions{Parallelism: parallelism})
+}
+
+// CompareMeasureCtx evaluates every (benchmark, scheme spec) pair of a
+// comparison grid under the same supervision contract as SweepMeasureCtx:
+// per-cell recover() guards, the retry policy and circuit breaker from
+// opts, cooperative cancellation, work-stealing distribution, shared
+// captures, and — with opts.Checkpoint set — bit-identical
+// checkpoint-resume. Paper-scheme cells share block-outcome memo stores
+// exactly as plain sweeps do.
+//
+// The returned error is non-nil only for an invalid spec list, setup
+// failures and cancellation; isolated cell failures are reported in
+// CompareResult.Errors in grid order.
+func CompareMeasureCtx(ctx context.Context, benchmarks []Benchmark, specs []SchemeSpec, opts SweepOptions) (*CompareResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("imtrans: compare needs at least one scheme spec")
+	}
+	schemes := make([]scheme.Scheme, len(specs))
+	params := make([]scheme.Params, len(specs))
+	for i, sp := range specs {
+		if err := sp.Validate(); err != nil {
+			return nil, err
+		}
+		s, _ := scheme.Get(sp.Name)
+		schemes[i], params[i] = s, sp.params()
+	}
+	par := opts.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	nb, ns := len(benchmarks), len(specs)
+
+	type cellState struct {
+		m        SchemeMeasurement
+		wallNs   int64
+		done     bool
+		restored bool
+		err      error
+		attempts int
+		ckErr    error
+	}
+	cells := make([]cellState, nb*ns)
+
+	grid, benchNames, specNames := compareGrid(benchmarks, specs)
+	var journal *checkpoint.Journal
+	restored := 0
+	if opts.Checkpoint != "" {
+		j, prev, err := checkpoint.Open(opts.Checkpoint, grid, benchNames, specNames)
+		if err != nil {
+			return nil, fmt.Errorf("imtrans: %w", err)
+		}
+		j.SetDurable(opts.CheckpointSync)
+		journal = j
+		for _, c := range prev {
+			s := &cells[c.Bench*ns+c.Config]
+			if err := json.Unmarshal(c.Payload, &s.m); err != nil {
+				return nil, fmt.Errorf("imtrans: checkpoint cell (%s, %s): %w",
+					benchNames[c.Bench], specNames[c.Config], err)
+			}
+			s.done, s.restored = true, true
+			restored++
+		}
+	}
+
+	var progressDone atomic.Int64
+	progressDone.Store(int64(restored))
+	if opts.Progress != nil {
+		opts.Progress(restored, nb*ns)
+	}
+
+	pol := opts.Retry.policy()
+	brk := runsafe.NewBreaker(opts.BreakerThreshold)
+
+	// Capture phase: one supervised profiling run per benchmark with
+	// pending cells — every scheme of a benchmark shares the capture.
+	type benchState struct {
+		cap      *replay.Capture
+		err      error
+		attempts int
+	}
+	states := make([]benchState, nb)
+	pending := make([]bool, nb)
+	for bi := 0; bi < nb; bi++ {
+		for si := 0; si < ns; si++ {
+			if !cells[bi*ns+si].done {
+				pending[bi] = true
+				break
+			}
+		}
+	}
+	runPoolCtx(ctx, par, nb, func(bi int) {
+		if !pending[bi] {
+			return
+		}
+		b := benchmarks[bi]
+		states[bi].attempts, states[bi].err = runsafe.Do(ctx, pol, brk, func(context.Context) error {
+			p, err := b.Program()
+			if err != nil {
+				return err
+			}
+			cap, err := captureProgram(p, b.setup, b.captureSalt())
+			if err != nil {
+				return err
+			}
+			states[bi].cap = cap
+			return nil
+		})
+	})
+
+	// Measure phase, work-stealing as in SweepMeasureCtx. Paper cells
+	// whose specs share a per-block signature get a shared memo store per
+	// benchmark; every worker carries a scratch arena.
+	clamp := core.Parallelism()
+	gridPar := min(par, clamp, nb*ns)
+	if gridPar < 1 {
+		gridPar = 1
+	}
+	inner := max(1, clamp/gridPar)
+	arenas := make([]measureArena, gridPar)
+	stores := make([]*replay.MemoStore, nb*ns)
+	sigGroups := make(map[string][]int, ns)
+	for si, sp := range specs {
+		if sp.Name != "paper" {
+			continue
+		}
+		sig := memoSig(sp.Config)
+		sigGroups[sig] = append(sigGroups[sig], si)
+	}
+	for _, idxs := range sigGroups {
+		if len(idxs) < 2 {
+			continue
+		}
+		for bi := 0; bi < nb; bi++ {
+			store := replay.NewMemoStore()
+			for _, si := range idxs {
+				stores[bi*ns+si] = store
+			}
+		}
+	}
+	runStealCtx(ctx, gridPar, nb*ns, func(worker, t int) {
+		bi, si := t/ns, t%ns
+		s := &cells[t]
+		if s.done || !pending[bi] || states[bi].err != nil {
+			return
+		}
+		env := replayEnv{encWorkers: inner, shared: stores[t], arena: &arenas[worker]}
+		attempt := 0
+		s.attempts, s.err = runsafe.Do(ctx, pol, brk, func(tctx context.Context) error {
+			attempt++
+			if opts.FaultInject != nil {
+				if err := opts.FaultInject(bi, si, attempt); err != nil {
+					return err
+				}
+			}
+			start := time.Now()
+			w := schemeWorkload(states[bi].cap, env)
+			r, err := schemes[si].Measure(tctx, w, params[si])
+			if err != nil {
+				return err
+			}
+			s.m = schemeMeasurement(r)
+			s.wallNs = time.Since(start).Nanoseconds()
+			return nil
+		})
+		if s.err != nil {
+			return
+		}
+		s.done = true
+		if journal != nil {
+			payload, err := json.Marshal(s.m)
+			if err == nil {
+				err = journal.Record(bi, si, payload)
+			}
+			s.ckErr = err
+		}
+		if opts.Progress != nil {
+			opts.Progress(int(progressDone.Add(1)), nb*ns)
+		}
+	})
+
+	// Assemble in grid order.
+	res := &CompareResult{
+		Benchmarks: benchNames,
+		Schemes:    specNames,
+		Results:    make([][]SchemeMeasurement, nb),
+		Done:       make([][]bool, nb),
+		Rankings:   make([][]int, nb),
+	}
+	cancelled := ctx.Err() != nil
+	var retries, panics, tripped, failed, skipped, recorded, ckErrs int
+	perScheme := make([]int, ns)
+	noteErr := func(err error) {
+		var pe *runsafe.PanicError
+		if errors.As(err, &pe) {
+			panics++
+		}
+		if errors.Is(err, runsafe.ErrTripped) {
+			tripped++
+		}
+	}
+	for bi := 0; bi < nb; bi++ {
+		res.Results[bi] = make([]SchemeMeasurement, ns)
+		res.Done[bi] = make([]bool, ns)
+		st := &states[bi]
+		if st.attempts > 1 {
+			retries += st.attempts - 1
+		}
+		capFailed := st.err != nil && !isCtxErr(st.err)
+		if capFailed {
+			noteErr(st.err)
+			res.Errors = append(res.Errors, CompareError{
+				Benchmark:   benchmarks[bi].Name,
+				BenchIndex:  bi,
+				SchemeIndex: -1,
+				Stage:       "capture",
+				Attempts:    st.attempts,
+				Err:         st.err,
+			})
+		}
+		for si := 0; si < ns; si++ {
+			s := &cells[bi*ns+si]
+			if s.attempts > 1 {
+				retries += s.attempts - 1
+			}
+			switch {
+			case s.done:
+				res.Results[bi][si] = s.m
+				res.Done[bi][si] = true
+				if s.restored {
+					res.Restored++
+				} else {
+					res.Completed++
+					perScheme[si]++
+					if journal != nil && s.ckErr == nil {
+						recorded++
+					}
+				}
+				if s.ckErr != nil {
+					ckErrs++
+					res.Errors = append(res.Errors, CompareError{
+						Benchmark:   benchmarks[bi].Name,
+						Scheme:      specNames[si],
+						BenchIndex:  bi,
+						SchemeIndex: si,
+						Stage:       "checkpoint",
+						Attempts:    s.attempts,
+						Err:         s.ckErr,
+					})
+				}
+			case capFailed:
+				skipped++
+			case s.err != nil && !isCtxErr(s.err):
+				failed++
+				noteErr(s.err)
+				res.Errors = append(res.Errors, CompareError{
+					Benchmark:   benchmarks[bi].Name,
+					Scheme:      specNames[si],
+					BenchIndex:  bi,
+					SchemeIndex: si,
+					Stage:       "measure",
+					Attempts:    s.attempts,
+					Err:         s.err,
+				})
+			default:
+				res.Cancelled++
+			}
+		}
+		// Per-workload ranking: completed schemes by ascending transition
+		// count, spec order breaking ties.
+		var rank []int
+		for si := 0; si < ns; si++ {
+			if res.Done[bi][si] {
+				rank = append(rank, si)
+			}
+		}
+		sort.SliceStable(rank, func(a, b int) bool {
+			return res.Results[bi][rank[a]].Transitions < res.Results[bi][rank[b]].Transitions
+		})
+		res.Rankings[bi] = rank
+	}
+	c := &res.Counters
+	c.Add("compare_cells", uint64(nb*ns))
+	c.Add("compare_completed", uint64(res.Completed))
+	c.Add("compare_failed", uint64(failed))
+	c.Add("compare_skipped", uint64(skipped))
+	c.Add("compare_cancelled", uint64(res.Cancelled))
+	c.Add("compare_retries", uint64(retries))
+	c.Add("compare_panics", uint64(panics))
+	c.Add("compare_breaker_tripped", uint64(tripped))
+	c.Add("compare_grid_workers", uint64(gridPar))
+	c.Add("compare_inner_workers", uint64(inner))
+	for si, sp := range specs {
+		c.Add(fmt.Sprintf("compare_cells{scheme=%q}", sp.Name), uint64(nb))
+		c.Add(fmt.Sprintf("compare_completed{scheme=%q}", sp.Name), uint64(perScheme[si]))
+	}
+	c.Add("checkpoint_restored", uint64(res.Restored))
+	c.Add("checkpoint_recorded", uint64(recorded))
+	c.Add("checkpoint_errors", uint64(ckErrs))
+	if cancelled {
+		done := res.Restored + res.Completed
+		return res, fmt.Errorf("imtrans: compare cancelled with %d/%d cells done: %w", done, nb*ns, ctx.Err())
+	}
+	return res, nil
+}

@@ -1,0 +1,133 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseSpecCompareKind(t *testing.T) {
+	good := `{"kind":"compare","benchmarks":[{"name":"mmul","n":16}],` +
+		`"schemes":[{"name":"paper"},{"name":"businvert"},{"name":"codebook","entries":64}]}`
+	sp, err := ParseSpec([]byte(good))
+	if err != nil {
+		t.Fatalf("valid compare spec rejected: %v", err)
+	}
+	if rows, cols := sp.Grid(); rows != 1 || cols != 3 {
+		t.Fatalf("grid = %dx%d, want 1x3", rows, cols)
+	}
+
+	rejects := []struct {
+		name string
+		in   string
+	}{
+		{"unknown-kind", `{"kind":"turbo","benchmarks":[{"name":"mmul"}]}`},
+		{"compare-no-schemes", `{"kind":"compare","benchmarks":[{"name":"mmul"}]}`},
+		{"compare-with-configs", `{"kind":"compare","benchmarks":[{"name":"mmul"}],"schemes":[{"name":"paper"}],"configs":[{}]}`},
+		{"sweep-with-schemes", `{"benchmarks":[{"name":"mmul"}],"schemes":[{"name":"paper"}]}`},
+		{"unnamed-scheme", `{"kind":"compare","benchmarks":[{"name":"mmul"}],"schemes":[{"entries":4}]}`},
+		{"duplicate-scheme", `{"kind":"compare","benchmarks":[{"name":"mmul"}],"schemes":[{"name":"paper"},{"name":"paper"}]}`},
+		{"negative-entries", `{"kind":"compare","benchmarks":[{"name":"mmul"}],"schemes":[{"name":"codebook","entries":-1}]}`},
+		{"huge-extra-lines", `{"kind":"compare","benchmarks":[{"name":"mmul"}],"schemes":[{"name":"lwc","extra_lines":17}]}`},
+		{"bad-scheme-config", `{"kind":"compare","benchmarks":[{"name":"mmul"}],"schemes":[{"name":"paper","config":{"block_size":1}}]}`},
+		{"unknown-scheme-field", `{"kind":"compare","benchmarks":[{"name":"mmul"}],"schemes":[{"name":"paper","speed":11}]}`},
+	}
+	for _, tc := range rejects {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseSpec([]byte(tc.in)); err == nil {
+				t.Fatalf("spec %q parsed cleanly", tc.in)
+			}
+		})
+	}
+
+	// Same scheme at different knobs is two distinct columns, not a dup.
+	multi := `{"kind":"compare","benchmarks":[{"name":"mmul"}],` +
+		`"schemes":[{"name":"codebook"},{"name":"codebook","entries":64}]}`
+	if _, err := ParseSpec([]byte(multi)); err != nil {
+		t.Fatalf("re-knobbed scheme column rejected: %v", err)
+	}
+}
+
+// TestSpecIDUnchangedByCompareFields pins the backward-compatibility
+// contract: a sweep spec serialises without the kind/schemes fields, so
+// every job ID minted before compare jobs existed is still reachable.
+func TestSpecIDUnchangedByCompareFields(t *testing.T) {
+	sp := testSpec(16)
+	if s := string(sp.Canonical()); strings.Contains(s, "kind") || strings.Contains(s, "schemes") {
+		t.Fatalf("sweep spec canonical bytes grew compare fields: %s", s)
+	}
+}
+
+func TestSubmitRejectsUnknownScheme(t *testing.T) {
+	e := openTestEngine(t, Config{})
+	sp, err := ParseSpec([]byte(`{"kind":"compare","benchmarks":[{"name":"mmul"}],"schemes":[{"name":"nosuch"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = e.Submit(sp)
+	var se *SpecError
+	if err == nil || !errors.As(err, &se) {
+		t.Fatalf("unknown scheme submit: got %v, want SpecError", err)
+	}
+	// Knob bleed — paper knobs on a non-paper scheme — is also a submit-time
+	// client error, resolved against the registry.
+	sp, err = ParseSpec([]byte(`{"kind":"compare","benchmarks":[{"name":"mmul"}],"schemes":[{"name":"businvert","config":{"block_size":7}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err = e.Submit(sp); err == nil || !errors.As(err, &se) {
+		t.Fatalf("knob-bleed submit: got %v, want SpecError", err)
+	}
+}
+
+// TestRealCompareJobEndToEnd runs a real compare job — capture, registry
+// dispatch, checkpoint journal, sealed result — through the engine.
+func TestRealCompareJobEndToEnd(t *testing.T) {
+	e := openTestEngine(t, Config{Parallelism: 2})
+	sp, err := ParseSpec([]byte(`{"kind":"compare",` +
+		`"benchmarks":[{"name":"mmul","n":16},{"name":"sor","n":12,"iters":2}],` +
+		`"schemes":[{"name":"paper","config":{"block_size":5}},{"name":"businvert"},{"name":"codebook","entries":64}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Submit(sp); err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, e, sp.ID(), StateDone)
+	if got.CellsTotal != 6 || got.CellsDone != 6 {
+		t.Fatalf("cells = %d/%d, want 6/6", got.CellsDone, got.CellsTotal)
+	}
+	payload, _, err := e.ResultBytes(sp.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		t.Fatalf("result payload: %v", err)
+	}
+	if len(res.Benchmarks) != 2 || len(res.Schemes) != 3 {
+		t.Fatalf("result axes %v x %v, want 2 x 3", res.Benchmarks, res.Schemes)
+	}
+	if len(res.Configs) != 0 || len(res.Measurements) != 0 {
+		t.Fatalf("compare result carries sweep axes: %v", res.Configs)
+	}
+	for bi := range res.Benchmarks {
+		if len(res.Compare[bi]) != 3 || len(res.Rankings[bi]) != 3 {
+			t.Fatalf("bench %d: %d measurements, %d ranked, want 3/3",
+				bi, len(res.Compare[bi]), len(res.Rankings[bi]))
+		}
+		for si, m := range res.Compare[bi] {
+			if !res.Done[bi][si] || m.Transitions == 0 || m.Baseline == 0 {
+				t.Fatalf("bench %d scheme %d: incomplete measurement %+v", bi, si, m)
+			}
+		}
+		for i := 1; i < len(res.Rankings[bi]); i++ {
+			a := res.Compare[bi][res.Rankings[bi][i-1]]
+			b := res.Compare[bi][res.Rankings[bi][i]]
+			if a.Transitions > b.Transitions {
+				t.Fatalf("bench %d: ranking not ascending", bi)
+			}
+		}
+	}
+}

@@ -132,7 +132,7 @@ func Open(cfg Config) (*Engine, error) {
 		jobs:   make(map[string]*job),
 		sem:    make(chan struct{}, cfg.MaxConcurrent),
 	}
-	e.runFn = e.runSweep
+	e.runFn = e.execute
 	if err := e.scan(); err != nil {
 		cancel()
 		return nil, err
@@ -242,6 +242,12 @@ func (e *Engine) Submit(sp *Spec) (Record, bool, error) {
 	// error at submit time, not a failed job later.
 	for _, b := range sp.Benchmarks {
 		if _, err := imtrans.BenchmarkByName(b.Name); err != nil {
+			return Record{}, false, &SpecError{Err: err}
+		}
+	}
+	// Likewise resolve scheme names and knobs against the registry.
+	for _, sc := range sp.Schemes {
+		if err := sc.SchemeSpec().Validate(); err != nil {
 			return Record{}, false, &SpecError{Err: err}
 		}
 	}
@@ -633,19 +639,36 @@ func classify(err error) *ErrorInfo {
 	}
 }
 
+// execute dispatches one job attempt to its kind's execution path.
+func (e *Engine) execute(ctx context.Context, sp *Spec, journalPath string, progress func(done, total int)) (*Result, runStats, error) {
+	if sp.Kind == KindCompare {
+		return e.runCompare(ctx, sp, journalPath, progress)
+	}
+	return e.runSweep(ctx, sp, journalPath, progress)
+}
+
+// resolveBenchmarks maps the spec's benchmark refs to rescaled kernels.
+func resolveBenchmarks(refs []BenchmarkRef) ([]imtrans.Benchmark, []string, error) {
+	benches := make([]imtrans.Benchmark, len(refs))
+	names := make([]string, len(refs))
+	for i, ref := range refs {
+		b, err := imtrans.BenchmarkByName(ref.Name)
+		if err != nil {
+			return nil, nil, runsafe.Permanent(err)
+		}
+		benches[i] = b.WithScale(ref.N, ref.Iters)
+		names[i] = benches[i].Name
+	}
+	return benches, names, nil
+}
+
 // runSweep is the real execution path: the supervised, checkpointed,
 // cancellable sweep the synchronous /v1/measure path uses, pointed at the
 // job's journal.
 func (e *Engine) runSweep(ctx context.Context, sp *Spec, journalPath string, progress func(done, total int)) (*Result, runStats, error) {
-	benches := make([]imtrans.Benchmark, len(sp.Benchmarks))
-	names := make([]string, len(sp.Benchmarks))
-	for i, ref := range sp.Benchmarks {
-		b, err := imtrans.BenchmarkByName(ref.Name)
-		if err != nil {
-			return nil, runStats{}, runsafe.Permanent(err)
-		}
-		benches[i] = b.WithScale(ref.N, ref.Iters)
-		names[i] = benches[i].Name
+	benches, names, err := resolveBenchmarks(sp.Benchmarks)
+	if err != nil {
+		return nil, runStats{}, err
 	}
 	cfgs := sp.configs()
 	cfgNames := make([]string, len(cfgs))
@@ -675,6 +698,40 @@ func (e *Engine) runSweep(ctx context.Context, sp *Spec, journalPath string, pro
 		out.Errors = append(out.Errors, se.Error())
 	}
 	return out, runStats{restored: res.Restored, retries: int(res.Counters.Get("sweep_retries"))}, nil
+}
+
+// runCompare is the compare-kind execution path: the same supervised,
+// checkpointed cross-scheme sweep POST /v1/compare runs synchronously,
+// pointed at the job's journal.
+func (e *Engine) runCompare(ctx context.Context, sp *Spec, journalPath string, progress func(done, total int)) (*Result, runStats, error) {
+	benches, names, err := resolveBenchmarks(sp.Benchmarks)
+	if err != nil {
+		return nil, runStats{}, err
+	}
+	res, err := imtrans.CompareMeasureCtx(ctx, benches, sp.schemeSpecs(), imtrans.SweepOptions{
+		Parallelism:    e.cfg.Parallelism,
+		Retry:          imtrans.RetryPolicy{MaxAttempts: sp.Retries, BaseDelay: 10 * time.Millisecond, Jitter: 0.5},
+		Checkpoint:     journalPath,
+		CheckpointSync: e.cfg.Fsync,
+		Progress:       progress,
+	})
+	if err != nil {
+		if res != nil {
+			return nil, runStats{restored: res.Restored, retries: int(res.Counters.Get("compare_retries"))}, err
+		}
+		return nil, runStats{}, err
+	}
+	out := &Result{
+		Benchmarks: names,
+		Schemes:    res.Schemes,
+		Compare:    res.Results,
+		Rankings:   res.Rankings,
+		Done:       res.Done,
+	}
+	for i := range res.Errors {
+		out.Errors = append(out.Errors, res.Errors[i].Error())
+	}
+	return out, runStats{restored: res.Restored, retries: int(res.Counters.Get("compare_retries"))}, nil
 }
 
 func isCtxErr(err error) bool {

@@ -96,14 +96,68 @@ func (c ConfigRef) validate() error {
 	return nil
 }
 
+// SchemeRef is the wire form of one encoding-scheme column of a compare
+// job: a registered scheme name plus the knobs it reads.
+type SchemeRef struct {
+	Name       string    `json:"name"`
+	Config     ConfigRef `json:"config,omitempty"`
+	Entries    int       `json:"entries,omitempty"`
+	ExtraLines int       `json:"extra_lines,omitempty"`
+}
+
+// SchemeSpec converts to the root facade's scheme-spec type.
+func (r SchemeRef) SchemeSpec() imtrans.SchemeSpec {
+	return imtrans.SchemeSpec{
+		Name:       r.Name,
+		Config:     r.Config.Config(),
+		Entries:    r.Entries,
+		ExtraLines: r.ExtraLines,
+	}
+}
+
+func (r SchemeRef) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("scheme: name is required")
+	}
+	if err := r.Config.validate(); err != nil {
+		return fmt.Errorf("scheme %q: %w", r.Name, err)
+	}
+	if r.Entries < 0 || r.Entries > 1<<16 {
+		return fmt.Errorf("scheme %q: entries %d out of range [0, %d]", r.Name, r.Entries, 1<<16)
+	}
+	if r.ExtraLines < 0 || r.ExtraLines > 16 {
+		return fmt.Errorf("scheme %q: extra_lines %d out of range [0, 16]", r.Name, r.ExtraLines)
+	}
+	return nil
+}
+
+// Job kinds. The zero kind is a plain measurement sweep, so every spec
+// written before compare jobs existed keeps its canonical bytes — and
+// therefore its job ID — unchanged.
+const (
+	// KindSweep is the benchmarks × configs measurement sweep.
+	KindSweep = "sweep"
+	// KindCompare is the benchmarks × scheme-specs comparison sweep.
+	KindCompare = "compare"
+)
+
 // Spec is what a job runs: a supervised measurement sweep over built-in
 // benchmarks × configurations — the same grid POST /v1/measure evaluates
-// synchronously, made durable. The spec is the job's identity: its
-// canonical serialisation hashes to the job ID, so byte-equivalent
-// submissions deduplicate onto one job.
+// synchronously, made durable — or, with kind "compare", a cross-scheme
+// comparison over benchmarks × scheme specs. The spec is the job's
+// identity: its canonical serialisation hashes to the job ID, so
+// byte-equivalent submissions deduplicate onto one job.
 type Spec struct {
+	// Kind selects the execution path: "" or "sweep" runs the paper
+	// config sweep; "compare" runs the cross-scheme comparison.
+	Kind string `json:"kind,omitempty"`
+
 	Benchmarks []BenchmarkRef `json:"benchmarks"`
 	Configs    []ConfigRef    `json:"configs,omitempty"`
+
+	// Schemes is the scheme axis of a compare job; required for kind
+	// "compare", forbidden otherwise.
+	Schemes []SchemeRef `json:"schemes,omitempty"`
 
 	// Retries is the supervised attempt budget per grid cell; 0 means a
 	// single attempt.
@@ -116,13 +170,25 @@ type Spec struct {
 }
 
 func (s *Spec) validate() error {
+	switch s.Kind {
+	case "", KindSweep:
+		if len(s.Schemes) > 0 {
+			return fmt.Errorf("schemes are only valid for kind %q", KindCompare)
+		}
+	case KindCompare:
+		if len(s.Schemes) == 0 {
+			return fmt.Errorf("kind %q requires at least one scheme", KindCompare)
+		}
+		if len(s.Configs) > 0 {
+			return fmt.Errorf("kind %q takes per-scheme configs, not a configs list", KindCompare)
+		}
+	default:
+		return fmt.Errorf("unknown kind %q", s.Kind)
+	}
 	if len(s.Benchmarks) == 0 {
 		return fmt.Errorf("at least one benchmark is required")
 	}
-	cols := len(s.Configs)
-	if cols == 0 {
-		cols = 1
-	}
+	_, cols := s.Grid()
 	if len(s.Benchmarks)*cols > MaxGridCells {
 		return fmt.Errorf("grid of %d cells exceeds the %d-cell limit", len(s.Benchmarks)*cols, MaxGridCells)
 	}
@@ -136,6 +202,17 @@ func (s *Spec) validate() error {
 			return fmt.Errorf("configs[%d]: %w", i, err)
 		}
 	}
+	seen := make(map[string]bool, len(s.Schemes))
+	for i, sc := range s.Schemes {
+		if err := sc.validate(); err != nil {
+			return fmt.Errorf("schemes[%d]: %w", i, err)
+		}
+		key := string(mustMarshal(sc))
+		if seen[key] {
+			return fmt.Errorf("schemes[%d]: duplicate scheme spec %q", i, sc.Name)
+		}
+		seen[key] = true
+	}
 	if s.Retries < 0 || s.Retries > MaxRetries {
 		return fmt.Errorf("retries %d out of range [0, %d]", s.Retries, MaxRetries)
 	}
@@ -145,13 +222,37 @@ func (s *Spec) validate() error {
 	return nil
 }
 
-// Grid reports the spec's cell grid dimensions (benchmarks × configs).
+// Grid reports the spec's cell grid dimensions: benchmarks × configs for
+// sweeps, benchmarks × schemes for comparisons.
 func (s *Spec) Grid() (rows, cols int) {
-	rows, cols = len(s.Benchmarks), len(s.Configs)
+	rows = len(s.Benchmarks)
+	if s.Kind == KindCompare {
+		return rows, len(s.Schemes)
+	}
+	cols = len(s.Configs)
 	if cols == 0 {
 		cols = 1
 	}
 	return rows, cols
+}
+
+// mustMarshal serialises a marshal-safe wire struct for canonical
+// comparison.
+func mustMarshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("jobs: marshalling spec fragment: %v", err))
+	}
+	return b
+}
+
+// schemeSpecs returns the compare job's scheme axis in the facade's type.
+func (s *Spec) schemeSpecs() []imtrans.SchemeSpec {
+	out := make([]imtrans.SchemeSpec, len(s.Schemes))
+	for i, r := range s.Schemes {
+		out[i] = r.SchemeSpec()
+	}
+	return out
 }
 
 // configs returns the configuration axis, a single default when none are

@@ -85,13 +85,19 @@ type Record struct {
 // Result is a finished job's payload, bit-identical to what the
 // synchronous sweep returns for the same grid: the daemon serves the
 // stored bytes verbatim, so an interrupted-and-resumed job's result is
-// byte-for-byte the result of an uninterrupted run.
+// byte-for-byte the result of an uninterrupted run. Sweep jobs fill the
+// configs/measurements axes; compare jobs fill schemes/compare/rankings.
 type Result struct {
 	Benchmarks   []string                `json:"benchmarks"`
-	Configs      []string                `json:"configs"`
-	Measurements [][]imtrans.Measurement `json:"measurements"`
-	Done         [][]bool                `json:"done"`
-	Errors       []string                `json:"errors,omitempty"`
+	Configs      []string                `json:"configs,omitempty"`
+	Measurements [][]imtrans.Measurement `json:"measurements,omitempty"`
+
+	Schemes  []string                      `json:"schemes,omitempty"`
+	Compare  [][]imtrans.SchemeMeasurement `json:"compare,omitempty"`
+	Rankings [][]int                       `json:"rankings,omitempty"`
+
+	Done   [][]bool `json:"done"`
+	Errors []string `json:"errors,omitempty"`
 }
 
 // envelope seals a JSON payload with the objfile discipline: a

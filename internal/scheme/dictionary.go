@@ -1,0 +1,83 @@
+package scheme
+
+import (
+	"context"
+	"fmt"
+
+	"imtrans/internal/baseline"
+)
+
+// dictionaryScheme replays the captured stream through the baseline
+// dictionary-compression coder (cf. Lekatsas et al.): the most frequent
+// instructions drive only index lines plus a hit flag, misses drive the
+// raw word. At the default 256 entries its transition total equals the
+// DictionaryTotal the capture recorded.
+type dictionaryScheme struct{}
+
+func init() { Register(dictionaryScheme{}) }
+
+func (dictionaryScheme) Name() string { return "dictionary" }
+
+func (dictionaryScheme) Description() string {
+	return "dictionary instruction compression: frequent words drive short indices into a processor-side table"
+}
+
+func (dictionaryScheme) ConfigSpace() []Knob {
+	return []Knob{
+		{Name: "entries", Doc: "dictionary capacity (0 = 256)", Min: 0, Max: 1 << 16},
+	}
+}
+
+func (dictionaryScheme) Validate(p Params) error {
+	if p.Entries < 0 || p.Entries > 1<<16 {
+		return fmt.Errorf("scheme: dictionary: entries %d out of range [0,%d]", p.Entries, 1<<16)
+	}
+	if p.BlockSize != 0 || p.TTEntries != 0 || p.BBITEntries != 0 || p.AllFunctions || p.Exact || p.Knapsack || p.BusWidth != 0 {
+		return fmt.Errorf("scheme: dictionary: paper knobs are not dictionary knobs")
+	}
+	if p.ExtraLines != 0 {
+		return fmt.Errorf("scheme: dictionary: extra_lines is not a dictionary knob")
+	}
+	return nil
+}
+
+func (dictionaryScheme) Spec(p Params) string {
+	entries := p.Entries
+	if entries == 0 {
+		entries = 256
+	}
+	return fmt.Sprintf("entries=%d", entries)
+}
+
+func (s dictionaryScheme) Measure(ctx context.Context, w *Workload, p Params) (*Result, error) {
+	if err := s.Validate(p); err != nil {
+		return nil, err
+	}
+	entries := p.Entries
+	if entries == 0 {
+		entries = 256
+	}
+	cap := w.Cap
+	dict := baseline.BuildDictionary(cap.Words, cap.Profile, entries)
+	if err := replayWords(ctx, cap, func(word uint32) {
+		dict.Transfer(word)
+	}); err != nil {
+		return nil, err
+	}
+	r := &Result{
+		Scheme:        "dictionary",
+		Spec:          s.Spec(p),
+		Instructions:  cap.Instructions,
+		Baseline:      cap.BaselineTotal,
+		Transitions:   dict.Transitions(),
+		OverheadBits:  dict.TableBits(),
+		ExtraBusLines: 1, // the hit flag line
+		Detail: map[string]float64{
+			"hit_rate_percent": dict.HitRate(),
+			"index_bits":       float64(dict.IndexBits()),
+			"entries":          float64(dict.Entries()),
+		},
+	}
+	r.finish()
+	return r, nil
+}

@@ -1,0 +1,195 @@
+package scheme
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+)
+
+// lwcScheme implements a limited-weight code over transition signaling,
+// after Valentini & Chiani ("An Implementation of the Optimal Scheme for
+// Energy Efficient Bus Encoding"): the bus is widened by ExtraLines
+// redundant lines to n = 32 + ExtraLines, and each word w is assigned an
+// n-bit *difference* codeword c(w); a transfer drives bus_t = bus_{t-1}
+// XOR c(w_t), so the transition count of the transfer is exactly the
+// Hamming weight of c(w_t). Difference codewords are enumerated in
+// increasing weight (the limited-weight-code construction) and assigned
+// to words by decreasing dynamic frequency — the all-zero codeword goes
+// to the most frequent word, which then costs zero transitions every time
+// it is fetched. The map w -> c(w) is injective, so the receiver recovers
+// w_t = c^{-1}(bus_t XOR bus_{t-1}).
+//
+// A capped book (entries > 0) adds an escape line: unmapped words drive
+// their raw value absolutely on the low 32 lines (upper redundant lines
+// cleared) and toggle the escape line so the receiver skips the inverse
+// map.
+type lwcScheme struct{}
+
+func init() { Register(lwcScheme{}) }
+
+// lwcDefaultExtraLines widens the bus by 4 lines by default: 36 choose 2
+// low-weight codewords already cover thousands of distinct words at
+// weight <= 2.
+const lwcDefaultExtraLines = 4
+
+func (lwcScheme) Name() string { return "lwc" }
+
+func (lwcScheme) Description() string {
+	return "limited-weight code over transition signaling: frequent words get low-weight difference codewords (Valentini & Chiani)"
+}
+
+func (lwcScheme) ConfigSpace() []Knob {
+	return []Knob{
+		{Name: "extra_lines", Doc: "redundant bus lines added (0 = 4)", Min: 0, Max: 8},
+		{Name: "entries", Doc: "difference-codeword book capacity (0 = map every distinct word)", Min: 0, Max: 1 << 16},
+	}
+}
+
+func (lwcScheme) Validate(p Params) error {
+	if p.ExtraLines < 0 || p.ExtraLines > 8 {
+		return fmt.Errorf("scheme: lwc: extra lines %d out of range [0,8]", p.ExtraLines)
+	}
+	if p.Entries < 0 || p.Entries > 1<<16 {
+		return fmt.Errorf("scheme: lwc: entries %d out of range [0,%d]", p.Entries, 1<<16)
+	}
+	if p.BlockSize != 0 || p.TTEntries != 0 || p.BBITEntries != 0 || p.AllFunctions || p.Exact || p.Knapsack || p.BusWidth != 0 {
+		return fmt.Errorf("scheme: lwc: paper knobs are not lwc knobs")
+	}
+	return nil
+}
+
+// lwcCodewords enumerates the first n difference codewords over `lines`
+// bus lines in increasing weight, increasing value within a weight. The
+// 64-bit space accommodates up to 40 lines.
+func lwcCodewords(n, lines int) []uint64 {
+	out := make([]uint64, 0, n)
+	top := uint64(1)<<uint(lines) - 1
+	for weight := 0; weight <= lines && len(out) < n; weight++ {
+		if weight == 0 {
+			out = append(out, 0)
+			continue
+		}
+		v := uint64(1)<<uint(weight) - 1
+		for len(out) < n {
+			out = append(out, v)
+			if v == top>>uint(lines-weight)<<uint(lines-weight) {
+				break // highest value of this weight class
+			}
+			c := v & -v
+			r := v + c
+			v = (((r ^ v) >> 2) / c) | r
+		}
+	}
+	return out
+}
+
+func (lwcScheme) Spec(p Params) string {
+	extra := p.ExtraLines
+	if extra == 0 {
+		extra = lwcDefaultExtraLines
+	}
+	if p.Entries == 0 {
+		return fmt.Sprintf("lines=%d entries=all", 32+extra)
+	}
+	return fmt.Sprintf("lines=%d entries=%d", 32+extra, p.Entries)
+}
+
+func (s lwcScheme) Measure(ctx context.Context, w *Workload, p Params) (*Result, error) {
+	if err := s.Validate(p); err != nil {
+		return nil, err
+	}
+	extraLines := p.ExtraLines
+	if extraLines == 0 {
+		extraLines = lwcDefaultExtraLines
+	}
+	lines := 32 + extraLines
+	cap := w.Cap
+	ranked := rankWords(cap)
+	entries := p.Entries
+	capped := entries > 0 && entries < len(ranked)
+	if entries == 0 || entries > len(ranked) {
+		entries = len(ranked)
+	}
+	book := lwcCodewords(entries, lines)
+	if len(book) < entries {
+		return nil, fmt.Errorf("scheme: lwc: %d lines cannot host %d codewords", lines, entries)
+	}
+
+	rank := make(map[uint32]int, len(ranked))
+	for i, wf := range ranked {
+		rank[wf.word] = i
+	}
+	// diff[i] is the difference codeword of text index i; mapped[i] is
+	// false for escape (raw absolute) transfers of a capped book.
+	diff := make([]uint64, len(cap.Words))
+	mapped := make([]bool, len(cap.Words))
+	for i, word := range cap.Words {
+		if r := rank[word]; r < entries {
+			diff[i], mapped[i] = book[r], true
+		} else {
+			diff[i] = uint64(word)
+		}
+	}
+
+	var (
+		started   bool
+		bus       uint64 // low `lines` bits are the bus state
+		trans     uint64
+		weightSum uint64
+		maxWeight int
+		transfers uint64
+		escapes   uint64
+	)
+	if err := replayIndices(ctx, cap, func(idx int32) {
+		transfers++
+		if !started {
+			started = true
+			bus = diff[idx] // codeword, or raw word with upper lines clear
+			if !mapped[idx] {
+				escapes++
+			}
+			return
+		}
+		if mapped[idx] {
+			next := bus ^ diff[idx]
+			wt := bits.OnesCount64(diff[idx])
+			trans += uint64(wt)
+			weightSum += uint64(wt)
+			if wt > maxWeight {
+				maxWeight = wt
+			}
+			bus = next
+			return
+		}
+		// Escape: raw word absolute on the low 32 lines, upper redundant
+		// lines cleared, escape line toggled.
+		escapes++
+		next := diff[idx]
+		trans += uint64(bits.OnesCount64(bus^next)) + 1
+		bus = next
+	}); err != nil {
+		return nil, err
+	}
+
+	extra := extraLines
+	if capped {
+		extra++ // the escape line
+	}
+	r := &Result{
+		Scheme:        "lwc",
+		Spec:          fmt.Sprintf("lines=%d entries=%d", lines, entries),
+		Instructions:  cap.Instructions,
+		Baseline:      cap.BaselineTotal,
+		Transitions:   trans,
+		OverheadBits:  entries * (lines + 32), // word <-> difference-codeword CAM
+		ExtraBusLines: extra,
+		Detail: map[string]float64{
+			"entries":        float64(entries),
+			"avg_weight":     float64(weightSum) / float64(max(transfers, 1)),
+			"max_weight":     float64(maxWeight),
+			"escape_percent": 100 * float64(escapes) / float64(max(transfers, 1)),
+		},
+	}
+	r.finish()
+	return r, nil
+}

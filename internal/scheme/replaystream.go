@@ -1,0 +1,51 @@
+package scheme
+
+import (
+	"context"
+	"fmt"
+
+	"imtrans/internal/replay"
+)
+
+// cancelStride bounds how many fetches a trace replay processes between
+// context polls, so cancelling a compare stops a billion-fetch expansion
+// within a bounded number of steps.
+const cancelStride = 1 << 16
+
+// replayIndices expands the captured fetch trace in stream order, calling
+// fn once per fetched text index, with periodic cancellation polling.
+func replayIndices(ctx context.Context, cap *replay.Capture, fn func(idx int32)) error {
+	tr := cap.Trace
+	if tr == nil || tr.N == 0 {
+		return fmt.Errorf("scheme: capture has an empty trace")
+	}
+	idx := tr.First
+	fn(idx)
+	since := 0
+	var ctxErr error
+	tr.Runs(func(delta int32, count int64) bool {
+		for i := int64(0); i < count; i++ {
+			idx += delta
+			fn(idx)
+			since++
+			if since >= cancelStride {
+				since = 0
+				if ctx != nil {
+					if err := ctx.Err(); err != nil {
+						ctxErr = err
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return ctxErr
+}
+
+// replayWords is replayIndices over the fetched instruction words — the
+// stream every data-bus scheme drives.
+func replayWords(ctx context.Context, cap *replay.Capture, fn func(word uint32)) error {
+	words := cap.Words
+	return replayIndices(ctx, cap, func(idx int32) { fn(words[idx]) })
+}

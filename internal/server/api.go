@@ -200,6 +200,110 @@ type MeasureResponse struct {
 	Counters     *stats.Counters         `json:"counters,omitempty"`
 }
 
+// SchemeRequest is the wire form of one scheme column of a comparison:
+// a registered encoding-scheme name plus the knobs that scheme reads.
+type SchemeRequest struct {
+	Name       string        `json:"name"`
+	Config     ConfigRequest `json:"config,omitempty"`
+	Entries    int           `json:"entries,omitempty"`
+	ExtraLines int           `json:"extra_lines,omitempty"`
+}
+
+// SchemeSpec converts to the root facade's scheme-spec type.
+func (r SchemeRequest) SchemeSpec() imtrans.SchemeSpec {
+	return imtrans.SchemeSpec{
+		Name:       r.Name,
+		Config:     r.Config.Config(),
+		Entries:    r.Entries,
+		ExtraLines: r.ExtraLines,
+	}
+}
+
+func (r SchemeRequest) validate() error {
+	if r.Name == "" {
+		return fmt.Errorf("scheme: name is required")
+	}
+	if err := r.Config.validate(); err != nil {
+		return fmt.Errorf("scheme %q: %w", r.Name, err)
+	}
+	if r.Entries < 0 || r.Entries > 1<<16 {
+		return fmt.Errorf("scheme %q: entries %d out of range [0, %d]", r.Name, r.Entries, 1<<16)
+	}
+	if r.ExtraLines < 0 || r.ExtraLines > 16 {
+		return fmt.Errorf("scheme %q: extra_lines %d out of range [0, 16]", r.Name, r.ExtraLines)
+	}
+	return nil
+}
+
+// CompareRequest is the body of POST /v1/compare: a cross-scheme
+// comparison grid over built-in benchmarks — every scheme measures the
+// same captured instruction stream, and the response ranks the schemes
+// per workload.
+type CompareRequest struct {
+	Benchmarks []BenchmarkRef  `json:"benchmarks"`
+	Schemes    []SchemeRequest `json:"schemes"`
+	// Retries is the supervised attempt budget per grid cell; 0 means a
+	// single attempt.
+	Retries int `json:"retries,omitempty"`
+}
+
+func (r *CompareRequest) validate() error {
+	if len(r.Benchmarks) == 0 {
+		return fmt.Errorf("at least one benchmark is required")
+	}
+	if len(r.Schemes) == 0 {
+		return fmt.Errorf("at least one scheme is required")
+	}
+	if len(r.Benchmarks)*len(r.Schemes) > maxGridCells {
+		return fmt.Errorf("grid of %d cells exceeds the %d-cell limit", len(r.Benchmarks)*len(r.Schemes), maxGridCells)
+	}
+	for _, b := range r.Benchmarks {
+		if err := b.validate(); err != nil {
+			return err
+		}
+	}
+	seen := make(map[string]bool, len(r.Schemes))
+	for i, sc := range r.Schemes {
+		if err := sc.validate(); err != nil {
+			return fmt.Errorf("schemes[%d]: %w", i, err)
+		}
+		key, err := json.Marshal(sc)
+		if err != nil {
+			return fmt.Errorf("schemes[%d]: %w", i, err)
+		}
+		if seen[string(key)] {
+			return fmt.Errorf("schemes[%d]: duplicate scheme spec %q", i, sc.Name)
+		}
+		seen[string(key)] = true
+	}
+	if r.Retries < 0 || r.Retries > maxRetries {
+		return fmt.Errorf("retries %d out of range [0, %d]", r.Retries, maxRetries)
+	}
+	return nil
+}
+
+// specs returns the request's scheme axis in the facade's type.
+func (r *CompareRequest) specs() []imtrans.SchemeSpec {
+	out := make([]imtrans.SchemeSpec, len(r.Schemes))
+	for i, sc := range r.Schemes {
+		out[i] = sc.SchemeSpec()
+	}
+	return out
+}
+
+// CompareResponse is the compared grid, indexed [benchmark][scheme].
+// Rankings[bench] lists the completed scheme indices of that benchmark by
+// ascending transition count.
+type CompareResponse struct {
+	Benchmarks []string                      `json:"benchmarks"`
+	Schemes    []string                      `json:"schemes"`
+	Results    [][]imtrans.SchemeMeasurement `json:"results"`
+	Done       [][]bool                      `json:"done"`
+	Rankings   [][]int                       `json:"rankings"`
+	Errors     []string                      `json:"errors,omitempty"`
+	Counters   *stats.Counters               `json:"counters,omitempty"`
+}
+
 // DeployRequest is the body of POST /v1/deploy: build (and by default
 // end-to-end verify) a versioned deployment artifact for a program or
 // benchmark. Static selects the profile-free firmware scenario.
@@ -284,6 +388,20 @@ func ParseEncodeRequest(data []byte) (*EncodeRequest, error) {
 // ParseMeasureRequest decodes and validates a POST /v1/measure body.
 func ParseMeasureRequest(data []byte) (*MeasureRequest, error) {
 	var r MeasureRequest
+	if err := decodeStrict(data, &r); err != nil {
+		return nil, err
+	}
+	if err := r.validate(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// ParseCompareRequest decodes and validates a POST /v1/compare body.
+// Scheme-name resolution against the registry happens in the handler, so
+// the parser stays a pure function of the bytes (and directly fuzzable).
+func ParseCompareRequest(data []byte) (*CompareRequest, error) {
+	var r CompareRequest
 	if err := decodeStrict(data, &r); err != nil {
 		return nil, err
 	}

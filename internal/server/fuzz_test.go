@@ -1,6 +1,7 @@
 package server
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -71,6 +72,47 @@ func FuzzParseMeasureRequest(f *testing.F) {
 		}
 		if r.Retries < 0 || r.Retries > maxRetries {
 			t.Fatalf("accepted retries %d outside [0, %d]", r.Retries, maxRetries)
+		}
+	})
+}
+
+func FuzzParseCompareRequest(f *testing.F) {
+	fuzzSeeds(f)
+	seeds := []string{
+		`{"benchmarks":[{"name":"mmul","n":24}],"schemes":[{"name":"paper"},{"name":"businvert"}]}`,
+		`{"benchmarks":[{"name":"mmul"}],"schemes":[{"name":"paper","config":{"block_size":5}},{"name":"codebook","entries":64},{"name":"lwc","extra_lines":2}]}`,
+		`{"benchmarks":[{"name":"mmul"}],"schemes":[]}`,
+		`{"benchmarks":[{"name":"mmul"}],"schemes":[{"name":"paper"},{"name":"paper"}]}`,
+		`{"benchmarks":[{"name":"mmul"}],"schemes":[{"name":"paper"}]} trailing`,
+		`{"benchmarks":[{"name":"mmul"}],"schemes":[{"name":"lwc","extra_lines":99}]}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ParseCompareRequest(data)
+		if err != nil {
+			return
+		}
+		if len(r.Benchmarks) == 0 || len(r.Schemes) == 0 {
+			t.Fatalf("accepted request with an empty axis: %+v", r)
+		}
+		if len(r.Benchmarks)*len(r.Schemes) > maxGridCells {
+			t.Fatalf("accepted %d-cell grid past the %d-cell bound", len(r.Benchmarks)*len(r.Schemes), maxGridCells)
+		}
+		if r.Retries < 0 || r.Retries > maxRetries {
+			t.Fatalf("accepted retries %d outside [0, %d]", r.Retries, maxRetries)
+		}
+		seen := map[string]bool{}
+		for _, sc := range r.Schemes {
+			if sc.Name == "" {
+				t.Fatal("accepted scheme without a name")
+			}
+			key, _ := json.Marshal(sc)
+			if seen[string(key)] {
+				t.Fatalf("accepted duplicate scheme spec %q", sc.Name)
+			}
+			seen[string(key)] = true
 		}
 	})
 }

@@ -119,6 +119,63 @@ func (s *Server) handleMeasure(ctx context.Context, body []byte) (*cachedResult,
 	return okResult(resp), nil
 }
 
+// handleCompare evaluates a cross-scheme comparison grid: one supervised
+// capture per benchmark, every registered scheme measuring the shared
+// instruction stream, per-workload rankings in the response. The sweep's
+// scheme-labelled counters are folded into the daemon's telemetry so
+// /metrics exposes per-scheme completion counts.
+func (s *Server) handleCompare(ctx context.Context, body []byte) (*cachedResult, error) {
+	req, err := ParseCompareRequest(body)
+	if err != nil {
+		return errResult(http.StatusBadRequest, err.Error()), nil
+	}
+	specs := req.specs()
+	for i, sp := range specs {
+		// Registry resolution: unknown names and knob bleed are client
+		// errors, caught before any capture work starts.
+		if err := sp.Validate(); err != nil {
+			return errResult(http.StatusBadRequest, fmt.Sprintf("schemes[%d]: %v", i, err)), nil
+		}
+	}
+	benches := make([]imtrans.Benchmark, len(req.Benchmarks))
+	for i, ref := range req.Benchmarks {
+		b, err := ref.resolve()
+		if err != nil {
+			return errResult(http.StatusBadRequest, err.Error()), nil
+		}
+		benches[i] = b
+	}
+	res, err := imtrans.CompareMeasureCtx(ctx, benches, specs, imtrans.SweepOptions{
+		Parallelism: s.cfg.MeasureParallelism,
+		Retry:       imtrans.RetryPolicy{MaxAttempts: req.Retries, BaseDelay: 10 * time.Millisecond, Jitter: 0.5},
+	})
+	if err != nil {
+		return workErr(ctx, err), nil
+	}
+	for _, name := range res.Counters.Names() {
+		s.counters.Add(name, res.Counters.Get(name))
+	}
+	resp := CompareResponse{
+		Benchmarks: res.Benchmarks,
+		Schemes:    res.Schemes,
+		Results:    res.Results,
+		Done:       res.Done,
+		Rankings:   res.Rankings,
+		Counters:   &res.Counters,
+	}
+	for i := range res.Errors {
+		resp.Errors = append(resp.Errors, res.Errors[i].Error())
+	}
+	return okResult(resp), nil
+}
+
+// handleSchemes lists the registered encoding schemes with their
+// configuration spaces, the discovery endpoint for /v1/compare clients.
+func (s *Server) handleSchemes(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	s.finish(w, "schemes", start, okResult(imtrans.Schemes()))
+}
+
 // handleDeploy builds a versioned deployment artifact, end-to-end
 // verifies it (unless skipped), and ships the exact CRC-sealed bytes
 // Deployment.Save writes — re-loaded through the strict objfile
@@ -257,7 +314,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	renderCounters(w, s.counters)
 	fmt.Fprintf(w, "# TYPE %srequest_duration_seconds histogram\n", metricsNamespace)
-	for _, ep := range []string{"encode", "measure", "deploy", "benchmarks", "jobs"} {
+	for _, ep := range []string{"encode", "measure", "compare", "deploy", "benchmarks", "schemes", "jobs"} {
 		s.hist[ep].render(w, metricsNamespace+"request_duration_seconds", fmt.Sprintf("endpoint=%q", ep))
 	}
 	if s.jobs != nil {

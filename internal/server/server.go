@@ -25,6 +25,8 @@ import (
 	"net"
 	"net/http"
 	"runtime"
+	"sort"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -175,13 +177,15 @@ func New(cfg Config) (*Server, error) {
 		draining: make(chan struct{}),
 		started:  time.Now(),
 	}
-	for _, ep := range []string{"encode", "measure", "deploy", "benchmarks", "jobs"} {
+	for _, ep := range []string{"encode", "measure", "compare", "deploy", "benchmarks", "schemes", "jobs"} {
 		s.hist[ep] = newHistogram()
 	}
 	s.mux.HandleFunc("POST /v1/encode", s.work("encode", s.handleEncode))
 	s.mux.HandleFunc("POST /v1/measure", s.work("measure", s.handleMeasure))
+	s.mux.HandleFunc("POST /v1/compare", s.work("compare", s.handleCompare))
 	s.mux.HandleFunc("POST /v1/deploy", s.work("deploy", s.handleDeploy))
 	s.mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	s.mux.HandleFunc("GET /v1/schemes", s.handleSchemes)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -468,13 +472,49 @@ func readBody(r *http.Request) ([]byte, error) {
 	return body, nil
 }
 
-// cacheKey derives the canonical request identity: the endpoint plus a
-// content hash of the body. Two byte-identical requests to one endpoint
-// share a key; the handlers' strict decoding keeps accidental collisions
-// (ignored fields, trailing data) out of the space.
+// cacheKey derives the canonical request identity: the endpoint, the
+// encoding-scheme axis the request evaluates, and a content hash of the
+// body — so the persistent store's result tier reads
+// resp/<endpoint>:<scheme>:<sha> and entries for different scheme sets
+// can never alias even across key-derivation changes. Two byte-identical
+// requests to one endpoint share a key; the handlers' strict decoding
+// keeps accidental collisions (ignored fields, trailing data) out of the
+// space.
 func cacheKey(endpoint string, body []byte) string {
 	h := sha256.Sum256(body)
-	return fmt.Sprintf("%s:%x", endpoint, h)
+	return fmt.Sprintf("%s:%s:%x", endpoint, schemeLabel(endpoint, body), h)
+}
+
+// schemeLabel names the scheme axis of a request for its cache key. The
+// paper pipeline endpoints always evaluate the paper scheme; compare
+// requests carry an explicit scheme list, folded to the sorted, deduped
+// names. The probe is deliberately lenient — a body the strict parser
+// will later reject still needs a deterministic key.
+func schemeLabel(endpoint string, body []byte) string {
+	if endpoint != "compare" {
+		return "paper"
+	}
+	var probe struct {
+		Schemes []struct {
+			Name string `json:"name"`
+		} `json:"schemes"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil || len(probe.Schemes) == 0 {
+		return "none"
+	}
+	seen := make(map[string]bool, len(probe.Schemes))
+	names := make([]string, 0, len(probe.Schemes))
+	for _, sc := range probe.Schemes {
+		if sc.Name != "" && !seen[sc.Name] {
+			seen[sc.Name] = true
+			names = append(names, sc.Name)
+		}
+	}
+	if len(names) == 0 {
+		return "none"
+	}
+	sort.Strings(names)
+	return strings.Join(names, "+")
 }
 
 // statusFromCtxErr maps a context error to the response status: 504 for

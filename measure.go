@@ -5,14 +5,13 @@ import (
 
 	"imtrans/internal/baseline"
 	"imtrans/internal/cfg"
-	"imtrans/internal/code"
 	"imtrans/internal/core"
 	"imtrans/internal/cpu"
 	"imtrans/internal/hw"
 	"imtrans/internal/mem"
 	"imtrans/internal/power"
+	"imtrans/internal/scheme"
 	"imtrans/internal/trace"
-	"imtrans/internal/transform"
 )
 
 // Config selects the encoding parameters of one measurement, mirroring the
@@ -29,23 +28,23 @@ type Config struct {
 	BusWidth     int  // bus lines modelled; 0 means 32
 }
 
+// schemeParams maps the Config onto the pluggable-scheme parameter union;
+// the core.Config mapping itself lives in internal/scheme, next to the
+// registered paper backend, so both paths share one definition.
+func (c Config) schemeParams() scheme.Params {
+	return scheme.Params{
+		BlockSize:    c.BlockSize,
+		TTEntries:    c.TTEntries,
+		BBITEntries:  c.BBITEntries,
+		AllFunctions: c.AllFunctions,
+		Exact:        c.Exact,
+		Knapsack:     c.Knapsack,
+		BusWidth:     c.BusWidth,
+	}
+}
+
 func (c Config) coreConfig() core.Config {
-	cc := core.Config{
-		BlockSize:   c.BlockSize,
-		TTEntries:   c.TTEntries,
-		BBITEntries: c.BBITEntries,
-		BusWidth:    c.BusWidth,
-	}
-	if c.AllFunctions {
-		cc.Funcs = transform.Preferred()
-	}
-	if c.Exact {
-		cc.Strategy = code.Exact
-	}
-	if c.Knapsack {
-		cc.Selection = core.Knapsack
-	}
-	return cc.WithDefaults()
+	return scheme.CoreConfig(c.schemeParams())
 }
 
 // String renders the configuration compactly.

@@ -9,9 +9,9 @@ import (
 	"imtrans/internal/baseline"
 	"imtrans/internal/cfg"
 	"imtrans/internal/core"
-	"imtrans/internal/hw"
 	"imtrans/internal/power"
 	"imtrans/internal/replay"
+	"imtrans/internal/scheme"
 	"imtrans/internal/trace"
 )
 
@@ -303,36 +303,35 @@ type measureArena struct {
 	rep replay.Scratch
 }
 
-// replayOneCtx evaluates one configuration against a capture: plan the
-// encoding from the cached profile, statically verify it, then replay the
-// trace through a fresh strict decoder. Cancellation is polled inside
-// both the encoder's bit-line pool and the replay fetch loop; a
-// cancelled cell returns ctx.Err() wrapped with the configuration. The
-// replay.Result accompanies the Measurement so sweeps can aggregate the
-// memo diagnostics.
-func replayOneCtx(ctx context.Context, cap *replay.Capture, g *cfg.Graph, c Config, env replayEnv) (Measurement, replay.Result, error) {
-	encOpts := core.EncodeOpts{Workers: env.encWorkers}
-	mOpts := replay.Options{Streaming: StreamingReplay(), Shared: env.shared}
+// schemeWorkload packs a capture and a cell's execution environment into
+// the internal/scheme Workload every registered backend measures against.
+func schemeWorkload(cap *replay.Capture, env replayEnv) *scheme.Workload {
+	w := &scheme.Workload{
+		Cap:        cap,
+		Streaming:  StreamingReplay(),
+		EncWorkers: env.encWorkers,
+		Shared:     env.shared,
+	}
 	if env.arena != nil {
-		encOpts.Arena = &env.arena.enc
-		mOpts.Scratch = &env.arena.rep
+		w.EncArena = &env.arena.enc
+		w.Scratch = &env.arena.rep
 	}
-	enc, err := core.EncodeCtxOpts(ctx, g, cap.Profile, c.coreConfig(), encOpts)
+	return w
+}
+
+// replayOneCtx evaluates one configuration against a capture by running
+// the paper pipeline through internal/scheme — plan the encoding from the
+// cached profile, statically verify it, then replay the trace through a
+// fresh strict decoder. Cancellation is polled inside both the encoder's
+// bit-line pool and the replay fetch loop; a cancelled cell returns
+// ctx.Err() wrapped with the configuration. The replay.Result accompanies
+// the Measurement so sweeps can aggregate the memo diagnostics.
+func replayOneCtx(ctx context.Context, cap *replay.Capture, g *cfg.Graph, c Config, env replayEnv) (Measurement, replay.Result, error) {
+	out, err := scheme.MeasurePaper(ctx, schemeWorkload(cap, env), c.coreConfig())
 	if err != nil {
 		return Measurement{}, replay.Result{}, fmt.Errorf("imtrans: %v: %w", c, err)
 	}
-	if err := enc.Verify(); err != nil {
-		return Measurement{}, replay.Result{}, fmt.Errorf("imtrans: %v: %w", c, err)
-	}
-	dec, err := hw.NewDecoder(enc)
-	if err != nil {
-		return Measurement{}, replay.Result{}, fmt.Errorf("imtrans: %v: %w", c, err)
-	}
-	dec.Strict = true
-	res, err := replay.MeasureOpts(ctx, cap, enc, dec, mOpts)
-	if err != nil {
-		return Measurement{}, replay.Result{}, fmt.Errorf("imtrans: %v: %w", c, err)
-	}
+	enc, dec, res := out.Enc, out.Dec, out.Rep
 	m := Measurement{
 		Config:          c,
 		Instructions:    cap.Instructions,
