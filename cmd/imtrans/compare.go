@@ -39,6 +39,18 @@ type compareReport struct {
 	Restored int             `json:"checkpoint_restored,omitempty"`
 	Errors   []string        `json:"errors,omitempty"`
 	Counters *stats.Counters `json:"counters"`
+
+	// Fleet-replay benchmark section, populated by compare -bench: the
+	// same grid timed under the scalar per-word coders and then under the
+	// word-parallel fleet batch kernels, verified bit-identical cell by
+	// cell before the report is written. The timings sum the per-cell
+	// measure intervals (capture and stream construction excluded), so
+	// Speedup is the replay-kernel ratio the CI perf gate checks.
+	ScalarReplayNs int64   `json:"scalar_replay_ns,omitempty"`
+	BatchReplayNs  int64   `json:"batch_replay_ns,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+	MemoHits       uint64  `json:"compare_memo_hits,omitempty"`
+	StreamShared   uint64  `json:"compare_stream_shared,omitempty"`
 }
 
 type compareBench struct {
@@ -51,6 +63,7 @@ type compareCell struct {
 	Bench  string `json:"bench"`
 	Scheme string `json:"scheme"`
 	imtrans.SchemeMeasurement
+	WallNs int64 `json:"wall_ns"`
 }
 
 // parseSchemeSpecs parses the -schemes list: comma-separated scheme
@@ -116,6 +129,8 @@ func cmdCompare(args []string) error {
 	checkpoint := fs.String("checkpoint", "", "journal the comparison grid here; an interrupted run resumes from it")
 	timeout := fs.Duration("timeout", 0, "cancel the comparison after this long (0 = no deadline)")
 	retries := fs.Int("retries", 1, "supervised attempts per grid cell")
+	inject := fs.String("inject", "", "fault campaign against grid cells (panic@B,S;error@B,S;attempts=N)")
+	bench := fs.Bool("bench", false, "time the grid scalar vs fleet batch kernels and record the speedup (implies -json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -137,6 +152,11 @@ func cmdCompare(args []string) error {
 		}
 	}
 	for i := range benches {
+		if *bench && *n == 0 && *iters == 0 {
+			// -bench defaults to the reduced suite scales so the doubled
+			// grid finishes in seconds, as bench -json does.
+			benches[i] = sweepScale(benches[i])
+		}
 		benches[i] = benches[i].WithScale(*n, *iters)
 	}
 
@@ -148,13 +168,26 @@ func cmdCompare(args []string) error {
 		defer cancel()
 	}
 
-	start := time.Now()
-	res, err := imtrans.CompareMeasureCtx(ctx, benches, specs, imtrans.SweepOptions{
+	sweepOpts := imtrans.SweepOptions{
 		Parallelism:    *jobsN,
 		Checkpoint:     *checkpoint,
 		Retry:          imtrans.RetryPolicy{MaxAttempts: *retries, BaseDelay: 50 * time.Millisecond, Jitter: 0.5},
 		CheckpointSync: false,
-	})
+	}
+	if *inject != "" {
+		plan, err := imtrans.ParseSweepFaultPlan(*inject)
+		if err != nil {
+			return err
+		}
+		sweepOpts.FaultInject = plan.Injector()
+	}
+
+	if *bench {
+		return compareBenchJSON(ctx, benches, specs, sweepOpts, *out)
+	}
+
+	start := time.Now()
+	res, err := imtrans.CompareMeasureCtx(ctx, benches, specs, sweepOpts)
 	if err != nil {
 		return err
 	}
@@ -185,7 +218,11 @@ func writeCompareJSON(path string, benches []imtrans.Benchmark, res *imtrans.Com
 			if !res.Done[bi][si] {
 				continue
 			}
-			rep.Grid = append(rep.Grid, compareCell{Bench: name, Scheme: label, SchemeMeasurement: res.Results[bi][si]})
+			rep.Grid = append(rep.Grid, compareCell{
+				Bench: name, Scheme: label,
+				SchemeMeasurement: res.Results[bi][si],
+				WallNs:            res.CellNs[bi][si],
+			})
 		}
 		best := ""
 		if len(res.Rankings[bi]) > 0 {

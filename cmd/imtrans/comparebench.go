@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"imtrans"
+)
+
+// compareBenchJSON is the compare -bench path: the same (benchmark,
+// scheme) grid measured twice — once with the fleet batch kernels forced
+// off, so every cell replays through the scalar per-word coders, and once
+// with them on — with every completed cell verified bit-identical between
+// the passes before the report is written. The timed quantity is the sum
+// of per-cell measure intervals (CompareResult.CellNs), which excludes
+// capture and transition-stream construction on both passes, so the
+// speedup is a pure replay-kernel ratio. Checkpointing is disabled for
+// the timed passes: a restored cell carries no wall time and would
+// corrupt the sums.
+func compareBenchJSON(ctx context.Context, benches []imtrans.Benchmark, specs []imtrans.SchemeSpec, opts imtrans.SweepOptions, path string) error {
+	opts.Checkpoint = ""
+
+	prev := imtrans.SetFleetBatchReplay(false)
+	defer imtrans.SetFleetBatchReplay(prev)
+	scalar, err := imtrans.CompareMeasureCtx(ctx, benches, specs, opts)
+	if err != nil {
+		return fmt.Errorf("scalar pass: %w", err)
+	}
+	if serr := scalar.Err(); serr != nil {
+		return fmt.Errorf("scalar pass: %w", serr)
+	}
+
+	imtrans.SetFleetBatchReplay(true)
+	res, err := imtrans.CompareMeasureCtx(ctx, benches, specs, opts)
+	if err != nil {
+		return fmt.Errorf("batch pass: %w", err)
+	}
+	if berr := res.Err(); berr != nil {
+		return fmt.Errorf("batch pass: %w", berr)
+	}
+
+	// Bit-identity: the batch kernels must reproduce every scalar cell
+	// exactly — counts, percentages and detail maps alike.
+	var scalarNs, batchNs int64
+	for bi := range res.Benchmarks {
+		for si := range res.Schemes {
+			if !scalar.Done[bi][si] || !res.Done[bi][si] {
+				return fmt.Errorf("cell (%s, %s) incomplete; a -bench grid must measure every cell",
+					res.Benchmarks[bi], res.Schemes[si])
+			}
+			if !sameMeasurement(scalar.Results[bi][si], res.Results[bi][si]) {
+				return fmt.Errorf("batch/scalar mismatch for (%s, %s): scalar %d/%d, batch %d/%d",
+					res.Benchmarks[bi], res.Schemes[si],
+					scalar.Results[bi][si].Baseline, scalar.Results[bi][si].Transitions,
+					res.Results[bi][si].Baseline, res.Results[bi][si].Transitions)
+			}
+			scalarNs += scalar.CellNs[bi][si]
+			batchNs += res.CellNs[bi][si]
+		}
+	}
+	if batchNs <= 0 {
+		return fmt.Errorf("batch pass recorded no wall time")
+	}
+
+	rep := compareReport{
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
+		Parallelism:    int(res.Counters.Get("compare_grid_workers")),
+		Schemes:        res.Schemes,
+		Rankings:       res.Rankings,
+		Counters:       &res.Counters,
+		ScalarReplayNs: scalarNs,
+		BatchReplayNs:  batchNs,
+		Speedup:        float64(scalarNs) / float64(batchNs),
+		MemoHits:       res.Counters.Get("compare_memo_hits"),
+		StreamShared:   res.Counters.Get("compare_stream_shared"),
+	}
+	for _, b := range benches {
+		rep.Benchmarks = append(rep.Benchmarks, compareBench{Name: b.Name, N: b.N, Iters: b.Iters})
+	}
+	for bi, name := range res.Benchmarks {
+		for si, label := range res.Schemes {
+			rep.Grid = append(rep.Grid, compareCell{
+				Bench: name, Scheme: label,
+				SchemeMeasurement: res.Results[bi][si],
+				WallNs:            res.CellNs[bi][si],
+			})
+		}
+		best := ""
+		if len(res.Rankings[bi]) > 0 {
+			best = res.Schemes[res.Rankings[bi][0]]
+		}
+		rep.Best = append(rep.Best, best)
+	}
+
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "" || path == "-" {
+		path = "BENCH_compare.json"
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	cells := len(res.Benchmarks) * len(res.Schemes)
+	fmt.Printf("%d cells (%d kernels x %d schemes) verified batch == scalar\n",
+		cells, len(res.Benchmarks), len(res.Schemes))
+	fmt.Printf("scalar per-word replay: %8.2f ms (%6.3f ms/cell)\n",
+		float64(scalarNs)/1e6, float64(scalarNs)/1e6/float64(cells))
+	fmt.Printf("fleet batch replay:     %8.2f ms (%6.3f ms/cell)\n",
+		float64(batchNs)/1e6, float64(batchNs)/1e6/float64(cells))
+	fmt.Printf("speedup: %.1fx (memo hits %d, shared streams %d); report written to %s\n",
+		rep.Speedup, rep.MemoHits, rep.StreamShared, path)
+	return nil
+}
+
+// sameMeasurement reports whether two scheme measurements are
+// bit-identical, detail maps included. JSON round-tripping keeps the
+// comparison in lockstep with what the report records.
+func sameMeasurement(a, b imtrans.SchemeMeasurement) bool {
+	aj, aerr := json.Marshal(a)
+	bj, berr := json.Marshal(b)
+	return aerr == nil && berr == nil && string(aj) == string(bj)
+}

@@ -177,6 +177,12 @@ type CompareResult struct {
 	Completed int // cells measured by this run
 	Cancelled int // cells abandoned by context cancellation
 
+	// CellNs is the measured wall time of each cell in nanoseconds,
+	// indexed [benchmark][scheme]; zero for cells that were restored,
+	// failed or skipped. The compare benchmark report aggregates it into
+	// per-cell and per-grid speedup numbers.
+	CellNs [][]int64
+
 	Counters stats.Counters
 }
 
@@ -246,13 +252,15 @@ func CompareMeasureCtx(ctx context.Context, benchmarks []Benchmark, specs []Sche
 	nb, ns := len(benchmarks), len(specs)
 
 	type cellState struct {
-		m        SchemeMeasurement
-		wallNs   int64
-		done     bool
-		restored bool
-		err      error
-		attempts int
-		ckErr    error
+		m            SchemeMeasurement
+		wallNs       int64
+		memoHits     uint64
+		streamShared bool
+		done         bool
+		restored     bool
+		err          error
+		attempts     int
+		ckErr        error
 	}
 	cells := make([]cellState, nb*ns)
 
@@ -352,13 +360,52 @@ func CompareMeasureCtx(ctx context.Context, benchmarks []Benchmark, specs []Sche
 			}
 		}
 	}
+	// Fleet cells of one benchmark share that benchmark's transition
+	// stream, and equal-(scheme, spec) fleet columns additionally share a
+	// repeat-outcome store per benchmark — the batch-kernel mirror of the
+	// paper cells' memo-signature groups above.
+	fleetCells := false
+	fleetGroups := make(map[string][]int, ns)
+	for si, sp := range specs {
+		if sp.Name == "paper" {
+			continue
+		}
+		fleetCells = true
+		fleetGroups[sp.Label()] = append(fleetGroups[sp.Label()], si)
+	}
+	streams := make([]*scheme.Stream, nb)
+	if fleetCells {
+		for bi := 0; bi < nb; bi++ {
+			if pending[bi] && states[bi].cap != nil {
+				streams[bi] = scheme.NewStream(states[bi].cap)
+			}
+		}
+	}
+	fleetStores := make([]*scheme.FleetMemo, nb*ns)
+	for _, idxs := range fleetGroups {
+		if len(idxs) < 2 {
+			continue
+		}
+		for bi := 0; bi < nb; bi++ {
+			store := scheme.NewFleetMemo()
+			for _, si := range idxs {
+				fleetStores[bi*ns+si] = store
+			}
+		}
+	}
 	runStealCtx(ctx, gridPar, nb*ns, func(worker, t int) {
 		bi, si := t/ns, t%ns
 		s := &cells[t]
 		if s.done || !pending[bi] || states[bi].err != nil {
 			return
 		}
-		env := replayEnv{encWorkers: inner, shared: stores[t], arena: &arenas[worker]}
+		env := replayEnv{
+			encWorkers:  inner,
+			shared:      stores[t],
+			arena:       &arenas[worker],
+			stream:      streams[bi],
+			fleetShared: fleetStores[t],
+		}
 		attempt := 0
 		s.attempts, s.err = runsafe.Do(ctx, pol, brk, func(tctx context.Context) error {
 			attempt++
@@ -375,6 +422,7 @@ func CompareMeasureCtx(ctx context.Context, benchmarks []Benchmark, specs []Sche
 			}
 			s.m = schemeMeasurement(r)
 			s.wallNs = time.Since(start).Nanoseconds()
+			s.memoHits, s.streamShared = r.MemoHits, r.StreamShared
 			return nil
 		})
 		if s.err != nil {
@@ -400,10 +448,14 @@ func CompareMeasureCtx(ctx context.Context, benchmarks []Benchmark, specs []Sche
 		Results:    make([][]SchemeMeasurement, nb),
 		Done:       make([][]bool, nb),
 		Rankings:   make([][]int, nb),
+		CellNs:     make([][]int64, nb),
 	}
 	cancelled := ctx.Err() != nil
 	var retries, panics, tripped, failed, skipped, recorded, ckErrs int
+	var memoHits, streamShared uint64
 	perScheme := make([]int, ns)
+	perSchemeMemo := make([]uint64, ns)
+	perSchemeStream := make([]uint64, ns)
 	noteErr := func(err error) {
 		var pe *runsafe.PanicError
 		if errors.As(err, &pe) {
@@ -416,6 +468,7 @@ func CompareMeasureCtx(ctx context.Context, benchmarks []Benchmark, specs []Sche
 	for bi := 0; bi < nb; bi++ {
 		res.Results[bi] = make([]SchemeMeasurement, ns)
 		res.Done[bi] = make([]bool, ns)
+		res.CellNs[bi] = make([]int64, ns)
 		st := &states[bi]
 		if st.attempts > 1 {
 			retries += st.attempts - 1
@@ -441,11 +494,18 @@ func CompareMeasureCtx(ctx context.Context, benchmarks []Benchmark, specs []Sche
 			case s.done:
 				res.Results[bi][si] = s.m
 				res.Done[bi][si] = true
+				res.CellNs[bi][si] = s.wallNs
 				if s.restored {
 					res.Restored++
 				} else {
 					res.Completed++
 					perScheme[si]++
+					memoHits += s.memoHits
+					perSchemeMemo[si] += s.memoHits
+					if s.streamShared {
+						streamShared++
+						perSchemeStream[si]++
+					}
 					if journal != nil && s.ckErr == nil {
 						recorded++
 					}
@@ -504,9 +564,13 @@ func CompareMeasureCtx(ctx context.Context, benchmarks []Benchmark, specs []Sche
 	c.Add("compare_breaker_tripped", uint64(tripped))
 	c.Add("compare_grid_workers", uint64(gridPar))
 	c.Add("compare_inner_workers", uint64(inner))
+	c.Add("compare_memo_hits", memoHits)
+	c.Add("compare_stream_shared", streamShared)
 	for si, sp := range specs {
 		c.Add(fmt.Sprintf("compare_cells{scheme=%q}", sp.Name), uint64(nb))
 		c.Add(fmt.Sprintf("compare_completed{scheme=%q}", sp.Name), uint64(perScheme[si]))
+		c.Add(fmt.Sprintf("compare_memo_hits{scheme=%q}", sp.Name), perSchemeMemo[si])
+		c.Add(fmt.Sprintf("compare_stream_shared{scheme=%q}", sp.Name), perSchemeStream[si])
 	}
 	c.Add("checkpoint_restored", uint64(res.Restored))
 	c.Add("checkpoint_recorded", uint64(recorded))

@@ -290,3 +290,157 @@ func TestCompareNewSchemesBeatNothing(t *testing.T) {
 		}
 	}
 }
+
+// TestCompareFaultRetryAndIsolation is the compare-grid half of the
+// fault-campaign machinery `imtrans compare -inject` wires up: a
+// transient injected fault must be retried away (the grid completes,
+// bit-identical to a clean run), and a permanent one must be isolated to
+// its cell while the rest of the grid completes.
+func TestCompareFaultRetryAndIsolation(t *testing.T) {
+	benches := []Benchmark{testScale(mustBench(t, "mmul")), testScale(mustBench(t, "sor"))}
+	specs := []SchemeSpec{{Name: "businvert"}, {Name: "dictionary"}}
+	retry := RetryPolicy{MaxAttempts: 3}
+
+	clean, err := CompareMeasureCtx(context.Background(), benches, specs, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := clean.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("transient", func(t *testing.T) {
+		plan, err := ParseSweepFaultPlan("error@0,1;attempts=1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CompareMeasureCtx(context.Background(), benches, specs,
+			SweepOptions{FaultInject: plan.Injector(), Retry: retry})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatalf("transient fault was not retried away: %v", err)
+		}
+		if res.Completed != len(benches)*len(specs) {
+			t.Errorf("completed %d cells, want %d", res.Completed, len(benches)*len(specs))
+		}
+		if got := res.Counters.Get("compare_retries"); got == 0 {
+			t.Error("compare_retries counter is zero after a retried fault")
+		}
+		if !reflect.DeepEqual(res.Results, clean.Results) {
+			t.Error("retried grid diverged from the clean run")
+		}
+	})
+
+	t.Run("permanent", func(t *testing.T) {
+		plan, err := ParseSweepFaultPlan("error@0,0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := CompareMeasureCtx(context.Background(), benches, specs,
+			SweepOptions{FaultInject: plan.Injector(), Retry: retry})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Err() == nil {
+			t.Fatal("permanent fault not surfaced")
+		}
+		if len(res.Errors) != 1 {
+			t.Fatalf("%d isolated errors, want 1: %v", len(res.Errors), res.Errors)
+		}
+		if res.Done[0][0] {
+			t.Error("poisoned cell reported done")
+		}
+		for bi := range benches {
+			for si := range specs {
+				if bi == 0 && si == 0 {
+					continue
+				}
+				if !res.Done[bi][si] {
+					t.Errorf("healthy cell (%d,%d) did not complete", bi, si)
+				}
+				if !reflect.DeepEqual(res.Results[bi][si], clean.Results[bi][si]) {
+					t.Errorf("healthy cell (%d,%d) diverged from the clean run", bi, si)
+				}
+			}
+		}
+		if got := res.Counters.Get("compare_failed"); got != 1 {
+			t.Errorf("compare_failed = %d, want 1", got)
+		}
+	})
+}
+
+// TestCompareFleetCountersAndCellNs pins the fleet replay telemetry on a
+// multi-cell grid: every completed cell records a wall time, the shared
+// transition stream is attached to more than one cell per benchmark
+// (compare_stream_shared), and the repeat fast-forward plus derived-table
+// cache serve hits (compare_memo_hits), globally and per scheme.
+func TestCompareFleetCountersAndCellNs(t *testing.T) {
+	benches := []Benchmark{testScale(mustBench(t, "mmul")), testScale(mustBench(t, "sor"))}
+	specs := []SchemeSpec{{Name: "businvert"}, {Name: "dictionary"}, {Name: "gray"}, {Name: "t0"}}
+	res, err := CompareMeasureCtx(context.Background(), benches, specs, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for bi := range benches {
+		for si := range specs {
+			if res.CellNs[bi][si] <= 0 {
+				t.Errorf("cell (%d,%d) has no wall time", bi, si)
+			}
+		}
+	}
+	if got := res.Counters.Get("compare_memo_hits"); got == 0 {
+		t.Error("compare_memo_hits is zero on a loopy grid")
+	}
+	// Per benchmark, three of the four fleet cells attach after the first.
+	if got := res.Counters.Get("compare_stream_shared"); got < uint64(len(benches)) {
+		t.Errorf("compare_stream_shared = %d, want >= %d", got, len(benches))
+	}
+	var perScheme uint64
+	for _, sp := range specs {
+		perScheme += res.Counters.Get(fmt.Sprintf("compare_memo_hits{scheme=%q}", sp.Name))
+	}
+	if perScheme != res.Counters.Get("compare_memo_hits") {
+		t.Errorf("per-scheme memo hits (%d) do not sum to the total (%d)",
+			perScheme, res.Counters.Get("compare_memo_hits"))
+	}
+}
+
+// TestCompareBatchToggleBitIdentical is the facade-level differential
+// check behind compare -bench: the same grid measured with the fleet
+// batch kernels off and on must produce byte-identical measurements and
+// rankings.
+func TestCompareBatchToggleBitIdentical(t *testing.T) {
+	benches := []Benchmark{testScale(mustBench(t, "ej"))}
+	specs := []SchemeSpec{
+		{Name: "businvert"}, {Name: "dictionary", Entries: 16},
+		{Name: "gray"}, {Name: "t0"}, {Name: "codebook", Entries: 64}, {Name: "lwc"},
+	}
+	prev := SetFleetBatchReplay(false)
+	defer SetFleetBatchReplay(prev)
+	scalar, err := CompareMeasureCtx(context.Background(), benches, specs, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	SetFleetBatchReplay(true)
+	batch, err := CompareMeasureCtx(context.Background(), benches, specs, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := scalar.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := batch.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scalar.Results, batch.Results) {
+		t.Error("batch kernels diverged from the scalar coders")
+	}
+	if !reflect.DeepEqual(scalar.Rankings, batch.Rankings) {
+		t.Error("rankings diverged between replay modes")
+	}
+}

@@ -84,6 +84,14 @@ func (d *Dictionary) IndexBits() int { return d.idxBits }
 // — the cost the paper's technique avoids.
 func (d *Dictionary) TableBits() int { return len(d.words) * 32 }
 
+// Index returns the dictionary index of word, if present — the forward
+// map Transfer consults, exposed so batch kernels can precompute the
+// per-text-index drive pattern once instead of hashing every fetch.
+func (d *Dictionary) Index(word uint32) (uint32, bool) {
+	idx, ok := d.index[word]
+	return idx, ok
+}
+
 // Lookup decompresses an index back to its instruction word.
 func (d *Dictionary) Lookup(idx uint32) (uint32, bool) {
 	if int(idx) >= len(d.words) {

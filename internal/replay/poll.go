@@ -1,0 +1,53 @@
+package replay
+
+import "context"
+
+// CancelCheckStride bounds how many fetch steps may pass between context
+// polls inside any trace-replay loop — the paper engine's run loops and
+// the scheme fleet's batch kernels share this one schedule, so a
+// cancelled measurement stops within the same bounded number of fetches
+// whichever path it took.
+const CancelCheckStride = 4096
+
+// Poller is the shared cancellation-poll schedule of every replay loop: a
+// step counter that consults the context once per CancelCheckStride fetch
+// steps. Per-word loops pay Tick (one add+compare per step); batch
+// kernels that retire a whole span at once pay TickN with the span
+// length, which polls the same number of times the per-word loop would
+// have. A zero-context Poller never polls and never stops.
+type Poller struct {
+	ctx   context.Context
+	since int64
+}
+
+// NewPoller returns a poller over ctx; a nil ctx disables polling.
+func NewPoller(ctx context.Context) Poller { return Poller{ctx: ctx} }
+
+// Tick consumes one fetch step, returning ctx.Err() when the schedule
+// lands on a poll and the context is done.
+func (p *Poller) Tick() error {
+	if p.ctx == nil {
+		return nil
+	}
+	if p.since++; p.since < CancelCheckStride {
+		return nil
+	}
+	p.since = 0
+	return p.ctx.Err()
+}
+
+// TickN consumes n fetch steps at once — the batch-kernel form of Tick.
+// The poll count is identical to n consecutive Tick calls; the residue
+// carries across calls so chunked spans and per-word loops stay on the
+// same schedule.
+func (p *Poller) TickN(n int64) error {
+	if p.ctx == nil || n <= 0 {
+		return nil
+	}
+	p.since += n
+	if p.since < CancelCheckStride {
+		return nil
+	}
+	p.since %= CancelCheckStride
+	return p.ctx.Err()
+}

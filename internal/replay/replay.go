@@ -83,7 +83,7 @@ func Measure(cap *Capture, enc *core.Encoding, dec *hw.Decoder) (Result, error) 
 
 // MeasureCtx is Measure with cooperative cancellation: the context is
 // polled inside the replay fetch loop, once per op and every
-// cancelCheckStride fetch steps within long runs, so a cancelled replay
+// CancelCheckStride fetch steps within long runs, so a cancelled replay
 // stops within a bounded number of fetches rather than finishing a
 // billion-fetch trace. A cancelled replay returns ctx.Err(), unwrapped.
 // A nil context disables polling (Measure's path).
@@ -103,6 +103,7 @@ func MeasureOpts(ctx context.Context, cap *Capture, enc *core.Encoding, dec *hw.
 	}
 	r := &replayer{
 		ctx:       ctx,
+		pol:       NewPoller(ctx),
 		base:      cap.Base,
 		orig:      cap.Words,
 		encW:      enc.EncodedWords,
@@ -164,10 +165,10 @@ type replayer struct {
 	encW []uint32
 	dec  *hw.Decoder
 
-	// sincePoll counts loop iterations since the last context poll; the
-	// context is consulted every cancelCheckStride iterations so the
-	// check costs one add+compare per step, not a method call.
-	sincePoll int
+	// pol is the shared cancellation-poll schedule (see Poller): the
+	// context is consulted every CancelCheckStride fetch steps so the
+	// check costs one add+compare per step.
+	pol Poller
 
 	// Materialised image model (streaming == false). prefix[i] is the
 	// transition count of transmitting encW[0..i] in layout order;
@@ -494,22 +495,11 @@ func (r *replayer) applyMemo(idx int32, bm *blockMemo) {
 	r.rec.on = false
 }
 
-// cancelCheckStride bounds how many fetch steps may pass between context
-// polls inside the replay loops.
-const cancelCheckStride = 4096
-
-// poll consults the context every cancelCheckStride calls, recording
+// poll consumes one fetch step on the shared poll schedule, recording
 // ctx.Err() as the replay error; it reports whether the replay should
 // stop.
 func (r *replayer) poll() bool {
-	if r.ctx == nil {
-		return false
-	}
-	if r.sincePoll++; r.sincePoll < cancelCheckStride {
-		return false
-	}
-	r.sincePoll = 0
-	if err := r.ctx.Err(); err != nil {
+	if err := r.pol.Tick(); err != nil {
 		if r.err == nil {
 			r.err = err
 		}

@@ -253,7 +253,7 @@ func (c *countdownCtx) Err() error {
 
 // TestCancellationPollParity pins the cancellation contract of both
 // replay engines. The poll schedule — one context check per trace op
-// plus one every cancelCheckStride fetch steps inside runs — must be
+// plus one every CancelCheckStride fetch steps inside runs — must be
 // identical in streaming and materialised mode (they make the same
 // stepping and memo decisions), and a context that fires at a mid-replay
 // poll must abort both with ctx.Err().

@@ -7,13 +7,13 @@ import (
 	"imtrans/internal/replay"
 )
 
-// cancelStride bounds how many fetches a trace replay processes between
-// context polls, so cancelling a compare stops a billion-fetch expansion
-// within a bounded number of steps.
-const cancelStride = 1 << 16
-
 // replayIndices expands the captured fetch trace in stream order, calling
-// fn once per fetched text index, with periodic cancellation polling.
+// fn once per fetched text index. Cancellation polling follows the
+// replay.Poller schedule — one context check per CancelCheckStride run
+// steps, the first fetch uncounted — which is by construction the same
+// schedule the fleet batch engine pays through Tick/TickN, so the scalar
+// and batch paths of every scheme poll a given trace identically (the
+// parity test pins this).
 func replayIndices(ctx context.Context, cap *replay.Capture, fn func(idx int32)) error {
 	tr := cap.Trace
 	if tr == nil || tr.N == 0 {
@@ -21,21 +21,15 @@ func replayIndices(ctx context.Context, cap *replay.Capture, fn func(idx int32))
 	}
 	idx := tr.First
 	fn(idx)
-	since := 0
+	pol := replay.NewPoller(ctx)
 	var ctxErr error
 	tr.Runs(func(delta int32, count int64) bool {
 		for i := int64(0); i < count; i++ {
 			idx += delta
 			fn(idx)
-			since++
-			if since >= cancelStride {
-				since = 0
-				if ctx != nil {
-					if err := ctx.Err(); err != nil {
-						ctxErr = err
-						return false
-					}
-				}
+			if err := pol.Tick(); err != nil {
+				ctxErr = err
+				return false
 			}
 		}
 		return true

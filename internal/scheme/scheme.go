@@ -62,6 +62,18 @@ type Workload struct {
 	Shared     *replay.MemoStore
 	EncArena   *core.Arena
 	Scratch    *replay.Scratch
+
+	// Stream is the capture's shared transition stream. Grid machinery
+	// materialises it once per benchmark and attaches it to every fleet
+	// cell; a nil (or mismatched) stream makes the measurement build a
+	// private one.
+	Stream *Stream
+
+	// FleetShared shares repeat-group outcomes between fleet batch
+	// measurements. Outcomes are exact only across equal-(scheme, spec)
+	// cells of the same capture — the grid groups cells accordingly, the
+	// way paper cells share a replay.MemoStore per memo signature.
+	FleetShared *FleetMemo
 }
 
 // Result is one scheme's measurement of one workload. Baseline is the
@@ -87,6 +99,14 @@ type Result struct {
 	// Detail carries scheme-specific diagnostics (coverage, hit rates,
 	// code weights). Keys are stable per scheme.
 	Detail map[string]float64 `json:"detail,omitempty"`
+
+	// MemoHits and StreamShared are fleet replay-path diagnostics: loop
+	// iterations and repeat groups charged from a memo (plus derived
+	// tables served from the stream cache), and whether the measurement
+	// attached to an already-used shared stream. They feed the compare
+	// grid's counters and are deliberately excluded from the wire format.
+	MemoHits     uint64 `json:"-"`
+	StreamShared bool   `json:"-"`
 }
 
 // finish derives the reduction percentage and modelled energy savings

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"reflect"
 	"strings"
@@ -189,5 +190,49 @@ func TestCompareResultLandsInStore(t *testing.T) {
 	}
 	if !strings.Contains(string(stored), `"rankings"`) {
 		t.Errorf("stored body is not a compare response: %.120s", stored)
+	}
+}
+
+// metricValue extracts one counter's value from a rendered /metrics
+// body (the exporter namespace-prefixes every family), -1 if absent.
+func metricValue(body, name string) int64 {
+	for _, line := range strings.Split(body, "\n") {
+		rest, ok := strings.CutPrefix(line, metricsNamespace+name+" ")
+		if !ok {
+			continue
+		}
+		var v int64
+		if _, err := fmt.Sscanf(rest, "%d", &v); err == nil {
+			return v
+		}
+	}
+	return -1
+}
+
+// TestCompareFleetCountersInMetrics checks that the fleet replay
+// telemetry of a served comparison — repeat/derived-table memo hits and
+// shared-stream attachments — lands in /metrics: a 2x2 fleet grid shares
+// each benchmark's transition stream between its two cells and
+// fast-forwards the kernels' hot loops, so both families must be nonzero,
+// globally and with scheme labels.
+func TestCompareFleetCountersInMetrics(t *testing.T) {
+	s := mustNew(t, Config{})
+	body := `{"benchmarks":[{"name":"mmul","n":24},{"name":"sor","n":32,"iters":2}],` +
+		`"schemes":[{"name":"businvert"},{"name":"dictionary"}]}`
+	w := post(t, s.Handler(), "/v1/compare", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	metrics := get(t, s.Handler(), "/metrics").Body.String()
+	for _, name := range []string{"compare_memo_hits", "compare_stream_shared"} {
+		if v := metricValue(metrics, name); v <= 0 {
+			t.Errorf("%s = %d in /metrics, want > 0", name, v)
+		}
+	}
+	if v := metricValue(metrics, `compare_memo_hits{scheme="businvert"}`); v <= 0 {
+		t.Errorf(`compare_memo_hits{scheme="businvert"} = %d, want > 0`, v)
+	}
+	if v := metricValue(metrics, `compare_stream_shared{scheme="dictionary"}`); v <= 0 {
+		t.Errorf(`compare_stream_shared{scheme="dictionary"} = %d, want > 0`, v)
 	}
 }

@@ -34,6 +34,16 @@ func SetStreamingReplay(on bool) bool { return streamingReplay.Swap(on) }
 // StreamingReplay reports whether the streaming replay model is active.
 func StreamingReplay() bool { return streamingReplay.Load() }
 
+// SetFleetBatchReplay switches the related-work scheme fleet between the
+// word-parallel batch kernels over the shared transition stream (on, the
+// default) and the per-word reference coders (off), returning the
+// previous setting — the fleet counterpart of SetStreamingReplay.
+// Measurements are bit-identical in both modes; only wall time changes.
+func SetFleetBatchReplay(on bool) bool { return scheme.SetBatchReplay(on) }
+
+// FleetBatchReplay reports whether the fleet batch kernels are active.
+func FleetBatchReplay() bool { return scheme.BatchReplay() }
+
 // ReplayMeasure produces the same measurements as MeasureProgram — bit for
 // bit — from a single profiling run per program. The run's fetch stream is
 // captured as a compressed text-index trace (cached in-process by program
@@ -291,9 +301,11 @@ func memoStores(cfgs []Config) []*replay.MemoStore {
 // is the standalone default — package-wide parallelism, no sharing,
 // pooled scratch.
 type replayEnv struct {
-	encWorkers int
-	shared     *replay.MemoStore
-	arena      *measureArena
+	encWorkers  int
+	shared      *replay.MemoStore
+	arena       *measureArena
+	stream      *scheme.Stream    // per-benchmark shared transition stream
+	fleetShared *scheme.FleetMemo // equal-(scheme, spec) repeat-outcome store
 }
 
 // measureArena is one sweep worker's reusable scratch, carried across
@@ -307,10 +319,12 @@ type measureArena struct {
 // the internal/scheme Workload every registered backend measures against.
 func schemeWorkload(cap *replay.Capture, env replayEnv) *scheme.Workload {
 	w := &scheme.Workload{
-		Cap:        cap,
-		Streaming:  StreamingReplay(),
-		EncWorkers: env.encWorkers,
-		Shared:     env.shared,
+		Cap:         cap,
+		Streaming:   StreamingReplay(),
+		EncWorkers:  env.encWorkers,
+		Shared:      env.shared,
+		Stream:      env.stream,
+		FleetShared: env.fleetShared,
 	}
 	if env.arena != nil {
 		w.EncArena = &env.arena.enc
